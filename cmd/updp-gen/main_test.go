@@ -1,0 +1,76 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBuildAllFamilies(t *testing.T) {
+	cases := []struct {
+		family string
+		p1, p2 float64
+	}{
+		{"normal", 0, 1},
+		{"gaussian", 5, 2},
+		{"laplace", 0, 3},
+		{"uniform", -1, 1},
+		{"exponential", 2, 0},
+		{"lognormal", 0, 0.5},
+		{"pareto", 1, 3},
+		{"studentt", 4, 0},
+		{"t", 5, 0},
+		{"cauchy", 0, 1},
+		{"weibull", 1, 1.5},
+		{"gumbel", 0, 1},
+		{"triangular", 0, 4},
+	}
+	for _, c := range cases {
+		d, err := build(c.family, c.p1, c.p2)
+		if err != nil {
+			t.Errorf("%s: %v", c.family, err)
+			continue
+		}
+		if d.Name() == "" {
+			t.Errorf("%s: empty name", c.family)
+		}
+		// Quantile sanity.
+		if q1, q3 := d.Quantile(0.25), d.Quantile(0.75); !(q1 < q3) {
+			t.Errorf("%s: quartiles not ordered: %v, %v", c.family, q1, q3)
+		}
+	}
+}
+
+func TestBuildUnknownFamily(t *testing.T) {
+	if _, err := build("zipf", 1, 1); err == nil || !strings.Contains(err.Error(), "unknown family") {
+		t.Errorf("want unknown-family error, got %v", err)
+	}
+}
+
+func TestBuildInvalidParamsBecomeErrors(t *testing.T) {
+	cases := []struct {
+		family string
+		p1, p2 float64
+	}{
+		{"normal", 0, -1},    // sigma <= 0
+		{"pareto", -1, 3},    // xm <= 0
+		{"weibull", 0, 1},    // lambda <= 0
+		{"triangular", 4, 4}, // a == b
+		{"uniform", 2, 1},    // a > b
+	}
+	for _, c := range cases {
+		if _, err := build(c.family, c.p1, c.p2); err == nil {
+			t.Errorf("%s(%v,%v): constructor panic not converted to error", c.family, c.p1, c.p2)
+		}
+	}
+}
+
+func TestGeneratedSamplesMatchPopulation(t *testing.T) {
+	d, err := build("normal", 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Mean(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+}

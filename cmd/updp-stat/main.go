@@ -1,0 +1,202 @@
+// Command updp-stat releases differentially private statistics over one
+// numeric column of a CSV file using the universal estimators — no range,
+// scale, or distribution hints required.
+//
+// Usage:
+//
+//	updp-stat -file salaries.csv -col salary -stat mean -eps 1.0
+//	cat latencies.csv | updp-stat -col 2 -stat p99 -eps 0.5 -header=false
+//
+// Stats: mean, variance, stddev, iqr, median, p25, p75, p90, p95, p99,
+// q<float> for an arbitrary quantile (e.g. q0.37), trimmed<float> for a
+// trimmed mean (e.g. trimmed0.1), and ci:mean, ci:iqr, or ci:q<float> for
+// confidence-interval releases (e.g. ci:q0.9).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/updp"
+)
+
+func main() {
+	var (
+		file   = flag.String("file", "", "input CSV (default: stdin)")
+		col    = flag.String("col", "", "column name (with -header) or 0-based index")
+		stat   = flag.String("stat", "mean", "statistic to release")
+		eps    = flag.Float64("eps", 1.0, "privacy budget ε")
+		beta   = flag.Float64("beta", 0.1, "utility failure probability β")
+		header = flag.Bool("header", true, "first row is a header")
+		seed   = flag.Uint64("seed", 0, "fixed RNG seed (0 = fresh randomness; use only for testing)")
+	)
+	flag.Parse()
+
+	if *col == "" {
+		fatal("missing -col")
+	}
+	in := io.Reader(os.Stdin)
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	data, err := readColumn(in, *col, *header)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	opts := []updp.Option{updp.WithBeta(*beta)}
+	if *seed != 0 {
+		opts = append(opts, updp.WithSeed(*seed))
+	}
+	if ci, ok := strings.CutPrefix(strings.ToLower(*stat), "ci:"); ok {
+		lo, hi, err := releaseInterval(data, ci, *eps, opts)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("%s(%s) = [%.6g, %.6g]   [ε=%g, coverage>=%g, n=%d]\n",
+			*stat, *col, lo, hi, *eps, 1-*beta, len(data))
+		return
+	}
+	value, err := release(data, *stat, *eps, opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("%s(%s) = %.6g   [ε=%g, β=%g, n=%d]\n", *stat, *col, value, *eps, *beta, len(data))
+}
+
+// releaseInterval answers the ci: statistics. The quantile and IQR
+// intervals have universal coverage; the mean interval covers the truncated
+// mean (see the library docs for the distinction).
+func releaseInterval(data []float64, stat string, eps float64, opts []updp.Option) (lo, hi float64, err error) {
+	switch {
+	case stat == "mean":
+		ci, err := updp.MeanInterval(data, eps, opts...)
+		return ci.Lo, ci.Hi, err
+	case stat == "iqr":
+		ci, err := updp.IQRInterval(data, eps, opts...)
+		return ci.Lo, ci.Hi, err
+	case stat == "median":
+		ci, err := updp.QuantileInterval(data, 0.5, eps, opts...)
+		return ci.Lo, ci.Hi, err
+	default:
+		if p, ok := strings.CutPrefix(stat, "q"); ok {
+			q, perr := strconv.ParseFloat(p, 64)
+			if perr != nil {
+				return 0, 0, fmt.Errorf("bad quantile %q", stat)
+			}
+			ci, err := updp.QuantileInterval(data, q, eps, opts...)
+			return ci.Lo, ci.Hi, err
+		}
+		return 0, 0, fmt.Errorf("unknown interval stat %q (want mean, iqr, median, or q<float>)", stat)
+	}
+}
+
+func release(data []float64, stat string, eps float64, opts []updp.Option) (float64, error) {
+	switch strings.ToLower(stat) {
+	case "mean":
+		return updp.Mean(data, eps, opts...)
+	case "variance", "var":
+		return updp.Variance(data, eps, opts...)
+	case "stddev", "std":
+		return updp.StdDev(data, eps, opts...)
+	case "iqr":
+		return updp.IQR(data, eps, opts...)
+	case "median", "p50":
+		return updp.Median(data, eps, opts...)
+	case "p25":
+		return updp.Quantile(data, 0.25, eps, opts...)
+	case "p75":
+		return updp.Quantile(data, 0.75, eps, opts...)
+	case "p90":
+		return updp.Quantile(data, 0.90, eps, opts...)
+	case "p95":
+		return updp.Quantile(data, 0.95, eps, opts...)
+	case "p99":
+		return updp.Quantile(data, 0.99, eps, opts...)
+	default:
+		lower := strings.ToLower(stat)
+		if p, ok := strings.CutPrefix(lower, "trimmed"); ok {
+			trim, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return 0, fmt.Errorf("bad trim fraction %q", stat)
+			}
+			return updp.TrimmedMean(data, trim, eps, opts...)
+		}
+		if p, ok := strings.CutPrefix(lower, "q"); ok {
+			q, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return 0, fmt.Errorf("bad quantile %q", stat)
+			}
+			return updp.Quantile(data, q, eps, opts...)
+		}
+		return 0, fmt.Errorf("unknown stat %q", stat)
+	}
+}
+
+func readColumn(r io.Reader, col string, header bool) ([]float64, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	idx := -1
+	if !header {
+		i, err := strconv.Atoi(col)
+		if err != nil {
+			return nil, fmt.Errorf("without -header, -col must be a 0-based index, got %q", col)
+		}
+		idx = i
+	}
+	var data []float64
+	rowNum := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rowNum++
+		if rowNum == 1 && header {
+			for i, name := range rec {
+				if strings.EqualFold(strings.TrimSpace(name), col) {
+					idx = i
+				}
+			}
+			if idx < 0 {
+				// Allow numeric index even with a header present.
+				if i, err := strconv.Atoi(col); err == nil {
+					idx = i
+				} else {
+					return nil, fmt.Errorf("column %q not found in header %v", col, rec)
+				}
+			}
+			continue
+		}
+		if idx >= len(rec) {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rec[idx]), 64)
+		if err != nil {
+			continue // skip non-numeric cells
+		}
+		data = append(data, v)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("no numeric values in column %q", col)
+	}
+	return data, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "updp-stat: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/updp"
+)
+
+func TestReadColumnByName(t *testing.T) {
+	csv := "id,salary,dept\n1,100.5,eng\n2,200,sales\n3,not-a-number,eng\n4,50,eng\n"
+	data, err := readColumn(strings.NewReader(csv), "salary", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{100.5, 200, 50}
+	if len(data) != len(want) {
+		t.Fatalf("got %v", data)
+	}
+	for i := range want {
+		if data[i] != want[i] {
+			t.Errorf("data[%d] = %v, want %v", i, data[i], want[i])
+		}
+	}
+}
+
+func TestReadColumnCaseInsensitive(t *testing.T) {
+	csv := "Name,VALUE\nx,1\ny,2\n"
+	data, err := readColumn(strings.NewReader(csv), "value", true)
+	if err != nil || len(data) != 2 {
+		t.Fatalf("data=%v err=%v", data, err)
+	}
+}
+
+func TestReadColumnByIndexNoHeader(t *testing.T) {
+	csv := "1,10\n2,20\n3,30\n"
+	data, err := readColumn(strings.NewReader(csv), "1", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 3 || data[2] != 30 {
+		t.Fatalf("got %v", data)
+	}
+}
+
+func TestReadColumnNumericIndexWithHeader(t *testing.T) {
+	csv := "a,b\n5,6\n7,8\n"
+	data, err := readColumn(strings.NewReader(csv), "0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 2 || data[0] != 5 {
+		t.Fatalf("got %v", data)
+	}
+}
+
+func TestReadColumnErrors(t *testing.T) {
+	if _, err := readColumn(strings.NewReader("a,b\n1,2\n"), "missing", true); err == nil {
+		t.Error("missing column")
+	}
+	if _, err := readColumn(strings.NewReader("a\nxyz\n"), "a", true); err == nil {
+		t.Error("no numeric values")
+	}
+	if _, err := readColumn(strings.NewReader("1,2\n"), "notanumber", false); err == nil {
+		t.Error("non-numeric index without header")
+	}
+}
+
+func TestReleaseStats(t *testing.T) {
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = float64(i % 100)
+	}
+	opts := []updp.Option{updp.WithSeed(1), updp.WithBeta(0.2)}
+	for _, stat := range []string{"mean", "variance", "stddev", "iqr", "median",
+		"p25", "p75", "p90", "p95", "p99", "q0.37"} {
+		v, err := release(data, stat, 1.0, opts)
+		if err != nil {
+			t.Errorf("%s: %v", stat, err)
+			continue
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v", stat, v)
+		}
+	}
+	if _, err := release(data, "bogus", 1.0, opts); err == nil {
+		t.Error("unknown stat should fail")
+	}
+	if _, err := release(data, "qxyz", 1.0, opts); err == nil {
+		t.Error("bad quantile should fail")
+	}
+}
+
+func TestReleaseMeanAccuracy(t *testing.T) {
+	// Continuous-ish data around 42 (the estimators assume a continuous
+	// distribution; truly constant data needs updp.WithDither).
+	data := make([]float64, 20000)
+	for i := range data {
+		data[i] = 42 + float64(i%997)/997
+	}
+	v, err := release(data, "mean", 5.0, []updp.Option{updp.WithSeed(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-42.5) > 1 {
+		t.Errorf("mean = %v, want ~42.5", v)
+	}
+}
+
+// bigSample is a smooth, wide sample suitable for the interval mechanisms
+// (which refuse when n is below the rank-slack feasibility threshold).
+func bigSample() []float64 {
+	data := make([]float64, 8000)
+	for i := range data {
+		// Roughly uniform on [-2, 2] with an irrational stride so values
+		// are distinct (continuous-distribution assumption).
+		data[i] = -2 + 4*math.Mod(float64(i)*0.6180339887, 1)
+	}
+	return data
+}
+
+func TestReleaseTrimmedMean(t *testing.T) {
+	data := bigSample()
+	v, err := release(data, "trimmed0.1", 1.0, []updp.Option{updp.WithSeed(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < -5 || v > 5 {
+		t.Errorf("trimmed mean %v implausible for ~N(0,1) data", v)
+	}
+	if _, err := release(data, "trimmedx", 1.0, nil); err == nil {
+		t.Error("bad trim fraction accepted")
+	}
+	if _, err := release(data, "trimmed0.9", 1.0, []updp.Option{updp.WithSeed(5)}); err == nil {
+		t.Error("out-of-range trim fraction accepted")
+	}
+}
+
+func TestReleaseIntervalStats(t *testing.T) {
+	data := bigSample()
+	for _, stat := range []string{"mean", "median", "iqr", "q0.75"} {
+		lo, hi, err := releaseInterval(data, stat, 1.0, []updp.Option{updp.WithSeed(6)})
+		if err != nil {
+			t.Fatalf("%s: %v", stat, err)
+		}
+		if !(lo <= hi) {
+			t.Errorf("%s: malformed interval [%v, %v]", stat, lo, hi)
+		}
+	}
+	if _, _, err := releaseInterval(data, "variance", 1.0, nil); err == nil {
+		t.Error("unsupported interval stat accepted")
+	}
+	if _, _, err := releaseInterval(data, "qx", 1.0, nil); err == nil {
+		t.Error("bad interval quantile accepted")
+	}
+}

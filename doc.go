@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Universal Private
+// Estimators" (Wei Dong and Ke Yi, PODS 2023): pure ε-DP estimators for
+// the mean, variance, and interquartile range of an arbitrary unknown
+// continuous distribution, with no boundedness or family assumptions.
+//
+// Import repro/updp for the public API. See DESIGN.md for the system
+// inventory, EXPERIMENTS.md for the reproduction results, and
+// bench_test.go (this package) for one benchmark per reproduced
+// table/figure.
+package repro

@@ -1,0 +1,60 @@
+// Quickstart: release private statistics about a dataset with a total
+// privacy budget — no range, scale, or distribution hints.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/xrand"
+	"repro/updp"
+)
+
+func main() {
+	// Synthetic "household income"-like data: log-normal, long tail, and
+	// centred far from zero — exactly the shape that breaks estimators
+	// needing an a-priori range [-R, R] or a variance bound.
+	rng := xrand.New(2024)
+	data := make([]float64, 50000)
+	for i := range data {
+		data[i] = 40000 * math.Exp(0.6*rng.Gaussian())
+	}
+
+	// One Estimator = one total privacy budget across all questions.
+	est, err := updp.NewEstimator(data, 4.0, updp.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mean, err := est.Mean(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	median, err := est.Median(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	std, err := est.StdDev(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iqr, err := est.IQR(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("private release (total ε = 4.0):")
+	fmt.Printf("  mean   ≈ %10.0f\n", mean)
+	fmt.Printf("  median ≈ %10.0f\n", median)
+	fmt.Printf("  stddev ≈ %10.0f\n", std)
+	fmt.Printf("  IQR    ≈ %10.0f\n", iqr)
+	fmt.Printf("  budget left: %.2f\n", est.Remaining())
+
+	// The budget is enforced: the next call must fail.
+	if _, err := est.Mean(1.0); err != nil {
+		fmt.Printf("  further queries refused: %v\n", err)
+	}
+}

@@ -1,0 +1,87 @@
+// Salaries: user-level differentially private SQL over a relation.
+//
+// This is the paper's §1.1.1 database application (DFY+22): aggregation
+// queries answered with the universal estimators, so no bound on any
+// user's total contribution is ever configured. The privacy unit is the
+// employee — all of their pay rows together.
+//
+//	go run ./examples/salaries
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dpsql"
+	"repro/internal/xrand"
+)
+
+func main() {
+	rng := xrand.New(7)
+
+	db := dpsql.NewDB()
+	tbl, err := db.Create("payroll", []dpsql.Column{
+		{Name: "employee", Kind: dpsql.KindString},
+		{Name: "dept", Kind: dpsql.KindString},
+		{Name: "pay", Kind: dpsql.KindFloat},
+	}, "employee")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3000 employees across three departments, 1-6 pay rows each
+	// (multiple pay periods), log-normal-ish pay.
+	depts := []struct {
+		name string
+		base float64
+	}{{"eng", 11000}, {"sales", 7000}, {"support", 5000}}
+	for e := 0; e < 3000; e++ {
+		d := depts[e%3]
+		rows := 1 + rng.Intn(6)
+		for r := 0; r < rows; r++ {
+			pay := d.base * (1 + 0.25*rng.Gaussian())
+			if err := tbl.Insert(
+				dpsql.Str(fmt.Sprintf("emp-%04d", e)),
+				dpsql.Str(d.name),
+				dpsql.Float(pay),
+			); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Enforce a total budget over the whole analysis session.
+	if err := db.SetBudget(6.0); err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []struct {
+		sql string
+		eps float64
+	}{
+		{"SELECT COUNT(*) FROM payroll", 0.5},
+		{"SELECT AVG(pay) FROM payroll", 1.0},
+		{"SELECT MEDIAN(pay) FROM payroll WHERE dept = 'eng'", 1.0},
+		{"SELECT AVG(pay) FROM payroll GROUP BY dept", 3.0},
+	}
+	for _, q := range queries {
+		res, err := db.Exec(rng, q.sql, q.eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ε=%.1f  %s\n", q.eps, q.sql)
+		for _, row := range res.Rows {
+			if row.HasGroup {
+				fmt.Printf("    %-8s %12.2f\n", row.Group.String(), row.Value)
+			} else {
+				fmt.Printf("    %12.2f\n", row.Value)
+			}
+		}
+	}
+	fmt.Printf("budget remaining: %.2f\n", db.Remaining())
+
+	// The next query exceeds the session budget and is refused.
+	if _, err := db.Exec(rng, "SELECT AVG(pay) FROM payroll", 1.0); err != nil {
+		fmt.Printf("over-budget query refused: %v\n", err)
+	}
+}

@@ -1,0 +1,86 @@
+// SQL analytics report: drive the user-level-DP relational engine (the
+// paper's §1.1.1 database application) entirely through SQL — DDL, DML,
+// and multi-aggregate GROUP BY queries with an enforced total budget.
+//
+//	go run ./examples/sqlreport
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/dpsql"
+	"repro/internal/xrand"
+)
+
+func main() {
+	db := dpsql.NewDB()
+
+	// Schema: one order row per purchase; user_id is the privacy unit, so
+	// neighboring databases differ by ALL rows of one customer (user-level
+	// DP) — no bound on how many orders one customer placed is needed.
+	if err := db.Run(`CREATE TABLE orders (
+		user_id STRING USER,
+		region  STRING,
+		amount  FLOAT
+	)`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthetic marketplace: order counts per user are heavy-tailed (a few
+	// whales), and so are amounts.
+	rng := xrand.New(11)
+	regions := []string{"emea", "amer", "apac"}
+	for u := 0; u < 3000; u++ {
+		region := regions[u%len(regions)]
+		orders := 1 + int(math.Floor(rng.Pareto(1, 1.8))) // heavy-tailed count
+		if orders > 200 {
+			orders = 200
+		}
+		for o := 0; o < orders; o++ {
+			amt := 30 * math.Exp(0.8*rng.Gaussian())
+			stmt := fmt.Sprintf(`INSERT INTO orders VALUES ('u%d', '%s', %.2f)`, u, region, amt)
+			if err := db.Run(stmt); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Total budget enforced across every query on this handle.
+	if err := db.SetBudget(5.0); err != nil {
+		log.Fatal(err)
+	}
+	rngq := xrand.New(12)
+
+	run := func(sql string, eps float64) {
+		res, err := db.Exec(rngq, sql, eps)
+		if err != nil {
+			log.Fatalf("%s: %v", sql, err)
+		}
+		fmt.Printf("\nε=%.1f  %s\n", eps, sql)
+		for _, row := range res.Rows {
+			if row.HasGroup {
+				fmt.Printf("  %-6s", row.Group.String())
+			} else {
+				fmt.Printf("  %-6s", "-")
+			}
+			for _, v := range row.Values {
+				fmt.Printf("  %12.2f", v)
+			}
+			fmt.Println()
+		}
+	}
+
+	run("SELECT COUNT(*) FROM orders", 0.5)
+	run("SELECT SUM(amount), AVG(amount) FROM orders", 1.5)
+	run("SELECT MEDIAN(amount), IQR(amount) FROM orders GROUP BY region", 2.0)
+	run("SELECT QUANTILE(amount, 0.9) FROM orders WHERE region != 'apac'", 1.0)
+
+	fmt.Printf("\nremaining budget: %.2f\n", db.Remaining())
+
+	// The accountant refuses once the budget is spent.
+	if _, err := db.Exec(rngq, "SELECT AVG(amount) FROM orders", 1.0); err != nil {
+		fmt.Printf("next query refused: %v\n", err)
+	}
+}

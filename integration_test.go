@@ -1,0 +1,267 @@
+package repro
+
+// Cross-package integration tests: end-to-end convergence rates of the
+// public API (the empirical analogue of the paper's sample-complexity
+// theorems), composition across the stack, and the public API exercised
+// exactly as the examples and CLIs use it.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/dpsql"
+	"repro/internal/xrand"
+	"repro/updp"
+)
+
+// medianErr runs trials independent releases and reports the median
+// absolute error.
+func medianErr(trials int, truth float64, release func(seed uint64) (float64, error)) float64 {
+	errs := make([]float64, 0, trials)
+	for s := 0; s < trials; s++ {
+		v, err := release(uint64(1000 + s))
+		if err != nil {
+			errs = append(errs, math.Inf(1))
+			continue
+		}
+		errs = append(errs, math.Abs(v-truth))
+	}
+	sort.Float64s(errs)
+	return errs[len(errs)/2]
+}
+
+// TestMeanConvergenceRate checks the Theorem 4.6 shape end to end: for a
+// Gaussian at ε=1 the error is dominated by σ/√n, so growing n by 16x
+// should shrink the median error by roughly 4x (we accept ≥ 2x).
+func TestMeanConvergenceRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical integration test")
+	}
+	d := dist.NewNormal(7, 3)
+	gen := func(n int, seed uint64) []float64 {
+		return dist.SampleN(d, xrand.New(seed), n)
+	}
+	errAt := func(n int) float64 {
+		return medianErr(15, 7, func(seed uint64) (float64, error) {
+			return updp.Mean(gen(n, seed), 1.0, updp.WithSeed(seed*31))
+		})
+	}
+	small, large := errAt(4000), errAt(64000)
+	if large > small/2 {
+		t.Errorf("16x data only improved error %v -> %v (want >= 2x)", small, large)
+	}
+}
+
+// TestIQRPrivacyDominatedRegime checks the Theorem 6.2 shape in the
+// high-privacy regime: at small ε the error is ∝ 1/(εn), so 8x more data
+// should shrink the error by clearly more than the sampling-only √8.
+func TestIQRPrivacyDominatedRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical integration test")
+	}
+	d := dist.NewLaplace(0, 1)
+	trueIQR := dist.IQROf(d)
+	errAt := func(n int) float64 {
+		return medianErr(15, trueIQR, func(seed uint64) (float64, error) {
+			data := dist.SampleN(d, xrand.New(seed), n)
+			return updp.IQR(data, 0.2, updp.WithSeed(seed*37))
+		})
+	}
+	small, large := errAt(5000), errAt(40000)
+	if large > small/2.5 {
+		t.Errorf("8x data in the privacy regime: %v -> %v (want > 2.5x)", small, large)
+	}
+}
+
+// TestVarianceScaleFreedom runs the same code on σ spanning six orders of
+// magnitude — the operational content of Theorem 5.3's log log σ terms.
+func TestVarianceScaleFreedom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical integration test")
+	}
+	for _, sigma := range []float64{1e-3, 1e3} {
+		d := dist.NewNormal(0, sigma)
+		rel := medianErr(11, 1, func(seed uint64) (float64, error) {
+			data := dist.SampleN(d, xrand.New(seed), 30000)
+			v, err := updp.Variance(data, 1.0, updp.WithSeed(seed*41))
+			return v / (sigma * sigma), err // normalized to 1
+		})
+		if rel > 0.3 {
+			t.Errorf("sigma=%v: relative variance error %v", sigma, rel)
+		}
+	}
+}
+
+// TestBudgetedWorkflow exercises the Estimator exactly as the quickstart
+// example does, asserting both the releases and the budget arithmetic.
+func TestBudgetedWorkflow(t *testing.T) {
+	d := dist.NewLogNormal(10, 0.6)
+	data := dist.SampleN(d, xrand.New(5), 50000)
+	est, err := updp.NewEstimator(data, 4.0, updp.WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := est.Mean(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := est.Median(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.StdDev(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.IQR(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if mean < med {
+		t.Errorf("log-normal should have mean (%v) > median (%v)", mean, med)
+	}
+	if math.Abs(mean-d.Mean())/d.Mean() > 0.1 {
+		t.Errorf("mean = %v, want ~%v", mean, d.Mean())
+	}
+	if _, err := est.Mean(0.1); err == nil {
+		t.Error("budget should be exhausted")
+	}
+}
+
+// TestUniversalityAcrossFamilies runs one code path over every family in
+// the distribution substrate with a finite mean and checks the estimate
+// lands within 10 IQR-normalized units — no configuration changes between
+// families, which is the definition of a universal estimator.
+func TestUniversalityAcrossFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical integration test")
+	}
+	families := []dist.Distribution{
+		dist.NewNormal(1e6, 5),
+		dist.NewLaplace(-1e4, 2),
+		dist.NewUniform(400, 500),
+		dist.NewExponential(0.001),
+		dist.NewLogNormal(3, 1),
+		dist.NewPareto(10, 3),
+		dist.NewStudentTLocScale(4, 77, 3),
+	}
+	for _, d := range families {
+		truth := d.Mean()
+		scale := dist.IQROf(d)
+		got := medianErr(9, truth, func(seed uint64) (float64, error) {
+			data := dist.SampleN(d, xrand.New(seed), 30000)
+			return updp.Mean(data, 1.0, updp.WithSeed(seed*43))
+		})
+		if got > scale {
+			t.Errorf("%s: median error %v exceeds one IQR (%v)", d.Name(), got, scale)
+		}
+	}
+}
+
+// TestEmpiricalVsStatisticalConsistency: on a large i.i.d. sample the
+// empirical-setting mean (Algorithm 5 via the public API) and the
+// statistical mean (Algorithm 8) must agree to within their error bounds.
+func TestEmpiricalVsStatisticalConsistency(t *testing.T) {
+	d := dist.NewNormal(12345, 4)
+	data := dist.SampleN(d, xrand.New(77), 50000)
+	ints := make([]int64, len(data))
+	for i, v := range data {
+		ints[i] = int64(math.Round(v * 1000)) // millimeter-style fixed point
+	}
+	em, err := updp.EmpiricalMean(ints, 1.0, updp.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := updp.Mean(data, 1.0, updp.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(em/1000 - sm); diff > 1 {
+		t.Errorf("empirical %v vs statistical %v differ by %v", em/1000, sm, diff)
+	}
+}
+
+// TestPercentileWorkflowEndToEnd exercises the full multi-quantile + CI
+// surface the way the SLO example does: one shared-range release for the
+// profile, a distribution-free interval certifying the p90, and a trimmed
+// mean — all against a heavy-tailed latency-like distribution with known
+// population quantiles.
+func TestPercentileWorkflowEndToEnd(t *testing.T) {
+	d := dist.NewLogNormal(3, 0.5) // median e^3 ~ 20.1
+	data := dist.SampleN(d, xrand.New(99), 30000)
+
+	ps := []float64{0.5, 0.9, 0.99}
+	qs, err := updp.Quantiles(data, ps, 1.0, updp.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		truth := d.Quantile(p)
+		if rel := math.Abs(qs[i]-truth) / truth; rel > 0.25 {
+			t.Errorf("p%.0f: released %v vs true %v (rel err %v)", p*100, qs[i], truth, rel)
+		}
+	}
+
+	ci, err := updp.QuantileInterval(data, 0.9, 1.0, updp.WithSeed(4), updp.WithBeta(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth := d.Quantile(0.9); truth < ci.Lo || truth > ci.Hi {
+		t.Errorf("p90 CI [%v, %v] misses true %v", ci.Lo, ci.Hi, truth)
+	}
+
+	tm, err := updp.TrimmedMean(data, 0.05, 1.0, updp.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm < d.Quantile(0.2) || tm > d.Quantile(0.8) {
+		t.Errorf("trimmed mean %v outside the central mass", tm)
+	}
+}
+
+// TestSQLWorkflowEndToEnd drives the dpsql engine through the full DDL →
+// DML → budgeted multi-aggregate path with the extended aggregates.
+func TestSQLWorkflowEndToEnd(t *testing.T) {
+	db := dpsql.NewDB()
+	if err := db.Run(`CREATE TABLE m (uid STRING USER, grp STRING, v FLOAT)`); err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(101)
+	for u := 0; u < 1200; u++ {
+		g := "a"
+		if u%2 == 0 {
+			g = "b"
+		}
+		stmt := fmt.Sprintf(`INSERT INTO m VALUES ('u%d', '%s', %.4f)`, u, g, 50+5*rng.Gaussian())
+		if err := db.Run(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.SetBudget(4.0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(xrand.New(102),
+		"SELECT MEDIAN(v), IQR(v), QUANTILE(v, 0.9) FROM m GROUP BY grp", 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("want 2 groups, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		med, iqr, p90 := row.Values[0], row.Values[1], row.Values[2]
+		if math.Abs(med-50) > 15 {
+			t.Errorf("group %s: median %v far from 50", row.Group.String(), med)
+		}
+		if iqr < 0 {
+			t.Errorf("group %s: negative IQR %v", row.Group.String(), iqr)
+		}
+		if p90 < med-20 {
+			t.Errorf("group %s: p90 %v below median %v", row.Group.String(), p90, med)
+		}
+	}
+	if got := db.Remaining(); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("remaining budget %v, want 1.0", got)
+	}
+}

@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/dp"
+	"repro/internal/xrand"
+)
+
+// These tests pin the baselines' assumption profiles (Table 1): accurate
+// in-assumption, degraded out-of-assumption, and strict about parameters.
+
+func TestKSU20MeanInAssumption(t *testing.T) {
+	rng := xrand.New(301)
+	d := dist.NewPareto(1, 3) // mu = 1.5, mu_2 finite
+	data := dist.SampleN(d, rng, 20000)
+	muk := d.CentralMoment(2)
+	var errSum float64
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		m, err := KSU20Mean(rng, data, 100, 2, muk, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errSum += math.Abs(m - d.Mean())
+	}
+	if errSum/trials > 0.5 {
+		t.Errorf("in-assumption error %v too large", errSum/trials)
+	}
+}
+
+func TestKSU20MeanMisspecifiedMomentDegrades(t *testing.T) {
+	// The comparison Theorem 4.9 targets: a 100x inflated moment bound
+	// must visibly inflate the error (wider clip window, more noise).
+	rng := xrand.New(302)
+	d := dist.NewPareto(1, 3)
+	data := dist.SampleN(d, rng, 8000)
+	muk := d.CentralMoment(2)
+	errAt := func(bound float64) float64 {
+		var s float64
+		const trials = 12
+		for i := 0; i < trials; i++ {
+			m, err := KSU20Mean(rng, data, 1000, 2, bound, 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s += math.Abs(m - d.Mean())
+		}
+		return s / trials
+	}
+	exact, inflated := errAt(muk), errAt(100*muk)
+	if inflated < 2*exact {
+		t.Errorf("100x moment misspecification: error %v -> %v, want clear degradation",
+			exact, inflated)
+	}
+}
+
+func TestKSU20MeanParamValidation(t *testing.T) {
+	rng := xrand.New(303)
+	data := []float64{1, 2, 3, 4}
+	cases := []struct {
+		r   float64
+		k   int
+		muk float64
+	}{
+		{-1, 2, 1},       // bad range
+		{10, 1, 1},       // k < 2
+		{10, 2, 0},       // bad moment bound
+		{1e18, 2, 1e-30}, // bin count overflow guard
+	}
+	for _, c := range cases {
+		if _, err := KSU20Mean(rng, data, c.r, c.k, c.muk, 1); !errors.Is(err, ErrBadParams) {
+			t.Errorf("r=%v k=%d muk=%v: want ErrBadParams, got %v", c.r, c.k, c.muk, err)
+		}
+	}
+	if _, err := KSU20Mean(rng, nil, 10, 2, 1, 1); !errors.Is(err, dp.ErrEmptyData) {
+		t.Errorf("want ErrEmptyData, got %v", err)
+	}
+}
+
+func TestBS19TrimmedMeanInAssumption(t *testing.T) {
+	rng := xrand.New(304)
+	d := dist.NewNormal(3, 2)
+	data := dist.SampleN(d, rng, 20000)
+	var errSum float64
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		m, err := BS19TrimmedMean(rng, data, 100, 0.1, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errSum += math.Abs(m - 3)
+	}
+	if errSum/trials > 0.5 {
+		t.Errorf("in-assumption error %v too large", errSum/trials)
+	}
+}
+
+func TestBS19TrimmedMeanA1ViolationBias(t *testing.T) {
+	// µ far outside [-R, R]: the estimate is pinned near the boundary —
+	// Table 1's A1 dependence.
+	rng := xrand.New(305)
+	data := dist.SampleN(dist.NewNormal(1e6, 1), rng, 4000)
+	m, err := BS19TrimmedMean(rng, data, 100, 0.1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-1e6) < 1e5 {
+		t.Errorf("A1-violating release %v should be far from the true mean 1e6", m)
+	}
+}
+
+func TestBS19TrimmedMeanParamValidation(t *testing.T) {
+	rng := xrand.New(306)
+	data := []float64{1, 2, 3, 4}
+	if _, err := BS19TrimmedMean(rng, data, 0, 1, 1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("r=0: want ErrBadParams, got %v", err)
+	}
+	if _, err := BS19TrimmedMean(rng, data, 10, 0, 1); !errors.Is(err, ErrBadParams) {
+		t.Errorf("sigmaMin=0: want ErrBadParams, got %v", err)
+	}
+	if _, err := BS19TrimmedMean(rng, nil, 10, 1, 1); !errors.Is(err, dp.ErrEmptyData) {
+		t.Errorf("want ErrEmptyData, got %v", err)
+	}
+	if _, err := BS19TrimmedMean(rng, data, 10, 1, -1); !errors.Is(err, dp.ErrInvalidEpsilon) {
+		t.Errorf("want ErrInvalidEpsilon, got %v", err)
+	}
+}
+
+func TestNonPrivateReferences(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if got := NonPrivateMean(data); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := NonPrivateIQR(data); got <= 0 {
+		t.Errorf("IQR = %v", got)
+	}
+	if got := NonPrivateVariance(data); got <= 0 {
+		t.Errorf("variance = %v", got)
+	}
+}

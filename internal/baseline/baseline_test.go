@@ -1,0 +1,340 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/xrand"
+)
+
+func medianAbsErr(errs []float64) float64 {
+	cp := append([]float64(nil), errs...)
+	sort.Float64s(cp)
+	return cp[len(cp)/2]
+}
+
+func TestNonPrivate(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if NonPrivateMean(xs) != 2.5 {
+		t.Error("mean")
+	}
+	if math.Abs(NonPrivateVariance(xs)-1.25) > 1e-12 {
+		t.Error("variance")
+	}
+	if NonPrivateIQR(xs) != 2 {
+		t.Error("iqr") // X_3 - X_1 = 3 - 1
+	}
+}
+
+// ---------- KV18 ----------
+
+func TestKV18MeanInAssumptions(t *testing.T) {
+	rng := xrand.New(1)
+	const mu, sigma = 40.0, 2.0
+	d := dist.NewNormal(mu, sigma)
+	errs := make([]float64, 15)
+	for i := range errs {
+		data := dist.SampleN(d, rng, 20000)
+		m, err := KV18Mean(rng, data, 1000, 0.5, 4, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = math.Abs(m - mu)
+	}
+	if med := medianAbsErr(errs); med > sigma/5 {
+		t.Errorf("KV18 in-assumption median error %v", med)
+	}
+}
+
+func TestKV18MeanViolatedA1(t *testing.T) {
+	// mu = 500 with R = 100: the estimate cannot leave [-R-pad, R+pad].
+	rng := xrand.New(2)
+	d := dist.NewNormal(500, 1)
+	data := dist.SampleN(d, rng, 20000)
+	m, err := KV18Mean(rng, data, 100, 0.5, 4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-500) < 300 {
+		t.Errorf("A1 violation should be catastrophic; error only %v", math.Abs(m-500))
+	}
+}
+
+func TestKV18MeanLooseSigmaMaxInflatesError(t *testing.T) {
+	// sigmaMax = 100·sigma: noise floor grows with sigmaMax.
+	rng := xrand.New(3)
+	d := dist.NewNormal(0, 1)
+	med := func(sigmaMax float64) float64 {
+		errs := make([]float64, 21)
+		for i := range errs {
+			data := dist.SampleN(d, rng, 2000)
+			m, err := KV18Mean(rng, data, 1000, 0.5, sigmaMax, 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs[i] = math.Abs(m)
+		}
+		return medianAbsErr(errs)
+	}
+	tight, loose := med(2), med(200)
+	if loose < 3*tight {
+		t.Errorf("loose sigmaMax should inflate error: tight=%v loose=%v", tight, loose)
+	}
+}
+
+func TestKV18MeanBadParams(t *testing.T) {
+	rng := xrand.New(4)
+	if _, err := KV18Mean(rng, []float64{1}, -1, 1, 2, 1); !errors.Is(err, ErrBadParams) {
+		t.Error("bad R")
+	}
+	if _, err := KV18Mean(rng, []float64{1}, 1, 2, 1, 1); !errors.Is(err, ErrBadParams) {
+		t.Error("sigmaMax < sigmaMin")
+	}
+	if _, err := KV18Mean(rng, nil, 1, 1, 2, 1); err == nil {
+		t.Error("empty data")
+	}
+}
+
+func TestKV18Variance(t *testing.T) {
+	rng := xrand.New(5)
+	const sigma = 3.0
+	d := dist.NewNormal(-7, sigma)
+	errs := make([]float64, 15)
+	for i := range errs {
+		data := dist.SampleN(d, rng, 20000)
+		v, err := KV18Variance(rng, data, 0.1, 100, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = math.Abs(v - sigma*sigma)
+	}
+	if med := medianAbsErr(errs); med > sigma*sigma/4 {
+		t.Errorf("KV18 variance median error %v", med)
+	}
+}
+
+// ---------- CoinPress ----------
+
+func TestCoinPressMeanConverges(t *testing.T) {
+	rng := xrand.New(6)
+	const mu, sigma = -250.0, 1.5
+	d := dist.NewNormal(mu, sigma)
+	errs := make([]float64, 15)
+	for i := range errs {
+		data := dist.SampleN(d, rng, 20000)
+		m, err := CoinPressMean(rng, data, 1000, 2, 1.0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = math.Abs(m - mu)
+	}
+	if med := medianAbsErr(errs); med > sigma/3 {
+		t.Errorf("CoinPress median error %v", med)
+	}
+}
+
+func TestCoinPressMeanBeatsOneShot(t *testing.T) {
+	// Iterative refinement should beat a single clipped mean at [-R, R].
+	rng := xrand.New(7)
+	d := dist.NewNormal(3, 1)
+	const R = 100000.0
+	medFor := func(steps int) float64 {
+		errs := make([]float64, 15)
+		for i := range errs {
+			data := dist.SampleN(d, rng, 5000)
+			m, err := CoinPressMean(rng, data, R, 1, 0.5, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs[i] = math.Abs(m - 3)
+		}
+		return medianAbsErr(errs)
+	}
+	if one, multi := medFor(1), medFor(0); multi > one {
+		t.Errorf("iterations did not help: 1-step %v vs auto %v", one, multi)
+	}
+}
+
+func TestCoinPressVariance(t *testing.T) {
+	rng := xrand.New(8)
+	const sigma = 2.0
+	d := dist.NewNormal(10, sigma)
+	errs := make([]float64, 15)
+	for i := range errs {
+		data := dist.SampleN(d, rng, 20000)
+		v, err := CoinPressVariance(rng, data, 0.01, 1000, 1.0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = math.Abs(v - sigma*sigma)
+	}
+	if med := medianAbsErr(errs); med > sigma*sigma/4 {
+		t.Errorf("CoinPress variance median error %v", med)
+	}
+}
+
+// ---------- KSU20 ----------
+
+func TestKSU20MeanWithTrueMoment(t *testing.T) {
+	rng := xrand.New(9)
+	d := dist.NewPareto(1, 3)
+	muK := d.CentralMoment(2)
+	errs := make([]float64, 15)
+	for i := range errs {
+		data := dist.SampleN(d, rng, 50000)
+		m, err := KSU20Mean(rng, data, 100, 2, muK, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = math.Abs(m - d.Mean())
+	}
+	if med := medianAbsErr(errs); med > 0.2 {
+		t.Errorf("KSU20 median error %v", med)
+	}
+}
+
+func TestKSU20MisspecifiedMomentHurts(t *testing.T) {
+	rng := xrand.New(10)
+	d := dist.NewPareto(1, 3)
+	muK := d.CentralMoment(2)
+	medFor := func(bar float64) float64 {
+		errs := make([]float64, 21)
+		for i := range errs {
+			data := dist.SampleN(d, rng, 5000)
+			m, err := KSU20Mean(rng, data, 100, 2, bar, 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs[i] = math.Abs(m - d.Mean())
+		}
+		return medianAbsErr(errs)
+	}
+	exact, loose := medFor(muK), medFor(100*muK)
+	if loose < 2*exact {
+		t.Errorf("100x moment misspecification should hurt: exact=%v loose=%v", exact, loose)
+	}
+}
+
+// ---------- BS19 ----------
+
+func TestBS19TrimmedMean(t *testing.T) {
+	rng := xrand.New(11)
+	const mu = 12.0
+	d := dist.NewNormal(mu, 2)
+	errs := make([]float64, 15)
+	for i := range errs {
+		data := dist.SampleN(d, rng, 20000)
+		m, err := BS19TrimmedMean(rng, data, 1000, 0.01, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = math.Abs(m - mu)
+	}
+	if med := medianAbsErr(errs); med > 0.5 {
+		t.Errorf("BS19 median error %v", med)
+	}
+}
+
+func TestBS19RobustToOutliers(t *testing.T) {
+	// Trimming must cap the influence of a few wild points.
+	rng := xrand.New(12)
+	d := dist.NewNormal(0, 1)
+	data := dist.SampleN(d, rng, 10000)
+	for i := 0; i < 20; i++ {
+		data[i] = 900 // inside [-R, R] but far in the tail
+	}
+	m, err := BS19TrimmedMean(rng, data, 1000, 0.01, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m) > 1 {
+		t.Errorf("outliers moved trimmed mean to %v", m)
+	}
+}
+
+// ---------- DL09 ----------
+
+func TestDL09IQRPassesOnGaussian(t *testing.T) {
+	rng := xrand.New(13)
+	d := dist.NewNormal(0, 1)
+	trueIQR := dist.IQROf(d)
+	pass, good := 0, 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		data := dist.SampleN(d, rng, 20000)
+		v, err := DL09IQR(rng, data, 1.0, 1e-6)
+		if errors.Is(err, ErrUnstable) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pass++
+		if math.Abs(v-trueIQR) < 0.5*trueIQR {
+			good++
+		}
+	}
+	if pass < trials/2 {
+		t.Errorf("PTR passed only %d/%d times on a well-behaved Gaussian", pass, trials)
+	}
+	if good < pass*2/3 {
+		t.Errorf("only %d/%d passing releases were accurate", good, pass)
+	}
+}
+
+func TestDL09IQRSlowRate(t *testing.T) {
+	// The binning alone forces error ~ IQR/ln(n): going from n=10000 to
+	// n=100000 should improve the error by only a small factor (vs 10x
+	// for a 1/(eps n) method). We compare at n where the PTR test passes;
+	// at n=1000 DL09 returns ⊥ almost always (measured in E10).
+	rng := xrand.New(14)
+	d := dist.NewNormal(0, 1)
+	trueIQR := dist.IQROf(d)
+	medFor := func(n int) float64 {
+		errs := []float64{}
+		for i := 0; i < 21; i++ {
+			data := dist.SampleN(d, rng, n)
+			v, err := DL09IQR(rng, data, 1.0, 1e-6)
+			if err != nil {
+				continue
+			}
+			errs = append(errs, math.Abs(v-trueIQR))
+		}
+		if len(errs) == 0 {
+			return math.Inf(1)
+		}
+		return medianAbsErr(errs)
+	}
+	small, large := medFor(10000), medFor(100000)
+	if math.IsInf(small, 1) || math.IsInf(large, 1) {
+		t.Fatalf("PTR failed at every trial (small=%v large=%v)", small, large)
+	}
+	if large < small/5 {
+		t.Errorf("DL09 improved too fast (%v -> %v); rate should be ~1/log n", small, large)
+	}
+}
+
+func TestDL09IQRUnstableOnDegenerate(t *testing.T) {
+	rng := xrand.New(15)
+	data := make([]float64, 100)
+	if _, err := DL09IQR(rng, data, 1.0, 1e-6); !errors.Is(err, ErrUnstable) {
+		t.Errorf("degenerate data should fail PTR, got %v", err)
+	}
+}
+
+func TestDL09BadParams(t *testing.T) {
+	rng := xrand.New(16)
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	if _, err := DL09IQR(rng, data, 1.0, 0); !errors.Is(err, ErrBadParams) {
+		t.Error("delta = 0 must be rejected (pure DP is impossible for PTR)")
+	}
+	if _, err := DL09IQR(rng, data, -1, 1e-6); err == nil {
+		t.Error("bad eps")
+	}
+}

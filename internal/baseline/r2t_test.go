@@ -1,0 +1,172 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestR2TSumAccurateWithTightBound(t *testing.T) {
+	rng := xrand.New(1)
+	d := dist.NewPareto(1, 2.5)
+	const n = 20000
+	errs := make([]float64, 15)
+	for i := range errs {
+		data := dist.SampleN(d, rng, n)
+		trueSum := stats.Sum(data)
+		got, err := R2TSum(rng, data, 1<<20, 1.0, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = math.Abs(got-trueSum) / trueSum
+	}
+	if med := medianAbsErr(errs); med > 0.05 {
+		t.Errorf("R2T median rel err %v", med)
+	}
+}
+
+func TestR2TSumNeverWildlyOverestimates(t *testing.T) {
+	// The penalty keeps the max from racing past the true sum w.h.p.
+	rng := xrand.New(2)
+	d := dist.NewPareto(1, 2.5)
+	const n = 5000
+	over := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		data := dist.SampleN(d, rng, n)
+		trueSum := stats.Sum(data)
+		got, err := R2TSum(rng, data, 1<<20, 1.0, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > trueSum*1.05 {
+			over++
+		}
+	}
+	if over > trials/5 {
+		t.Errorf("R2T overestimated by >5%% in %d/%d trials", over, trials)
+	}
+}
+
+func TestR2TSumLooseBoundCostsAccuracy(t *testing.T) {
+	// The error scales with log N: a 2^60 domain bound should hurt
+	// relative to 2^12 on the same data.
+	rng := xrand.New(3)
+	d := dist.NewPareto(1, 2.5)
+	const n = 2000
+	medFor := func(bound float64) float64 {
+		errs := make([]float64, 21)
+		for i := range errs {
+			data := dist.SampleN(d, rng, n)
+			trueSum := stats.Sum(data)
+			got, err := R2TSum(rng, data, bound, 0.5, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs[i] = math.Abs(got - trueSum)
+		}
+		return medianAbsErr(errs)
+	}
+	tight, loose := medFor(1<<12), medFor(math.Pow(2, 60))
+	if loose < 1.5*tight {
+		t.Errorf("loose domain bound should cost accuracy: tight=%v loose=%v", tight, loose)
+	}
+}
+
+func TestR2TSumErrors(t *testing.T) {
+	rng := xrand.New(4)
+	if _, err := R2TSum(rng, nil, 10, 1, 0.1); err == nil {
+		t.Error("empty data")
+	}
+	if _, err := R2TSum(rng, []float64{1}, 1, 1, 0.1); !errors.Is(err, ErrBadParams) {
+		t.Error("bound < 2")
+	}
+	if _, err := R2TSum(rng, []float64{1}, 10, 0, 0.1); err == nil {
+		t.Error("bad eps")
+	}
+	if _, err := R2TSum(rng, []float64{1}, 10, 1, 0); err == nil {
+		t.Error("bad beta")
+	}
+}
+
+func TestHLY21MeanAccurate(t *testing.T) {
+	rng := xrand.New(5)
+	const n = 20000
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = 5000 + rng.Int64Range(-100, 100)
+	}
+	var trueMean float64
+	for _, v := range data {
+		trueMean += float64(v)
+	}
+	trueMean /= n
+	errs := make([]float64, 15)
+	for i := range errs {
+		m, err := HLY21Mean(rng, data, 1<<20, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = math.Abs(m - trueMean)
+	}
+	if med := medianAbsErr(errs); med > 5 {
+		t.Errorf("HLY21 median err %v", med)
+	}
+}
+
+func TestHLY21DomainDependence(t *testing.T) {
+	// The log N optimality ratio: HLY21 clips Θ(log N/ε) points from each
+	// end, so on SKEWED data (one-sided tail, bias cannot cancel) a 2^50
+	// domain must be noticeably worse than a 2^14 domain. On symmetric
+	// data deeper trimming is harmless — the asymmetry is the point.
+	rng := xrand.New(6)
+	const n = 5000
+	data := make([]int64, n)
+	for i := range data {
+		v := int64(rng.Exponential() * 200)
+		if v > 4000 {
+			v = 4000
+		}
+		data[i] = v
+	}
+	medFor := func(bound int64) float64 {
+		errs := make([]float64, 21)
+		for i := range errs {
+			m, err := HLY21Mean(rng, data, bound, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs[i] = math.Abs(m - meanOf(data))
+		}
+		return medianAbsErr(errs)
+	}
+	tight, loose := medFor(1<<14), medFor(1<<50)
+	if loose < tight {
+		t.Errorf("larger domain should not improve HLY21 on skewed data: tight=%v loose=%v", tight, loose)
+	}
+}
+
+func meanOf(xs []int64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += float64(v)
+	}
+	return s / float64(len(xs))
+}
+
+func TestHLY21Errors(t *testing.T) {
+	rng := xrand.New(7)
+	if _, err := HLY21Mean(rng, nil, 10, 1); err == nil {
+		t.Error("empty")
+	}
+	if _, err := HLY21Mean(rng, []int64{1}, 0, 1); !errors.Is(err, ErrBadParams) {
+		t.Error("bad bound")
+	}
+	if _, err := HLY21Mean(rng, []int64{1}, 10, -1); err == nil {
+		t.Error("bad eps")
+	}
+}

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/xrand"
+)
+
+// ---------- IQRLowerBound (Algorithm 7, Theorem 4.3) ----------
+
+func TestIQRLowerBoundSandwich(t *testing.T) {
+	// ¼·φ(1/16) <= IQR̲ <= IQR must hold w.h.p. across families.
+	rng := xrand.New(1)
+	families := []dist.Distribution{
+		dist.NewNormal(0, 1),
+		dist.NewNormal(1000, 50),
+		dist.NewLaplace(0, 3),
+		dist.NewUniform(-5, 5),
+		dist.NewPareto(1, 3),
+		dist.NewStudentT(4),
+	}
+	for _, d := range families {
+		phi := dist.Phi(d, 1.0/16)
+		iqr := dist.IQROf(d)
+		data := dist.SampleN(d, rng, 4000)
+		fails := 0
+		const trials = 30
+		for trial := 0; trial < trials; trial++ {
+			lb, err := IQRLowerBound(rng, data, 1.0, 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Allow a factor-2 grace on each side for sampling noise at
+			// finite n (the theorem holds asymptotically w.p. 1-beta).
+			if lb < phi/16 || lb > 2.01*iqr {
+				fails++
+			}
+		}
+		if fails > trials/4 {
+			t.Errorf("%s: sandwich failed %d/%d times (phi=%.3g iqr=%.3g)",
+				d.Name(), fails, trials, phi, iqr)
+		}
+	}
+}
+
+func TestIQRLowerBoundScaleInvariance(t *testing.T) {
+	// Scaling the data by 2^k should scale the bound by about 2^k.
+	rng := xrand.New(2)
+	base := dist.SampleN(dist.NewNormal(0, 1), rng, 4000)
+	scaled := make([]float64, len(base))
+	for i, v := range base {
+		scaled[i] = v * 1024
+	}
+	var lbBase, lbScaled float64
+	for trial := 0; trial < 10; trial++ {
+		a, err := IQRLowerBound(rng, base, 1.0, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := IQRLowerBound(rng, scaled, 1.0, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lbBase += a
+		lbScaled += b
+	}
+	ratio := lbScaled / lbBase
+	if ratio < 256 || ratio > 4096 {
+		t.Errorf("scale ratio = %v, want ~1024", ratio)
+	}
+}
+
+func TestIQRLowerBoundTinyScale(t *testing.T) {
+	// Distributions at scale 2^-20: the shrinking SVT must find them.
+	rng := xrand.New(3)
+	d := dist.NewNormal(0, math.Pow(2, -20))
+	data := dist.SampleN(d, rng, 4000)
+	iqr := dist.IQROf(d)
+	ok := 0
+	for trial := 0; trial < 20; trial++ {
+		lb, err := IQRLowerBound(rng, data, 1.0, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb > 0 && lb <= 2*iqr {
+			ok++
+		}
+	}
+	if ok < 15 {
+		t.Errorf("tiny-scale bound ok only %d/20 times", ok)
+	}
+}
+
+func TestIQRLowerBoundDegenerateData(t *testing.T) {
+	// All-identical data: pair distances are all zero. Must not hang and
+	// must return a positive (tiny) bucket.
+	rng := xrand.New(4)
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = 42
+	}
+	lb, err := IQRLowerBound(rng, data, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lb > 0) {
+		t.Errorf("degenerate bound = %v, want positive", lb)
+	}
+}
+
+func TestIQRLowerBoundErrors(t *testing.T) {
+	rng := xrand.New(5)
+	if _, err := IQRLowerBound(rng, []float64{1, 2, 3}, 1, 0.1); !errors.Is(err, ErrTooFewSamples) {
+		t.Error("too few samples")
+	}
+	if _, err := IQRLowerBound(rng, make([]float64, 10), 0, 0.1); err == nil {
+		t.Error("bad eps")
+	}
+	if _, err := IQRLowerBound(rng, make([]float64, 10), 1, 1.5); err == nil {
+		t.Error("bad beta")
+	}
+}
+
+// ---------- EstimateMean (Algorithm 8, Theorems 4.5/4.6/4.9) ----------
+
+func trimmedMeanAbsErr(errs []float64) float64 {
+	// Median absolute error across trials: robust to the beta failure tail.
+	cp := append([]float64(nil), errs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+func TestMeanGaussianNoAssumptions(t *testing.T) {
+	// Gaussian with a mean far outside any "reasonable" a-priori range:
+	// the universal estimator needs no [-R, R].
+	rng := xrand.New(6)
+	const mu, sigma = 1e6, 3.0
+	d := dist.NewNormal(mu, sigma)
+	const n = 20000
+	const eps = 1.0
+	errs := make([]float64, 15)
+	for i := range errs {
+		data := dist.SampleN(d, rng, n)
+		m, err := EstimateMean(rng, data, eps, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = math.Abs(m - mu)
+	}
+	med := trimmedMeanAbsErr(errs)
+	// Theorem 4.6: error ~ sigma/sqrt(n) + sigma·polylog/(eps n) — well
+	// under sigma/10 at these parameters.
+	if med > sigma/10 {
+		t.Errorf("median error %v too large (sigma=%v, n=%d)", med, sigma, n)
+	}
+}
+
+func TestMeanErrorShrinksWithN(t *testing.T) {
+	rng := xrand.New(7)
+	d := dist.NewNormal(5, 2)
+	const eps = 0.5
+	medFor := func(n int) float64 {
+		errs := make([]float64, 11)
+		for i := range errs {
+			data := dist.SampleN(d, rng, n)
+			m, err := EstimateMean(rng, data, eps, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs[i] = math.Abs(m - 5)
+		}
+		return trimmedMeanAbsErr(errs)
+	}
+	small := medFor(2000)
+	large := medFor(50000)
+	if large > small {
+		t.Errorf("error did not shrink with n: %v (n=2k) -> %v (n=50k)", small, large)
+	}
+}
+
+func TestMeanHeavyTailed(t *testing.T) {
+	// Pareto(1,3): finite mean 1.5, heavy tail. No assumptions provided.
+	rng := xrand.New(8)
+	d := dist.NewPareto(1, 3)
+	const n = 50000
+	errs := make([]float64, 15)
+	for i := range errs {
+		data := dist.SampleN(d, rng, n)
+		m, err := EstimateMean(rng, data, 1.0, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = math.Abs(m - d.Mean())
+	}
+	if med := trimmedMeanAbsErr(errs); med > 0.15 {
+		t.Errorf("heavy-tail median error %v", med)
+	}
+}
+
+func TestMeanIllBehavedStillFinite(t *testing.T) {
+	// Spike-and-slab: phi(1/16) tiny. The estimator may need more samples
+	// (Theorem 4.5's requirement grows) but must not blow up or error.
+	rng := xrand.New(9)
+	d := dist.SpikeAndSlab(1e-6, 10, 0.2)
+	data := dist.SampleN(d, rng, 20000)
+	m, err := EstimateMean(rng, data, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(m) || math.IsInf(m, 0) {
+		t.Errorf("ill-behaved estimate = %v", m)
+	}
+}
+
+func TestMeanConfigOverrides(t *testing.T) {
+	rng := xrand.New(10)
+	d := dist.NewNormal(0, 1)
+	data := dist.SampleN(d, rng, 5000)
+	// Fixed bucket (sigma_min given).
+	res, err := EstimateMeanWithConfig(rng, data, 1.0, 0.1, MeanConfig{Bucket: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bucket != 0.01 {
+		t.Errorf("bucket override ignored: %v", res.Bucket)
+	}
+	if res.Lo >= res.Hi {
+		t.Errorf("invalid range [%v, %v]", res.Lo, res.Hi)
+	}
+	// Full-data range ablation.
+	if _, err := EstimateMeanWithConfig(rng, data, 1.0, 0.1, MeanConfig{FullDataRange: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit subsample size.
+	if _, err := EstimateMeanWithConfig(rng, data, 1.0, 0.1, MeanConfig{SubsampleSize: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanErrors(t *testing.T) {
+	rng := xrand.New(11)
+	if _, err := EstimateMean(rng, []float64{1, 2}, 1, 0.1); !errors.Is(err, ErrTooFewSamples) {
+		t.Error("too few")
+	}
+	if _, err := EstimateMean(rng, make([]float64, 10), -1, 0.1); err == nil {
+		t.Error("bad eps")
+	}
+	if _, err := EstimateMean(rng, make([]float64, 10), 1, 0); err == nil {
+		t.Error("bad beta")
+	}
+}
+
+// ---------- EstimateVariance (Algorithm 9, Theorems 5.2/5.3/5.5) ----------
+
+func TestVarianceGaussian(t *testing.T) {
+	rng := xrand.New(12)
+	const sigma = 3.0
+	d := dist.NewNormal(-50, sigma)
+	const n = 50000
+	errs := make([]float64, 15)
+	for i := range errs {
+		data := dist.SampleN(d, rng, n)
+		v, err := EstimateVariance(rng, data, 1.0, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = math.Abs(v - sigma*sigma)
+	}
+	if med := trimmedMeanAbsErr(errs); med > sigma*sigma/10 {
+		t.Errorf("variance median error %v (sigma^2=%v)", med, sigma*sigma)
+	}
+}
+
+func TestVarianceScaleSweep(t *testing.T) {
+	// The log log sigma + log log 1/sigma requirement: both tiny and huge
+	// scales must work without any hints.
+	rng := xrand.New(13)
+	for _, sigma := range []float64{1e-3, 1, 1e3} {
+		d := dist.NewNormal(0, sigma)
+		data := dist.SampleN(d, rng, 30000)
+		ok := 0
+		for trial := 0; trial < 10; trial++ {
+			v, err := EstimateVariance(rng, data, 1.0, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(v-sigma*sigma) < 0.3*sigma*sigma {
+				ok++
+			}
+		}
+		if ok < 7 {
+			t.Errorf("sigma=%v: within 30%% only %d/10 times", sigma, ok)
+		}
+	}
+}
+
+func TestVarianceHeavyTailedFirstEver(t *testing.T) {
+	// Theorem 5.5: works for P with finite mu_4 — Pareto(1, 5).
+	rng := xrand.New(14)
+	d := dist.NewPareto(1, 5)
+	trueVar := d.Var()
+	data := dist.SampleN(d, rng, 100000)
+	errs := make([]float64, 11)
+	for i := range errs {
+		v, err := EstimateVariance(rng, data, 1.0, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = math.Abs(v - trueVar)
+	}
+	if med := trimmedMeanAbsErr(errs); med > 0.5*trueVar {
+		t.Errorf("heavy-tail variance median error %v (true %v)", med, trueVar)
+	}
+}
+
+func TestVarianceNonNegativeRange(t *testing.T) {
+	rng := xrand.New(15)
+	data := dist.SampleN(dist.NewNormal(0, 1), rng, 5000)
+	res, err := EstimateVarianceFull(rng, data, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rad < 0 {
+		t.Errorf("negative radius %v", res.Rad)
+	}
+	if !(res.Bucket > 0) {
+		t.Errorf("non-positive bucket %v", res.Bucket)
+	}
+}
+
+// ---------- EstimateIQR (Algorithm 10, Theorem 6.2) ----------
+
+func TestIQRGaussian(t *testing.T) {
+	rng := xrand.New(16)
+	const sigma = 2.0
+	d := dist.NewNormal(100, sigma)
+	trueIQR := dist.IQROf(d)
+	const n = 50000
+	errs := make([]float64, 15)
+	for i := range errs {
+		data := dist.SampleN(d, rng, n)
+		v, err := EstimateIQR(rng, data, 1.0, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = math.Abs(v - trueIQR)
+	}
+	if med := trimmedMeanAbsErr(errs); med > trueIQR/10 {
+		t.Errorf("IQR median error %v (true %v)", med, trueIQR)
+	}
+}
+
+func TestIQRConvergesWithN(t *testing.T) {
+	rng := xrand.New(17)
+	d := dist.NewLaplace(0, 1)
+	trueIQR := dist.IQROf(d)
+	medFor := func(n int) float64 {
+		errs := make([]float64, 11)
+		for i := range errs {
+			data := dist.SampleN(d, rng, n)
+			v, err := EstimateIQR(rng, data, 0.5, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs[i] = math.Abs(v - trueIQR)
+		}
+		return trimmedMeanAbsErr(errs)
+	}
+	if small, large := medFor(2000), medFor(50000); large > small {
+		t.Errorf("IQR error did not shrink: %v -> %v", small, large)
+	}
+}
+
+func TestIQRCauchyStillWorks(t *testing.T) {
+	// Cauchy has no mean or variance but a perfectly good IQR — the whole
+	// point of a universal scale estimator.
+	rng := xrand.New(18)
+	d := dist.NewCauchy(0, 1)
+	trueIQR := dist.IQROf(d) // = 2
+	data := dist.SampleN(d, rng, 50000)
+	errs := make([]float64, 11)
+	for i := range errs {
+		v, err := EstimateIQR(rng, data, 1.0, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = math.Abs(v - trueIQR)
+	}
+	if med := trimmedMeanAbsErr(errs); med > trueIQR/4 {
+		t.Errorf("Cauchy IQR median error %v (true %v)", med, trueIQR)
+	}
+}
+
+// ---------- EstimateQuantile ----------
+
+func TestQuantileUniversal(t *testing.T) {
+	rng := xrand.New(19)
+	d := dist.NewNormal(7, 1)
+	const n = 50000
+	data := dist.SampleN(d, rng, n)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		tau := int(p * float64(n))
+		want := d.Quantile(p)
+		errs := make([]float64, 11)
+		for i := range errs {
+			v, err := EstimateQuantile(rng, data, tau, 1.0, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs[i] = math.Abs(v - want)
+		}
+		if med := trimmedMeanAbsErr(errs); med > 0.2 {
+			t.Errorf("p=%v: quantile median error %v", p, med)
+		}
+	}
+}
+
+func TestEstimatorsDeterministicGivenSeed(t *testing.T) {
+	d := dist.NewNormal(0, 1)
+	data := dist.SampleN(d, xrand.New(99), 5000)
+	run := func() (float64, float64, float64) {
+		rng := xrand.New(1234)
+		m, _ := EstimateMean(rng, data, 1.0, 0.1)
+		v, _ := EstimateVariance(rng, data, 1.0, 0.1)
+		q, _ := EstimateIQR(rng, data, 1.0, 0.1)
+		return m, v, q
+	}
+	m1, v1, q1 := run()
+	m2, v2, q2 := run()
+	if m1 != m2 || v1 != v2 || q1 != q2 {
+		t.Error("estimators are not deterministic for a fixed seed")
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dp"
+	"repro/internal/xrand"
+)
+
+// Validation-path tests shared across every statistical estimator.
+
+func TestAllEstimatorsRejectBadParams(t *testing.T) {
+	rng := xrand.New(201)
+	data := []float64{0.1, 0.9, 1.7, 2.4, 3.3, 4.1, 5.2, 6.8}
+	calls := map[string]func(eps, beta float64) error{
+		"EstimateMean": func(e, b float64) error {
+			_, err := EstimateMean(rng, data, e, b)
+			return err
+		},
+		"EstimateVariance": func(e, b float64) error {
+			_, err := EstimateVariance(rng, data, e, b)
+			return err
+		},
+		"EstimateVarianceFull": func(e, b float64) error {
+			_, err := EstimateVarianceFull(rng, data, e, b)
+			return err
+		},
+		"EstimateIQR": func(e, b float64) error {
+			_, err := EstimateIQR(rng, data, e, b)
+			return err
+		},
+		"EstimateQuantile": func(e, b float64) error {
+			_, err := EstimateQuantile(rng, data, 4, e, b)
+			return err
+		},
+		"EstimateQuantiles": func(e, b float64) error {
+			_, err := EstimateQuantiles(rng, data, []int{2, 6}, e, b)
+			return err
+		},
+		"TrimmedMean": func(e, b float64) error {
+			_, err := TrimmedMean(rng, data, 0.1, e, b)
+			return err
+		},
+		"IQRLowerBound": func(e, b float64) error {
+			_, err := IQRLowerBound(rng, data, e, b)
+			return err
+		},
+		"IQRUpperBound": func(e, b float64) error {
+			_, err := IQRUpperBound(rng, data, e, b)
+			return err
+		},
+		"QuantileInterval": func(e, b float64) error {
+			_, err := QuantileInterval(rng, data, 0.5, e, b)
+			return err
+		},
+	}
+	for name, call := range calls {
+		for _, eps := range []float64{0, -2, math.NaN(), math.Inf(1)} {
+			if err := call(eps, 0.1); !errors.Is(err, dp.ErrInvalidEpsilon) {
+				t.Errorf("%s(eps=%v): want ErrInvalidEpsilon, got %v", name, eps, err)
+			}
+		}
+		for _, beta := range []float64{0, 1, 3, math.NaN()} {
+			if err := call(1, beta); !errors.Is(err, dp.ErrInvalidBeta) {
+				t.Errorf("%s(beta=%v): want ErrInvalidBeta, got %v", name, beta, err)
+			}
+		}
+	}
+}
+
+func TestAllEstimatorsRejectTinySamples(t *testing.T) {
+	rng := xrand.New(202)
+	tiny := []float64{1, 2, 3}
+	calls := map[string]func() error{
+		"EstimateMean":      func() error { _, err := EstimateMean(rng, tiny, 1, 0.1); return err },
+		"EstimateVariance":  func() error { _, err := EstimateVariance(rng, tiny, 1, 0.1); return err },
+		"EstimateIQR":       func() error { _, err := EstimateIQR(rng, tiny, 1, 0.1); return err },
+		"EstimateQuantile":  func() error { _, err := EstimateQuantile(rng, tiny, 1, 1, 0.1); return err },
+		"EstimateQuantiles": func() error { _, err := EstimateQuantiles(rng, tiny, []int{1}, 1, 0.1); return err },
+		"TrimmedMean":       func() error { _, err := TrimmedMean(rng, tiny, 0.1, 1, 0.1); return err },
+		"IQRLowerBound":     func() error { _, err := IQRLowerBound(rng, tiny, 1, 0.1); return err },
+		"IQRUpperBound":     func() error { _, err := IQRUpperBound(rng, tiny, 1, 0.1); return err },
+		"ScaleBracket":      func() error { _, err := EstimateScaleBracket(rng, tiny, 1, 0.1); return err },
+		"MeanInterval":      func() error { _, err := MeanInterval(rng, tiny, 1, 0.1); return err },
+		"QuantileInterval":  func() error { _, err := QuantileInterval(rng, tiny, 0.5, 1, 0.1); return err },
+		"IQRInterval":       func() error { _, err := IQRInterval(rng, tiny, 1, 0.1); return err },
+	}
+	for name, call := range calls {
+		if err := call(); !errors.Is(err, ErrTooFewSamples) {
+			t.Errorf("%s(n=3): want ErrTooFewSamples, got %v", name, err)
+		}
+	}
+}
+
+func TestEstimateScaleBracketBadParams(t *testing.T) {
+	rng := xrand.New(203)
+	data := []float64{1, 2, 3, 4, 5}
+	if _, err := EstimateScaleBracket(rng, data, -1, 0.1); !errors.Is(err, dp.ErrInvalidEpsilon) {
+		t.Errorf("want ErrInvalidEpsilon, got %v", err)
+	}
+	if _, err := EstimateScaleBracket(rng, data, 1, -1); !errors.Is(err, dp.ErrInvalidBeta) {
+		t.Errorf("want ErrInvalidBeta, got %v", err)
+	}
+}
+
+func TestClampRank(t *testing.T) {
+	for _, tc := range []struct{ r, n, want int }{
+		{-5, 10, 1},
+		{0, 10, 1},
+		{1, 10, 1},
+		{5, 10, 5},
+		{10, 10, 10},
+		{11, 10, 10},
+		{1000000, 3, 3},
+	} {
+		if got := clampRank(tc.r, tc.n); got != tc.want {
+			t.Errorf("clampRank(%d, %d) = %d, want %d", tc.r, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestVarianceFullDiagnostics(t *testing.T) {
+	rng := xrand.New(204)
+	data := make([]float64, 2000)
+	for i := range data {
+		data[i] = rng.Gaussian() * 3
+	}
+	res, err := EstimateVarianceFull(rng, data, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rad <= 0 {
+		t.Errorf("radius diagnostic %v should be positive", res.Rad)
+	}
+	if res.Bucket <= 0 {
+		t.Errorf("bucket diagnostic %v should be positive", res.Bucket)
+	}
+	// sigma^2 = 9; the release should be in a broad sane band.
+	if res.Estimate < 1 || res.Estimate > 40 {
+		t.Errorf("variance estimate %v far from 9", res.Estimate)
+	}
+}

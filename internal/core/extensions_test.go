@@ -1,0 +1,240 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/xrand"
+)
+
+// ---------- EstimateMeanVector (§1.2 extension) ----------
+
+func TestMeanVectorMixedFamilies(t *testing.T) {
+	// Each coordinate follows a different family at a different scale —
+	// the universality claim in the multivariate setting.
+	rng := xrand.New(1)
+	dists := []dist.Distribution{
+		dist.NewNormal(5, 1),
+		dist.NewLaplace(-100, 10),
+		dist.NewPareto(1, 4), // mean 4/3
+	}
+	const n = 30000
+	data := make([][]float64, n)
+	for i := range data {
+		row := make([]float64, len(dists))
+		for j, d := range dists {
+			row[j] = d.Sample(rng)
+		}
+		data[i] = row
+	}
+	got, err := EstimateMeanVector(rng, data, 3.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, -100, 4.0 / 3}
+	tol := []float64{0.3, 3, 0.2}
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > tol[j] {
+			t.Errorf("coordinate %d: got %v, want ~%v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestMeanVectorDimensionChecks(t *testing.T) {
+	rng := xrand.New(2)
+	if _, err := EstimateMeanVector(rng, [][]float64{{1, 2}, {3}, {1, 2}, {3, 4}}, 1, 0.1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Error("ragged rows should fail")
+	}
+	if _, err := EstimateMeanVector(rng, [][]float64{{}, {}, {}, {}}, 1, 0.1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Error("zero-dim rows should fail")
+	}
+	if _, err := EstimateMeanVector(rng, [][]float64{{1}, {2}}, 1, 0.1); !errors.Is(err, ErrTooFewSamples) {
+		t.Error("too few rows should fail")
+	}
+	if _, err := EstimateMeanVector(rng, make([][]float64, 10), 0, 0.1); err == nil {
+		t.Error("bad eps")
+	}
+}
+
+func TestVarianceDiagonal(t *testing.T) {
+	rng := xrand.New(3)
+	const n = 30000
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = []float64{2 * rng.Gaussian(), 10 * rng.Gaussian()}
+	}
+	got, err := EstimateVarianceDiagonal(rng, data, 2.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-4) > 2 {
+		t.Errorf("var[0] = %v, want ~4", got[0])
+	}
+	if math.Abs(got[1]-100) > 40 {
+		t.Errorf("var[1] = %v, want ~100", got[1])
+	}
+}
+
+func TestVarianceDiagonalErrors(t *testing.T) {
+	rng := xrand.New(4)
+	if _, err := EstimateVarianceDiagonal(rng, [][]float64{{1}, {2}}, 1, 0.1); !errors.Is(err, ErrTooFewSamples) {
+		t.Error("too few")
+	}
+	if _, err := EstimateVarianceDiagonal(rng, [][]float64{{1, 2}, {3}, {4, 5}, {6, 7}}, 1, 0.1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Error("ragged")
+	}
+}
+
+// ---------- IQRUpperBound / ScaleBracket (§1.3 open problem) ----------
+
+func TestIQRUpperBoundIsUpperBound(t *testing.T) {
+	rng := xrand.New(5)
+	families := []dist.Distribution{
+		dist.NewNormal(0, 1),
+		dist.NewNormal(1000, 50),
+		dist.NewLaplace(0, 3),
+		dist.NewUniform(-5, 5),
+		dist.NewPareto(1, 3),
+	}
+	for _, d := range families {
+		iqr := dist.IQROf(d)
+		data := dist.SampleN(d, rng, 4000)
+		fails := 0
+		const trials = 20
+		for trial := 0; trial < trials; trial++ {
+			ub, err := IQRUpperBound(rng, data, 1.0, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ub < iqr {
+				fails++
+			}
+		}
+		if fails > trials/4 {
+			t.Errorf("%s: upper bound below IQR in %d/%d trials", d.Name(), fails, trials)
+		}
+	}
+}
+
+func TestIQRUpperBoundNotVacuous(t *testing.T) {
+	// The bound should be within a reasonable factor for well-behaved P
+	// (the doubling grid alone costs 2x, the 7/8-vs-3/4 slack a bit more).
+	rng := xrand.New(6)
+	d := dist.NewNormal(0, 1)
+	iqr := dist.IQROf(d)
+	data := dist.SampleN(d, rng, 8000)
+	vals := make([]float64, 0, 20)
+	for trial := 0; trial < 20; trial++ {
+		ub, err := IQRUpperBound(rng, data, 1.0, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, ub)
+	}
+	med := trimmedMeanAbsErr(vals) // median of values (reuse helper)
+	if med > 30*iqr {
+		t.Errorf("upper bound %v is vacuous (IQR %v)", med, iqr)
+	}
+}
+
+func TestScaleBracketContainsIQR(t *testing.T) {
+	rng := xrand.New(7)
+	for _, d := range []dist.Distribution{
+		dist.NewNormal(0, 1),
+		dist.NewLaplace(10, 2),
+		dist.NewCauchy(0, 1),
+	} {
+		iqr := dist.IQROf(d)
+		data := dist.SampleN(d, rng, 8000)
+		ok := 0
+		const trials = 20
+		for trial := 0; trial < trials; trial++ {
+			br, err := EstimateScaleBracket(rng, data, 1.0, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if br.Lo > br.Hi {
+				t.Fatalf("malformed bracket [%v, %v]", br.Lo, br.Hi)
+			}
+			if br.Lo <= iqr && iqr <= br.Hi {
+				ok++
+			}
+		}
+		if ok < trials*3/4 {
+			t.Errorf("%s: bracket missed the IQR in %d/%d trials", d.Name(), trials-ok, trials)
+		}
+	}
+}
+
+func TestScaleBracketWellFormedProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		data := make([]float64, 200)
+		for i := range data {
+			data[i] = rng.Laplace(float64(1 + seed%100))
+		}
+		br, err := EstimateScaleBracket(rng, data, 1.0, 0.2)
+		return err == nil && br.Lo <= br.Hi && br.Lo > 0
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIQRUpperBoundErrors(t *testing.T) {
+	rng := xrand.New(8)
+	if _, err := IQRUpperBound(rng, []float64{1, 2, 3}, 1, 0.1); !errors.Is(err, ErrTooFewSamples) {
+		t.Error("too few")
+	}
+	if _, err := IQRUpperBound(rng, make([]float64, 10), -1, 0.1); err == nil {
+		t.Error("bad eps")
+	}
+	if _, err := IQRUpperBound(rng, make([]float64, 10), 1, 7); err == nil {
+		t.Error("bad beta")
+	}
+}
+
+// ---------- cross-cutting quick properties ----------
+
+func TestEstimatorsFiniteOnWildDataProperty(t *testing.T) {
+	// Whatever the (finite) input, the estimators return finite numbers
+	// or a typed error — never NaN/Inf and never a panic.
+	if err := quick.Check(func(seed uint64, scalePow uint8) bool {
+		rng := xrand.New(seed)
+		scale := math.Pow(2, float64(int(scalePow%80)-40))
+		data := make([]float64, 64)
+		for i := range data {
+			data[i] = rng.StudentT(2.1) * scale
+		}
+		m, err := EstimateMean(rng, data, 1.0, 0.2)
+		if err != nil {
+			return false
+		}
+		v, err := EstimateVariance(rng, data, 1.0, 0.2)
+		if err != nil {
+			return false
+		}
+		q, err := EstimateIQR(rng, data, 1.0, 0.2)
+		if err != nil {
+			return false
+		}
+		return !math.IsNaN(m) && !math.IsInf(m, 0) &&
+			!math.IsNaN(v) && !math.IsInf(v, 0) &&
+			!math.IsNaN(q) && !math.IsInf(q, 0)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedDeterminismProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		data := dist.SampleN(dist.NewNormal(0, 1), xrand.New(seed^0xABCD), 500)
+		a, err1 := EstimateMean(xrand.New(seed), data, 1.0, 0.2)
+		b, err2 := EstimateMean(xrand.New(seed), data, 1.0, 0.2)
+		return err1 == nil && err2 == nil && a == b
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/xrand"
+)
+
+// ---------- QuantileInterval ----------
+
+func TestQuantileIntervalCoverage(t *testing.T) {
+	// Distribution-free coverage: across repeated draws AND families, the
+	// released interval must contain F^{-1}(p) at least 1-beta of the time.
+	if testing.Short() {
+		t.Skip("coverage loop is slow")
+	}
+	rng := xrand.New(51)
+	families := []dist.Distribution{
+		dist.NewNormal(0, 1),
+		dist.NewNormal(1e6, 3),
+		dist.NewPareto(1, 2), // heavy tail, no variance assumptions used
+		dist.NewCauchy(0, 1), // no mean at all
+	}
+	const trials = 25
+	for _, d := range families {
+		for _, p := range []float64{0.25, 0.5, 0.9} {
+			target := d.Quantile(p)
+			misses := 0
+			for trial := 0; trial < trials; trial++ {
+				data := dist.SampleN(d, rng, 6000)
+				ci, err := QuantileInterval(rng, data, p, 1.0, 0.2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if target < ci.Lo || target > ci.Hi {
+					misses++
+				}
+			}
+			// beta = 0.2 permits ~5 misses in 25; allow 8 for test noise.
+			if misses > 8 {
+				t.Errorf("%s p=%v: %d/%d misses", d.Name(), p, misses, trials)
+			}
+		}
+	}
+}
+
+func TestQuantileIntervalShrinksWithN(t *testing.T) {
+	// Interval width must decrease as n grows.
+	rng := xrand.New(52)
+	d := dist.NewNormal(0, 1)
+	width := func(n int) float64 {
+		var total float64
+		const trials = 6
+		for trial := 0; trial < trials; trial++ {
+			data := dist.SampleN(d, rng, n)
+			ci, err := QuantileInterval(rng, data, 0.5, 1.0, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += ci.Hi - ci.Lo
+		}
+		return total / trials
+	}
+	small, large := width(1000), width(50000)
+	if large >= small {
+		t.Errorf("interval did not shrink: n=1000 width %v, n=50000 width %v", small, large)
+	}
+}
+
+func TestQuantileIntervalWellFormed(t *testing.T) {
+	rng := xrand.New(53)
+	data := dist.SampleN(dist.NewUniform(-3, 3), rng, 2500)
+	for trial := 0; trial < 20; trial++ {
+		ci, err := QuantileInterval(rng, data, 0.5, 1.0, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(ci.Lo <= ci.Hi) {
+			t.Fatalf("malformed interval [%v, %v]", ci.Lo, ci.Hi)
+		}
+		if ci.P != 0.5 {
+			t.Fatalf("P not propagated: %v", ci.P)
+		}
+	}
+}
+
+func TestQuantileIntervalErrors(t *testing.T) {
+	rng := xrand.New(54)
+	data := []float64{1, 2, 3, 4, 5}
+	if _, err := QuantileInterval(rng, data, 0, 1, 0.1); !errors.Is(err, ErrBadProbability) {
+		t.Errorf("p=0: want ErrBadProbability, got %v", err)
+	}
+	if _, err := QuantileInterval(rng, data, 1, 1, 0.1); !errors.Is(err, ErrBadProbability) {
+		t.Errorf("p=1: want ErrBadProbability, got %v", err)
+	}
+	if _, err := QuantileInterval(rng, []float64{1, 2}, 0.5, 1, 0.1); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("want ErrTooFewSamples, got %v", err)
+	}
+	if _, err := QuantileInterval(rng, data, 0.5, -1, 0.1); err == nil {
+		t.Error("bad epsilon accepted")
+	}
+	if _, err := QuantileInterval(rng, data, 0.5, 1, 0); err == nil {
+		t.Error("bad beta accepted")
+	}
+}
+
+// ---------- IQRInterval ----------
+
+func TestIQRIntervalCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage loop is slow")
+	}
+	rng := xrand.New(55)
+	for _, d := range []dist.Distribution{
+		dist.NewNormal(0, 1),
+		dist.NewLaplace(10, 2),
+	} {
+		iqr := dist.IQROf(d)
+		misses := 0
+		const trials = 20
+		for trial := 0; trial < trials; trial++ {
+			data := dist.SampleN(d, rng, 6000)
+			ci, err := IQRInterval(rng, data, 1.0, 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if iqr < ci.Lo || iqr > ci.Hi {
+				misses++
+			}
+		}
+		if misses > 7 {
+			t.Errorf("%s: IQR missed %d/%d times", d.Name(), misses, trials)
+		}
+	}
+}
+
+func TestIQRIntervalNonNegative(t *testing.T) {
+	rng := xrand.New(56)
+	data := dist.SampleN(dist.NewNormal(0, 0.01), rng, 4000)
+	for trial := 0; trial < 20; trial++ {
+		ci, err := IQRInterval(rng, data, 1.0, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ci.Lo < 0 || ci.Hi < ci.Lo {
+			t.Fatalf("malformed IQR interval [%v, %v]", ci.Lo, ci.Hi)
+		}
+	}
+}
+
+func TestQuantileIntervalInfeasibleSmallSample(t *testing.T) {
+	// A sample far below the rank-slack threshold must refuse with the
+	// typed error rather than release a vacuous interval.
+	rng := xrand.New(61)
+	data := dist.SampleN(dist.NewNormal(0, 1), rng, 200)
+	if _, err := QuantileInterval(rng, data, 0.9, 0.2, 0.1); !errors.Is(err, ErrIntervalInfeasible) {
+		t.Errorf("want ErrIntervalInfeasible, got %v", err)
+	}
+	// The IQR interval composes two quantile intervals and must propagate.
+	if _, err := IQRInterval(rng, data, 0.2, 0.1); !errors.Is(err, ErrIntervalInfeasible) {
+		t.Errorf("IQRInterval: want ErrIntervalInfeasible, got %v", err)
+	}
+}
+
+// ---------- MeanInterval ----------
+
+func TestMeanIntervalCoversTruncatedMean(t *testing.T) {
+	// The CI's coverage target is E[clip(X, R̃)]; for a light-tailed
+	// distribution with all mass inside the learned range this coincides
+	// with mu, so the interval should contain mu nearly always.
+	if testing.Short() {
+		t.Skip("coverage loop is slow")
+	}
+	rng := xrand.New(57)
+	d := dist.NewNormal(42, 3)
+	misses := 0
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		data := dist.SampleN(d, rng, 5000)
+		ci, err := MeanInterval(rng, data, 1.0, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if 42 < ci.Lo || 42 > ci.Hi {
+			misses++
+		}
+	}
+	if misses > 8 {
+		t.Errorf("mean CI missed mu %d/%d times", misses, trials)
+	}
+}
+
+func TestMeanIntervalStructure(t *testing.T) {
+	rng := xrand.New(58)
+	data := dist.SampleN(dist.NewNormal(0, 1), rng, 2000)
+	ci, err := MeanInterval(rng, data, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ci.Lo <= ci.Estimate && ci.Estimate <= ci.Hi) {
+		t.Errorf("estimate %v outside its own interval [%v, %v]", ci.Estimate, ci.Lo, ci.Hi)
+	}
+	if ci.NoiseSlack <= 0 || ci.SamplingSlack <= 0 {
+		t.Errorf("slacks must be positive: noise %v sampling %v", ci.NoiseSlack, ci.SamplingSlack)
+	}
+	if got, want := ci.Hi-ci.Lo, 2*(ci.NoiseSlack+ci.SamplingSlack); math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("width %v inconsistent with slacks %v", got, want)
+	}
+	if !(ci.ClipLo < ci.ClipHi) {
+		t.Errorf("clip range malformed [%v, %v]", ci.ClipLo, ci.ClipHi)
+	}
+}
+
+func TestMeanIntervalWidthShrinksWithEps(t *testing.T) {
+	// Width at eps=2 should be smaller than at eps=0.1 on the same data.
+	rng := xrand.New(59)
+	data := dist.SampleN(dist.NewNormal(0, 1), rng, 5000)
+	width := func(eps float64) float64 {
+		var total float64
+		const trials = 6
+		for trial := 0; trial < trials; trial++ {
+			ci, err := MeanInterval(rng, data, eps, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += ci.Hi - ci.Lo
+		}
+		return total / trials
+	}
+	if wLow, wHigh := width(0.1), width(2.0); wHigh >= wLow {
+		t.Errorf("CI width did not shrink with eps: eps=0.1 %v, eps=2 %v", wLow, wHigh)
+	}
+}
+
+func TestMeanIntervalErrors(t *testing.T) {
+	rng := xrand.New(60)
+	if _, err := MeanInterval(rng, []float64{1, 2}, 1, 0.1); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("want ErrTooFewSamples, got %v", err)
+	}
+	if _, err := MeanInterval(rng, []float64{1, 2, 3, 4, 5}, 1, 7); err == nil {
+		t.Error("bad beta accepted")
+	}
+}

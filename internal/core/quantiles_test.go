@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/xrand"
+)
+
+// ---------- EstimateQuantiles / EstimateQuantilesProb ----------
+
+func TestEstimateQuantilesGaussian(t *testing.T) {
+	// Released deciles of a large Gaussian sample should be near the true
+	// quantiles.
+	rng := xrand.New(31)
+	d := dist.NewNormal(10, 2)
+	data := dist.SampleN(d, rng, 20000)
+	ps := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+	var worst float64
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		qs, err := EstimateQuantilesProb(rng, data, ps, 1.0, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range ps {
+			if e := math.Abs(qs[i] - d.Quantile(p)); e > worst {
+				worst = e
+			}
+		}
+	}
+	if worst > 1.0 { // half a sigma; generous but non-vacuous
+		t.Errorf("worst decile error %v too large", worst)
+	}
+}
+
+func TestEstimateQuantilesMonotone(t *testing.T) {
+	rng := xrand.New(32)
+	data := dist.SampleN(dist.NewPareto(1, 2), rng, 5000)
+	ps := []float64{0.9, 0.1, 0.5, 0.99, 0.25}
+	for trial := 0; trial < 10; trial++ {
+		qs, err := EstimateQuantilesProb(rng, data, ps, 1.0, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ps {
+			for j := range ps {
+				if ps[i] < ps[j] && qs[i] > qs[j]+1e-12 {
+					t.Fatalf("monotonicity violated: p=%v -> %v, p=%v -> %v",
+						ps[i], qs[i], ps[j], qs[j])
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateQuantilesSharedRangeBeatsSplitBudget(t *testing.T) {
+	// The point of the shared-range mechanism: releasing k quantiles
+	// together should not be much worse than a single release, while k
+	// independent calls at eps/k each degrade markedly. We compare mean
+	// absolute error across the deciles.
+	rng := xrand.New(33)
+	d := dist.NewNormal(0, 1)
+	data := dist.SampleN(d, rng, 8000)
+	ps := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	k := float64(len(ps))
+	const trials = 12
+	var errShared, errSplit float64
+	for trial := 0; trial < trials; trial++ {
+		qs, err := EstimateQuantilesProb(rng, data, ps, 0.4, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range ps {
+			errShared += math.Abs(qs[i] - d.Quantile(p))
+		}
+		for _, p := range ps {
+			tau := int(math.Ceil(p * float64(len(data))))
+			q, err := EstimateQuantile(rng, data, tau, 0.4/k, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errSplit += math.Abs(q - d.Quantile(p))
+		}
+	}
+	if errShared > errSplit {
+		t.Errorf("shared-range quantiles (%v) should beat split-budget calls (%v)",
+			errShared, errSplit)
+	}
+}
+
+func TestEstimateQuantilesErrors(t *testing.T) {
+	rng := xrand.New(34)
+	data := []float64{1, 2, 3, 4, 5}
+	if _, err := EstimateQuantiles(rng, data, nil, 1, 0.1); !errors.Is(err, ErrNoQuantiles) {
+		t.Errorf("want ErrNoQuantiles, got %v", err)
+	}
+	if _, err := EstimateQuantiles(rng, []float64{1, 2}, []int{1}, 1, 0.1); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("want ErrTooFewSamples, got %v", err)
+	}
+	if _, err := EstimateQuantilesProb(rng, data, []float64{0}, 1, 0.1); !errors.Is(err, ErrBadProbability) {
+		t.Errorf("p=0: want ErrBadProbability, got %v", err)
+	}
+	if _, err := EstimateQuantilesProb(rng, data, []float64{1}, 1, 0.1); !errors.Is(err, ErrBadProbability) {
+		t.Errorf("p=1: want ErrBadProbability, got %v", err)
+	}
+	if _, err := EstimateQuantilesProb(rng, data, nil, 1, 0.1); !errors.Is(err, ErrNoQuantiles) {
+		t.Errorf("want ErrNoQuantiles, got %v", err)
+	}
+}
+
+func TestEstimateQuantilesProbRankMapping(t *testing.T) {
+	// Extreme probabilities map to valid clamped ranks and still release.
+	rng := xrand.New(35)
+	data := dist.SampleN(dist.NewNormal(0, 1), rng, 100)
+	qs, err := EstimateQuantilesProb(rng, data, []float64{0.0001, 0.9999}, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[0] > qs[1] {
+		t.Errorf("extreme-probability release malformed: %v", qs)
+	}
+}
+
+// ---------- TrimmedMean ----------
+
+func TestTrimmedMeanGaussian(t *testing.T) {
+	// On symmetric data the trimmed mean estimates the mean.
+	rng := xrand.New(36)
+	d := dist.NewNormal(5, 2)
+	data := dist.SampleN(d, rng, 20000)
+	var errSum float64
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		m, err := TrimmedMean(rng, data, 0.1, 1.0, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errSum += math.Abs(m - 5)
+	}
+	if errSum/trials > 0.5 {
+		t.Errorf("trimmed mean error %v too large", errSum/trials)
+	}
+}
+
+func TestTrimmedMeanRobustToContamination(t *testing.T) {
+	// 5% gross outliers at +10^9 should barely move a 10%-trimmed mean,
+	// while they shift the raw sample mean by ~5x10^7.
+	rng := xrand.New(37)
+	data := dist.SampleN(dist.NewNormal(0, 1), rng, 10000)
+	for i := 0; i < len(data)/20; i++ {
+		data[i] = 1e9
+	}
+	m, err := TrimmedMean(rng, data, 0.1, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m) > 10 {
+		t.Errorf("trimmed mean not robust: got %v, want ~0", m)
+	}
+}
+
+func TestTrimmedMeanZeroTrimStillPrivateAndFinite(t *testing.T) {
+	rng := xrand.New(38)
+	data := dist.SampleN(dist.NewPareto(1, 3), rng, 5000)
+	m, err := TrimmedMean(rng, data, 0, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(m) || math.IsInf(m, 0) {
+		t.Errorf("zero-trim release not finite: %v", m)
+	}
+}
+
+func TestTrimmedMeanMatchesNonPrivateTrim(t *testing.T) {
+	// Compare against the non-private trimmed mean on the same data.
+	rng := xrand.New(39)
+	data := dist.SampleN(dist.NewStudentT(3), rng, 20000)
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	lo, hi := len(sorted)/10, len(sorted)-len(sorted)/10
+	var sum float64
+	for _, v := range sorted[lo:hi] {
+		sum += v
+	}
+	nonPriv := sum / float64(hi-lo)
+
+	m, err := TrimmedMean(rng, data, 0.1, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-nonPriv) > 0.5 {
+		t.Errorf("private trimmed mean %v vs non-private %v", m, nonPriv)
+	}
+}
+
+func TestTrimmedMeanErrors(t *testing.T) {
+	rng := xrand.New(40)
+	data := []float64{1, 2, 3, 4, 5}
+	if _, err := TrimmedMean(rng, data, 0.5, 1, 0.1); !errors.Is(err, ErrBadTrim) {
+		t.Errorf("trim=0.5: want ErrBadTrim, got %v", err)
+	}
+	if _, err := TrimmedMean(rng, data, -0.1, 1, 0.1); !errors.Is(err, ErrBadTrim) {
+		t.Errorf("trim<0: want ErrBadTrim, got %v", err)
+	}
+	if _, err := TrimmedMean(rng, []float64{1}, 0.1, 1, 0.1); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("want ErrTooFewSamples, got %v", err)
+	}
+}

@@ -1,0 +1,63 @@
+package dp
+
+import (
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// ClippedMean releases mean(Clip(D, [lo, hi])) + Lap((hi-lo)/(eps·n)), the
+// eps-DP clipped mean estimator of §2.6. It returns an error for empty data
+// or an inverted range.
+func ClippedMean(rng *xrand.RNG, data []float64, lo, hi, eps float64) (float64, error) {
+	if err := CheckEpsilon(eps); err != nil {
+		return 0, err
+	}
+	if len(data) == 0 {
+		return 0, ErrEmptyData
+	}
+	if lo > hi {
+		return 0, ErrEmptyDomain
+	}
+	n := float64(len(data))
+	var sum, comp float64
+	for _, x := range data {
+		v := x
+		if v < lo {
+			v = lo
+		} else if v > hi {
+			v = hi
+		}
+		t := sum + v
+		if math.Abs(sum) >= math.Abs(v) {
+			comp += (sum - t) + v
+		} else {
+			comp += (v - t) + sum
+		}
+		sum = t
+	}
+	mean := (sum + comp) / n
+	return mean + rng.Laplace((hi-lo)/(eps*n)), nil
+}
+
+// ReportNoisyMax returns the index of the maximum of values after adding
+// independent Lap(2·sensitivity/eps) noise to each. For histogram counts
+// (sensitivity 1 per bin under a one-record change) the release is eps-DP.
+// Used by the KV18-style baselines.
+func ReportNoisyMax(rng *xrand.RNG, values []float64, sensitivity, eps float64) int {
+	best := -1
+	bestV := math.Inf(-1)
+	for i, v := range values {
+		nv := v + rng.Laplace(2*sensitivity/eps)
+		if nv > bestV {
+			bestV = nv
+			best = i
+		}
+	}
+	return best
+}
+
+// NoisyCount releases count + Lap(1/eps) for a sensitivity-1 count.
+func NoisyCount(rng *xrand.RNG, count int, eps float64) float64 {
+	return float64(count) + rng.Laplace(1/eps)
+}

@@ -1,0 +1,222 @@
+package dp
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// rankErr computes the rank error of release y against target rank tau in
+// sorted data: how many data elements lie strictly between X_tau and y.
+func rankErr(sorted []int64, tau int, y int64) int {
+	n := len(sorted)
+	if tau < 1 {
+		tau = 1
+	}
+	if tau > n {
+		tau = n
+	}
+	target := sorted[tau-1]
+	lo, hi := target, y
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	cnt := 0
+	for _, v := range sorted {
+		if v > lo && v < hi {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func TestQuantileRankError(t *testing.T) {
+	rng := xrand.New(1)
+	n := 2000
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(rng.Intn(100000)) - 50000
+	}
+	sorted := append([]int64(nil), data...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	const eps, beta = 1.0, 0.1
+	bound := QuantileRankSlack(100001, eps, beta)
+	fails := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		tau := n / 2
+		y, err := FiniteDomainQuantile(rng, data, tau, -50000, 50000, eps, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow the clamp slack (2/eps log) on top of the sampling slack.
+		if float64(rankErr(sorted, tau, y)) > 2*bound {
+			fails++
+		}
+	}
+	if float64(fails) > beta*float64(trials)*2+5 {
+		t.Errorf("rank error exceeded bound in %d/%d trials", fails, trials)
+	}
+}
+
+func TestQuantileMedianOfConcentratedData(t *testing.T) {
+	// All mass at one point: the mechanism must return (near) that point
+	// even over a huge domain.
+	rng := xrand.New(2)
+	data := make([]int64, 500)
+	for i := range data {
+		data[i] = 77
+	}
+	const B = int64(1) << 40
+	hits := 0
+	for trial := 0; trial < 100; trial++ {
+		y, err := FiniteDomainQuantile(rng, data, 250, -B, B, 1.0, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y == 77 {
+			hits++
+		}
+	}
+	if hits < 90 {
+		t.Errorf("concentrated median found only %d/100 times", hits)
+	}
+}
+
+func TestQuantileWithinDomain(t *testing.T) {
+	rng := xrand.New(3)
+	if err := quick.Check(func(seed uint64, tauRaw uint8) bool {
+		rr := xrand.New(seed)
+		n := 50
+		data := make([]int64, n)
+		for i := range data {
+			data[i] = int64(rr.Intn(2000)) - 1000
+		}
+		tau := int(tauRaw)%n + 1
+		y, err := FiniteDomainQuantile(rr, data, tau, -1000, 1000, 0.5, 0.2)
+		return err == nil && y >= -1000 && y <= 1000
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	_ = rng
+}
+
+func TestQuantileClipsOutOfDomainData(t *testing.T) {
+	rng := xrand.New(4)
+	data := []int64{-5000, 0, 5000, 1, 2, 3, -1, -2, -3, 4}
+	y, err := FiniteDomainQuantile(rng, data, 5, -10, 10, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y < -10 || y > 10 {
+		t.Errorf("release %d outside domain", y)
+	}
+}
+
+func TestQuantileExtremeRanksClamped(t *testing.T) {
+	// tau=1 and tau=n over a big domain should not return garbage far from
+	// the data (Algorithm 2's clamp prevents the unbounded-error corner).
+	rng := xrand.New(5)
+	n := 5000
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i) // 0..4999
+	}
+	const B = int64(1) << 30
+	for _, tau := range []int{1, n} {
+		for trial := 0; trial < 20; trial++ {
+			y, err := FiniteDomainQuantile(rng, data, tau, -B, B, 1.0, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if y < -1000 || y > int64(n)+1000 {
+				t.Errorf("tau=%d: release %d far outside data range", tau, y)
+			}
+		}
+	}
+}
+
+func TestQuantileHugeDomainUniformTieBreak(t *testing.T) {
+	// Two values, median between them: releases should fall in [a, b] and
+	// spread over the gap (the zero-score segment).
+	rng := xrand.New(6)
+	data := []int64{100, 200}
+	seen := map[int64]bool{}
+	for trial := 0; trial < 300; trial++ {
+		y, err := FiniteDomainQuantile(rng, data, 1, -1_000_000, 1_000_000, 2.0, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[y] = true
+	}
+	distinct := len(seen)
+	if distinct < 10 {
+		t.Errorf("only %d distinct releases; gap should be sampled uniformly", distinct)
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	rng := xrand.New(7)
+	if _, err := FiniteDomainQuantile(rng, nil, 1, 0, 10, 1, 0.1); !errors.Is(err, ErrEmptyData) {
+		t.Error("empty data")
+	}
+	if _, err := FiniteDomainQuantile(rng, []int64{1}, 1, 10, 0, 1, 0.1); !errors.Is(err, ErrEmptyDomain) {
+		t.Error("inverted domain")
+	}
+	if _, err := FiniteDomainQuantile(rng, []int64{1}, 1, 0, 10, -1, 0.1); err == nil {
+		t.Error("bad eps")
+	}
+	if _, err := FiniteDomainQuantile(rng, []int64{1}, 1, 0, 10, 1, 2); err == nil {
+		t.Error("bad beta")
+	}
+}
+
+func TestQuantileSingletonDomain(t *testing.T) {
+	rng := xrand.New(8)
+	y, err := FiniteDomainQuantile(rng, []int64{5, 5, 5}, 2, 5, 5, 1, 0.1)
+	if err != nil || y != 5 {
+		t.Errorf("singleton domain: y=%d err=%v", y, err)
+	}
+}
+
+func TestQuantileFullInt64SpanDomain(t *testing.T) {
+	// Domain [-2^61, 2^61]: the segment arithmetic must not overflow.
+	rng := xrand.New(9)
+	const B = int64(1) << 61
+	data := []int64{-3, 0, 3, 1, -1, 2, -2, 0, 1, -1}
+	y, err := FiniteDomainQuantile(rng, data, 5, -B, B, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y < -B || y > B {
+		t.Errorf("out of domain: %d", y)
+	}
+}
+
+func TestQuantileDistributionSkewedToCorrectSide(t *testing.T) {
+	// Rank 3n/4 should land above rank n/4 essentially always.
+	rng := xrand.New(10)
+	n := 1000
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(rng.Intn(10000))
+	}
+	wins := 0
+	for trial := 0; trial < 100; trial++ {
+		q1, err1 := FiniteDomainQuantile(rng, data, n/4, 0, 10000, 1.0, 0.1)
+		q3, err2 := FiniteDomainQuantile(rng, data, 3*n/4, 0, 10000, 1.0, 0.1)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if q3 > q1 {
+			wins++
+		}
+	}
+	if wins < 95 {
+		t.Errorf("q3 > q1 in only %d/100 trials", wins)
+	}
+}

@@ -1,0 +1,50 @@
+package dp
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// ErrSVTNoStop reports that the sparse vector technique exhausted its query
+// sequence (or iteration cap) without crossing the threshold.
+var ErrSVTNoStop = errors.New("dp: SVT did not stop within the query sequence")
+
+// QuerySeq produces the i-th query answer (1-based) of a possibly infinite
+// sequence of sensitivity-1 queries. ok=false ends the sequence.
+type QuerySeq func(i int) (value float64, ok bool)
+
+// SVT is the sparse vector technique, Algorithm 1 verbatim: the threshold is
+// perturbed once with Lap(2/eps), every query with Lap(4/eps), and the index
+// of the first query whose noisy value exceeds the noisy threshold is
+// returned (1-based). The whole run satisfies eps-DP regardless of the
+// number of queries consumed.
+//
+// maxQueries caps the number of queries evaluated; it must be a
+// data-independent constant to keep the mechanism's output domain
+// data-independent (callers in this repository derive it from the domain's
+// bit width, never from the data).
+func SVT(rng *xrand.RNG, threshold, eps float64, queries QuerySeq, maxQueries int) (int, error) {
+	if err := CheckEpsilon(eps); err != nil {
+		return 0, err
+	}
+	noisyT := threshold + rng.Laplace(2/eps)
+	for i := 1; maxQueries <= 0 || i <= maxQueries; i++ {
+		q, ok := queries(i)
+		if !ok {
+			return 0, ErrSVTNoStop
+		}
+		if q+rng.Laplace(4/eps) > noisyT {
+			return i, nil
+		}
+	}
+	return 0, ErrSVTNoStop
+}
+
+// SVTLemma26Slack returns the 6/eps·log(2/beta) slack of Lemma 2.6: if some
+// query reaches threshold+slack, SVT stops by that query with probability
+// >= 1-beta. Algorithms 3 and 7 subtract it from their thresholds.
+func SVTLemma26Slack(eps, beta float64) float64 {
+	return 6 / eps * math.Log(2/beta)
+}

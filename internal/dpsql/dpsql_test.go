@@ -1,0 +1,446 @@
+package dpsql
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// ---------- Value ----------
+
+func TestValueString(t *testing.T) {
+	if Float(1.5).String() != "1.5" {
+		t.Error("float")
+	}
+	if Int(42).String() != "42" {
+		t.Error("int")
+	}
+	if Str("x").String() != "x" {
+		t.Error("string")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if c, err := Float(1).Compare(Float(2)); err != nil || c != -1 {
+		t.Error("numeric compare")
+	}
+	if c, err := Int(3).Compare(Float(3)); err != nil || c != 0 {
+		t.Error("int/float compare")
+	}
+	if c, err := Str("a").Compare(Str("b")); err != nil || c != -1 {
+		t.Error("string compare")
+	}
+	if _, err := Str("a").Compare(Float(1)); err == nil {
+		t.Error("mixed compare should fail")
+	}
+}
+
+// ---------- Schema ----------
+
+func newSalaryDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	tbl, err := db.Create("salaries", []Column{
+		{Name: "user_id", Kind: KindString},
+		{Name: "dept", Kind: KindString},
+		{Name: "salary", Kind: KindFloat},
+	}, "user_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(42)
+	for u := 0; u < 2000; u++ {
+		dept := "eng"
+		base := 100000.0
+		if u%3 == 0 {
+			dept = "sales"
+			base = 70000
+		}
+		// 1-3 salary rows per user (e.g. multiple pay periods).
+		rows := 1 + u%3
+		for r := 0; r < rows; r++ {
+			sal := base + 5000*rng.Gaussian()
+			if err := tbl.Insert(Str(fmt.Sprintf("u%d", u)), Str(dept), Float(sal)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+func TestSchemaErrors(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Create("t", nil, "u"); !errors.Is(err, ErrSchema) {
+		t.Error("empty schema")
+	}
+	if _, err := db.Create("t", []Column{{"a", KindFloat}}, "missing"); !errors.Is(err, ErrSchema) {
+		t.Error("missing user col")
+	}
+	if _, err := db.Create("t", []Column{{"a", KindFloat}, {"A", KindInt}}, "a"); !errors.Is(err, ErrSchema) {
+		t.Error("duplicate column (case-insensitive)")
+	}
+	if _, err := db.Create("ok", []Column{{"u", KindString}}, "u"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Create("OK", []Column{{"u", KindString}}, "u"); !errors.Is(err, ErrSchema) {
+		t.Error("duplicate table")
+	}
+	if _, err := db.TableByName("nope"); !errors.Is(err, ErrNoTable) {
+		t.Error("unknown table")
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	db := NewDB()
+	tbl, err := db.Create("t", []Column{{"u", KindString}, {"x", KindFloat}, {"k", KindInt}}, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(Str("a"), Float(1.5), Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(Str("a"), Int(3), Int(2)); err != nil {
+		t.Errorf("int into float column should coerce: %v", err)
+	}
+	if err := tbl.Insert(Str("a"), Float(1), Float(2.5)); err == nil {
+		t.Error("non-integral float into int column should fail")
+	}
+	if err := tbl.Insert(Str("a"), Str("x"), Int(1)); err == nil {
+		t.Error("string into float column should fail")
+	}
+	if err := tbl.Insert(Str("a")); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+// ---------- Lexer / Parser ----------
+
+func TestParseBasic(t *testing.T) {
+	q, err := Parse("SELECT AVG(salary) FROM salaries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Aggs) != 1 || q.Aggs[0].Kind != AggAvg || q.Aggs[0].Col != "salary" ||
+		q.Table != "salaries" || q.Where != nil || q.GroupBy != "" {
+		t.Errorf("parsed %+v", q)
+	}
+}
+
+func TestParseMultiAggregate(t *testing.T) {
+	q, err := Parse("SELECT COUNT(*), AVG(salary), P75(salary) FROM salaries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Aggs) != 3 {
+		t.Fatalf("aggs = %d", len(q.Aggs))
+	}
+	if q.Aggs[0].Kind != AggCount || q.Aggs[1].Kind != AggAvg || q.Aggs[2].Kind != AggP75 {
+		t.Errorf("parsed %+v", q.Aggs)
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	q, err := Parse("select sum(salary) from salaries where dept = 'eng' and salary > 50000.5 group by dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Aggs[0].Kind != AggSum || q.GroupBy != "dept" || q.Where == nil {
+		t.Errorf("parsed %+v", q)
+	}
+	bin, ok := q.Where.(*BinExpr)
+	if !ok || bin.Op != "and" {
+		t.Fatalf("where = %#v", q.Where)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	q, err := Parse("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Aggs[0].Kind != AggCount || q.Aggs[0].Col != "" {
+		t.Errorf("parsed %+v", q)
+	}
+	if _, err := Parse("SELECT SUM(*) FROM t"); err == nil {
+		t.Error("SUM(*) should fail")
+	}
+}
+
+func TestParsePrecedenceAndParens(t *testing.T) {
+	q, err := Parse("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OR is the root: a=1 OR (b=2 AND c=3).
+	root, ok := q.Where.(*BinExpr)
+	if !ok || root.Op != "or" {
+		t.Fatalf("root = %#v", q.Where)
+	}
+	if inner, ok := root.Right.(*BinExpr); !ok || inner.Op != "and" {
+		t.Fatalf("right = %#v", root.Right)
+	}
+	q2, err := Parse("SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2) AND NOT c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root2, ok := q2.Where.(*BinExpr); !ok || root2.Op != "and" {
+		t.Fatalf("paren grouping failed: %#v", q2.Where)
+	}
+}
+
+func TestParseStringsAndEscapes(t *testing.T) {
+	q, err := Parse("SELECT COUNT(*) FROM t WHERE name = 'O''Brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := q.Where.(*CmpExpr)
+	if cmp.Lit.S != "O'Brien" {
+		t.Errorf("escape: %q", cmp.Lit.S)
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	for _, lit := range []string{"-5", "3.25", "1e3", "-2.5E-2"} {
+		q, err := Parse("SELECT COUNT(*) FROM t WHERE x = " + lit)
+		if err != nil {
+			t.Fatalf("%s: %v", lit, err)
+		}
+		if q.Where.(*CmpExpr).Lit.Kind != KindFloat {
+			t.Errorf("%s: wrong kind", lit)
+		}
+	}
+}
+
+func TestParseSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT BOGUS(x) FROM t",
+		"SELECT AVG(x FROM t",
+		"SELECT AVG(x) FROM",
+		"SELECT AVG(x) FROM t WHERE",
+		"SELECT AVG(x) FROM t WHERE x",
+		"SELECT AVG(x) FROM t WHERE x =",
+		"SELECT AVG(x) FROM t WHERE x = 'unterminated",
+		"SELECT AVG(x) FROM t GROUP",
+		"SELECT AVG(x) FROM t GROUP BY",
+		"SELECT AVG(x) FROM t trailing garbage",
+		"SELECT AVG(x) FROM t WHERE x ! 3",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("%q should not parse", sql)
+		}
+	}
+}
+
+// ---------- Execution ----------
+
+func TestExecAvg(t *testing.T) {
+	db := newSalaryDB(t)
+	rng := xrand.New(1)
+	res, err := db.Exec(rng, "SELECT AVG(salary) FROM salaries WHERE dept = 'eng'", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if got := res.Rows[0].Value; math.Abs(got-100000) > 3000 {
+		t.Errorf("AVG = %v, want ~100000", got)
+	}
+}
+
+func TestExecSum(t *testing.T) {
+	db := newSalaryDB(t)
+	rng := xrand.New(2)
+	tbl, _ := db.TableByName("salaries")
+	// True total over all rows.
+	var trueSum float64
+	for _, row := range tbl.rows {
+		trueSum += row[2].F
+	}
+	res, err := db.Exec(rng, "SELECT SUM(salary) FROM salaries", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Rows[0].Value
+	if math.Abs(got-trueSum)/trueSum > 0.05 {
+		t.Errorf("SUM = %v, want ~%v", got, trueSum)
+	}
+}
+
+func TestExecCountUsers(t *testing.T) {
+	db := newSalaryDB(t)
+	rng := xrand.New(3)
+	res, err := db.Exec(rng, "SELECT COUNT(*) FROM salaries", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2000 distinct users.
+	if got := res.Rows[0].Value; math.Abs(got-2000) > 20 {
+		t.Errorf("COUNT = %v, want ~2000 users", got)
+	}
+}
+
+func TestExecGroupBy(t *testing.T) {
+	db := newSalaryDB(t)
+	rng := xrand.New(4)
+	res, err := db.Exec(rng, "SELECT AVG(salary) FROM salaries GROUP BY dept", 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d, want 2", len(res.Rows))
+	}
+	byKey := map[string]float64{}
+	for _, r := range res.Rows {
+		if !r.HasGroup {
+			t.Error("missing group key")
+		}
+		byKey[r.Group.String()] = r.Value
+	}
+	if math.Abs(byKey["eng"]-100000) > 5000 {
+		t.Errorf("eng avg = %v", byKey["eng"])
+	}
+	if math.Abs(byKey["sales"]-70000) > 5000 {
+		t.Errorf("sales avg = %v", byKey["sales"])
+	}
+}
+
+func TestExecMedianAndQuartiles(t *testing.T) {
+	db := newSalaryDB(t)
+	rng := xrand.New(5)
+	med, err := db.Exec(rng, "SELECT MEDIAN(salary) FROM salaries WHERE dept = 'eng'", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p25, err := db.Exec(rng, "SELECT P25(salary) FROM salaries WHERE dept = 'eng'", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p75, err := db.Exec(rng, "SELECT P75(salary) FROM salaries WHERE dept = 'eng'", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p25.Rows[0].Value < med.Rows[0].Value && med.Rows[0].Value < p75.Rows[0].Value) {
+		t.Errorf("quartile ordering violated: %v %v %v",
+			p25.Rows[0].Value, med.Rows[0].Value, p75.Rows[0].Value)
+	}
+	if math.Abs(med.Rows[0].Value-100000) > 3000 {
+		t.Errorf("median = %v", med.Rows[0].Value)
+	}
+}
+
+func TestExecVarStdDev(t *testing.T) {
+	db := newSalaryDB(t)
+	rng := xrand.New(6)
+	sd, err := db.Exec(rng, "SELECT STDDEV(salary) FROM salaries WHERE dept = 'eng'", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-user means of 1-3 draws of N(100000, 5000^2): std between
+	// ~2900 and 5000.
+	got := sd.Rows[0].Value
+	if got < 1500 || got > 8000 {
+		t.Errorf("STDDEV = %v, want within [1500, 8000]", got)
+	}
+}
+
+func TestExecEmptyResult(t *testing.T) {
+	db := newSalaryDB(t)
+	rng := xrand.New(7)
+	res, err := db.Exec(rng, "SELECT AVG(salary) FROM salaries WHERE dept = 'hr'", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("expected empty result, got %d rows", len(res.Rows))
+	}
+}
+
+func TestExecTooFewUsers(t *testing.T) {
+	db := NewDB()
+	tbl, _ := db.Create("t", []Column{{"u", KindString}, {"x", KindFloat}}, "u")
+	for i := 0; i < 3; i++ {
+		_ = tbl.Insert(Str(fmt.Sprintf("u%d", i)), Float(1))
+	}
+	rng := xrand.New(8)
+	if _, err := db.Exec(rng, "SELECT AVG(x) FROM t", 1.0); !errors.Is(err, ErrTooFewUsers) {
+		t.Errorf("want ErrTooFewUsers, got %v", err)
+	}
+	// COUNT still works with few users.
+	if _, err := db.Exec(rng, "SELECT COUNT(*) FROM t", 1.0); err != nil {
+		t.Errorf("COUNT should work: %v", err)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	db := newSalaryDB(t)
+	rng := xrand.New(9)
+	if _, err := db.Exec(rng, "SELECT AVG(salary) FROM missing", 1.0); !errors.Is(err, ErrNoTable) {
+		t.Error("missing table")
+	}
+	if _, err := db.Exec(rng, "SELECT AVG(bogus) FROM salaries", 1.0); !errors.Is(err, ErrNoColumn) {
+		t.Error("missing column")
+	}
+	if _, err := db.Exec(rng, "SELECT AVG(dept) FROM salaries", 1.0); !errors.Is(err, ErrNotNumeric) {
+		t.Error("string aggregate")
+	}
+	if _, err := db.Exec(rng, "SELECT AVG(salary) FROM salaries", -1); err == nil {
+		t.Error("bad eps")
+	}
+	if _, err := db.Exec(rng, "garbage", 1.0); !errors.Is(err, ErrSyntax) {
+		t.Error("syntax error")
+	}
+	// WHERE comparing string column to number fails at eval time.
+	if _, err := db.Exec(rng, "SELECT COUNT(*) FROM salaries WHERE dept = 5", 1.0); err == nil {
+		t.Error("type mismatch in predicate")
+	}
+}
+
+func TestBudgetEnforcement(t *testing.T) {
+	db := newSalaryDB(t)
+	if err := db.SetBudget(1.5); err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(10)
+	if _, err := db.Exec(rng, "SELECT COUNT(*) FROM salaries", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(rng, "SELECT COUNT(*) FROM salaries", 1.0); err == nil {
+		t.Error("second query should exhaust the budget")
+	}
+	if r := db.Remaining(); math.Abs(r-0.5) > 1e-9 {
+		t.Errorf("remaining = %v, want 0.5", r)
+	}
+	if _, err := db.Exec(rng, "SELECT COUNT(*) FROM salaries", 0.5); err != nil {
+		t.Errorf("exact-fit query should pass: %v", err)
+	}
+}
+
+func TestNoBudgetIsUnlimited(t *testing.T) {
+	db := newSalaryDB(t)
+	if !math.IsInf(db.Remaining(), 1) {
+		t.Error("no budget should report +Inf remaining")
+	}
+}
+
+func TestExecDeterministicGivenSeed(t *testing.T) {
+	db := newSalaryDB(t)
+	run := func() float64 {
+		rng := xrand.New(77)
+		res, err := db.Exec(rng, "SELECT AVG(salary) FROM salaries", 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0].Value
+	}
+	if run() != run() {
+		t.Error("query results are not reproducible for a fixed seed")
+	}
+}

@@ -1,0 +1,308 @@
+package dpsql
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/empirical"
+	"repro/internal/xrand"
+)
+
+// Execution errors.
+var (
+	// ErrTooFewUsers reports a group with fewer users than the universal
+	// estimators require.
+	ErrTooFewUsers = errors.New("dpsql: group has too few users (need >= 4)")
+	// ErrNotNumeric reports aggregation over a non-numeric column.
+	ErrNotNumeric = errors.New("dpsql: aggregate column must be numeric")
+)
+
+// ResultRow is one released result row (per group when GROUP BY is
+// present). Values holds one release per aggregate in the SELECT list;
+// Value mirrors Values[0] for the common single-aggregate case.
+type ResultRow struct {
+	Group    Value // group key (zero Value when the query has no GROUP BY)
+	HasGroup bool
+	Value    float64
+	Values   []float64
+}
+
+// Result is a released query answer.
+type Result struct {
+	Query    *Query
+	Rows     []ResultRow
+	EpsSpent float64
+}
+
+// SetBudget installs a total privacy budget enforced across Exec calls
+// (basic composition, Lemma 2.2). A nil-budget DB never refuses queries.
+func (db *DB) SetBudget(totalEps float64) error {
+	acct, err := dp.NewAccountant(totalEps)
+	if err != nil {
+		return err
+	}
+	db.acct = acct
+	return nil
+}
+
+// Remaining reports the unspent budget; +Inf when no budget is set.
+func (db *DB) Remaining() float64 {
+	if db.acct == nil {
+		return math.Inf(1)
+	}
+	return db.acct.Remaining()
+}
+
+// Exec parses and answers sql under user-level eps-DP.
+//
+// Privacy semantics: the privacy unit is one user (the table's user
+// column); neighboring databases replace all rows of one user. Row sets are
+// first collapsed to one contribution per user (sum for SUM, mean for the
+// location aggregates), then released through the repository's universal
+// estimators, which need no bound on per-user contributions — the §1.1.1
+// (DFY+22) application. GROUP BY keys are released as-is and must be public
+// categories; the budget is split evenly across groups because one user may
+// appear in several groups.
+func (db *DB) Exec(rng *xrand.RNG, sql string, eps float64) (*Result, error) {
+	if err := dp.CheckEpsilon(eps); err != nil {
+		return nil, err
+	}
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.TableByName(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	aggIx := make([]int, len(q.Aggs))
+	for i, spec := range q.Aggs {
+		aggIx[i] = -1
+		if spec.Kind != AggCount || spec.Col != "" {
+			ix, err := t.ColumnIndex(spec.Col)
+			if err != nil {
+				return nil, err
+			}
+			if t.Columns[ix].Kind == KindString {
+				return nil, fmt.Errorf("%w: %q is %s", ErrNotNumeric, spec.Col, KindString)
+			}
+			aggIx[i] = ix
+		}
+	}
+	groupIx := -1
+	if q.GroupBy != "" {
+		groupIx, err = t.ColumnIndex(q.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if db.acct != nil {
+		if err := db.acct.Spend(eps); err != nil {
+			return nil, err
+		}
+	}
+
+	// Filter and group rows.
+	type groupData struct {
+		key  Value
+		rows [][]Value
+	}
+	groups := map[string]*groupData{}
+	var order []string
+	for _, row := range t.rows {
+		if q.Where != nil {
+			ok, err := q.Where.Eval(t, row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		key := ""
+		var kv Value
+		if groupIx >= 0 {
+			kv = row[groupIx]
+			key = kv.String()
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &groupData{key: kv}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rows = append(g.rows, row)
+	}
+	sort.Strings(order)
+	if len(order) == 0 {
+		// No matching rows: release an empty result (the absence of public
+		// group keys reveals only the public category list).
+		return &Result{Query: q, EpsSpent: eps}, nil
+	}
+
+	// Budget: even split across groups (a user may appear in several), then
+	// across the aggregates in the SELECT list (basic composition).
+	epsG := eps / float64(len(order)) / float64(len(q.Aggs))
+	res := &Result{Query: q, EpsSpent: eps}
+	for _, key := range order {
+		g := groups[key]
+		values := make([]float64, len(q.Aggs))
+		for i, spec := range q.Aggs {
+			v, err := db.aggregate(rng, t, spec, g.rows, aggIx[i], epsG)
+			if err != nil {
+				return nil, fmt.Errorf("group %q: %w", key, err)
+			}
+			values[i] = v
+		}
+		res.Rows = append(res.Rows, ResultRow{
+			Group:    g.key,
+			HasGroup: groupIx >= 0,
+			Value:    values[0],
+			Values:   values,
+		})
+	}
+	return res, nil
+}
+
+// aggregate collapses rows to per-user contributions and releases the
+// requested aggregate with budget eps.
+func (db *DB) aggregate(rng *xrand.RNG, t *Table, spec AggSpec, rows [][]Value, aggIx int, eps float64) (float64, error) {
+	// Collapse rows per user.
+	type userAgg struct {
+		sum   float64
+		count int
+	}
+	users := map[string]*userAgg{}
+	for _, row := range rows {
+		uid := row[t.userIx].String()
+		u, ok := users[uid]
+		if !ok {
+			u = &userAgg{}
+			users[uid] = u
+		}
+		if aggIx >= 0 {
+			u.sum += row[aggIx].F
+		}
+		u.count++
+	}
+	nUsers := len(users)
+
+	if spec.Kind == AggCount {
+		// Count of matching users; sensitivity 1 under a one-user change.
+		return dp.NoisyCount(rng, nUsers, eps), nil
+	}
+	if nUsers < 4 {
+		return 0, ErrTooFewUsers
+	}
+
+	// Deterministic contribution order (map iteration is randomized, and
+	// the estimators' pairing/subsampling consume the seeded RNG in input
+	// order — WithSeed reproducibility needs a stable order).
+	ids := make([]string, 0, nUsers)
+	for uid := range users {
+		ids = append(ids, uid)
+	}
+	sort.Strings(ids)
+	sums := make([]float64, 0, nUsers)
+	means := make([]float64, 0, nUsers)
+	for _, uid := range ids {
+		u := users[uid]
+		sums = append(sums, u.sum)
+		means = append(means, u.sum/float64(u.count))
+	}
+
+	const beta = 0.1
+	switch spec.Kind {
+	case AggSum:
+		// SUM = n_users · mean(per-user sums); n_users is fixed across
+		// replace-one-user neighbors, so only the mean needs privatizing.
+		m, err := privateMeanAuto(rng, sums, eps, beta)
+		if err != nil {
+			return 0, err
+		}
+		return m * float64(nUsers), nil
+	case AggAvg:
+		return privateMeanAuto(rng, means, eps, beta)
+	case AggMedian:
+		return privateQuantileAuto(rng, means, (nUsers+1)/2, eps, beta)
+	case AggP25:
+		return privateQuantileAuto(rng, means, (nUsers+3)/4, eps, beta)
+	case AggP75:
+		return privateQuantileAuto(rng, means, (3*nUsers+3)/4, eps, beta)
+	case AggVar:
+		return core.EstimateVariance(rng, means, eps, beta)
+	case AggStdDev:
+		v, err := core.EstimateVariance(rng, means, eps, beta)
+		if err != nil {
+			return 0, err
+		}
+		if v < 0 {
+			v = 0
+		}
+		return math.Sqrt(v), nil
+	case AggIQR:
+		v, err := core.EstimateIQR(rng, means, eps, beta)
+		if err != nil {
+			return 0, err
+		}
+		// A scale parameter is non-negative; the raw release can be
+		// negative at small budgets (difference of two noisy quantiles),
+		// and projection is free post-processing.
+		if v < 0 {
+			v = 0
+		}
+		return v, nil
+	case AggQuantile:
+		tau := int(math.Ceil(spec.P * float64(nUsers)))
+		if tau < 1 {
+			tau = 1
+		}
+		if tau > nUsers {
+			tau = nUsers
+		}
+		return privateQuantileAuto(rng, means, tau, eps, beta)
+	case AggMin:
+		// Extreme quantiles: Algorithm 2 clamps the target rank away from
+		// the boundary by its slack, so MIN/MAX are conservative — they
+		// release roughly the slack-th smallest/largest per-user value.
+		// (An exact private min/max is impossible with bounded error.)
+		return privateQuantileAuto(rng, means, 1, eps, beta)
+	case AggMax:
+		return privateQuantileAuto(rng, means, nUsers, eps, beta)
+	default:
+		return 0, fmt.Errorf("%w: unsupported aggregate %v", ErrSyntax, spec.Kind)
+	}
+}
+
+// privateMeanAuto releases the empirical mean of contributions with no
+// domain bound: Algorithm 7 learns a bucket (ε/4), then the §3.5
+// infinite-domain mean runs with the rest (3ε/4).
+func privateMeanAuto(rng *xrand.RNG, xs []float64, eps, beta float64) (float64, error) {
+	b, err := core.IQRLowerBound(rng, xs, eps/4, beta/2)
+	if err != nil {
+		return 0, err
+	}
+	if !(b > 0) {
+		b = math.SmallestNonzeroFloat64
+	}
+	return empirical.RealMean(rng, xs, b, 3*eps/4, beta/2)
+}
+
+// privateQuantileAuto releases the tau-th order statistic of contributions
+// with no domain bound (bucket ε/2, quantile ε/2).
+func privateQuantileAuto(rng *xrand.RNG, xs []float64, tau int, eps, beta float64) (float64, error) {
+	b, err := core.IQRLowerBound(rng, xs, eps/2, beta/2)
+	if err != nil {
+		return 0, err
+	}
+	bn := b / float64(len(xs))
+	if !(bn > 0) {
+		bn = math.SmallestNonzeroFloat64
+	}
+	return empirical.RealQuantile(rng, xs, tau, bn, eps/2, beta/2)
+}

@@ -1,0 +1,57 @@
+package dpsql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the query parser never panics and that accepted
+// queries satisfy basic well-formedness invariants. `go test` runs the
+// seed corpus; `go test -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT AVG(x) FROM t",
+		"SELECT COUNT(*), SUM(y) FROM t WHERE a = 1 AND (b < 2 OR NOT c >= 'z') GROUP BY d",
+		"select median(v) from data where s = 'O''Brien'",
+		"SELECT P99(x) FROM t",
+		"SELECT AVG(x) FROM t WHERE x = -1.5e-3",
+		"SELECT",
+		"garbage input (((",
+		"SELECT AVG(x) FROM t WHERE x ! 3",
+		strings.Repeat("(", 50),
+		"SELECT AVG(x) FROM t WHERE " + strings.Repeat("a=1 AND ", 30) + "b=2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		q, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		if len(q.Aggs) == 0 {
+			t.Errorf("accepted query with no aggregates: %q", sql)
+		}
+		if q.Table == "" {
+			t.Errorf("accepted query with no table: %q", sql)
+		}
+	})
+}
+
+// FuzzRun asserts the statement parser never panics.
+func FuzzRun(f *testing.F) {
+	seeds := []string{
+		"CREATE TABLE t (u STRING USER, x FLOAT)",
+		"INSERT INTO t VALUES ('a', 1.5), ('b', -2)",
+		"CREATE TABLE t (u STRING USER,)",
+		"INSERT INTO t VALUES (",
+		"DROP TABLE t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		db := NewDB()
+		_ = db.Run(sql) // must not panic
+	})
+}

@@ -1,0 +1,140 @@
+package dpsql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ErrSyntax reports a lexical or grammatical error in a query.
+var ErrSyntax = errors.New("dpsql: syntax error")
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokStar
+	tokOp // = != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits a query into tokens. Identifiers and keywords are returned as
+// tokIdent (keyword recognition happens in the parser, case-insensitively).
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '=', c == '<', c == '>', c == '!':
+			start := i
+			i++
+			if i < n && input[i] == '=' {
+				i++
+			}
+			op := input[start:i]
+			if op == "!" {
+				return nil, fmt.Errorf("%w: stray '!' at offset %d", ErrSyntax, start)
+			}
+			if op == "<>" { // unreachable via scan above, kept for clarity
+				op = "!="
+			}
+			toks = append(toks, token{tokOp, op, start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("%w: unterminated string at offset %d", ErrSyntax, start)
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case c >= '0' && c <= '9' || c == '.' ||
+			(c == '-' && i+1 < n && (input[i+1] >= '0' && input[i+1] <= '9' || input[i+1] == '.')):
+			start := i
+			if c == '-' {
+				i++
+			}
+			seenDot, seenExp := false, false
+			for i < n {
+				d := input[i]
+				switch {
+				case d >= '0' && d <= '9':
+					i++
+				case d == '.' && !seenDot && !seenExp:
+					seenDot = true
+					i++
+				case (d == 'e' || d == 'E') && !seenExp:
+					seenExp = true
+					i++
+					if i < n && (input[i] == '+' || input[i] == '-') {
+						i++
+					}
+				default:
+					goto doneNumber
+				}
+			}
+		doneNumber:
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{tokIdent, input[start:i], start})
+		default:
+			return nil, fmt.Errorf("%w: unexpected character %q at offset %d", ErrSyntax, c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}

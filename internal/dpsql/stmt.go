@@ -1,0 +1,156 @@
+package dpsql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Run executes a non-private DDL/DML statement:
+//
+//	CREATE TABLE <name> (<col> <TYPE> [USER], ...)
+//	INSERT INTO <name> VALUES (<lit>, ...) [, (<lit>, ...)]*
+//
+// Types are FLOAT, INT, and STRING; exactly one column must carry the USER
+// marker designating the privacy unit. Statements touch stored data only —
+// they release nothing, so they consume no privacy budget.
+func (db *DB) Run(sql string) error {
+	toks, err := lex(sql)
+	if err != nil {
+		return err
+	}
+	p := &parser{toks: toks}
+	switch {
+	case p.atKeyword("create"):
+		return db.runCreate(p)
+	case p.atKeyword("insert"):
+		return db.runInsert(p)
+	default:
+		return fmt.Errorf("%w: expected CREATE or INSERT, got %s", ErrSyntax, p.peek())
+	}
+}
+
+func (db *DB) runCreate(p *parser) error {
+	p.next() // CREATE
+	if err := p.expectKeyword("table"); err != nil {
+		return err
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return fmt.Errorf("%w: expected table name, got %s", ErrSyntax, name)
+	}
+	if t := p.next(); t.kind != tokLParen {
+		return fmt.Errorf("%w: expected (, got %s", ErrSyntax, t)
+	}
+	var cols []Column
+	userCol := ""
+	for {
+		colName := p.next()
+		if colName.kind != tokIdent {
+			return fmt.Errorf("%w: expected column name, got %s", ErrSyntax, colName)
+		}
+		typeTok := p.next()
+		if typeTok.kind != tokIdent {
+			return fmt.Errorf("%w: expected column type, got %s", ErrSyntax, typeTok)
+		}
+		var kind Kind
+		switch strings.ToLower(typeTok.text) {
+		case "float", "double", "real":
+			kind = KindFloat
+		case "int", "integer", "bigint":
+			kind = KindInt
+		case "string", "text", "varchar":
+			kind = KindString
+		default:
+			return fmt.Errorf("%w: unknown type %q", ErrSyntax, typeTok.text)
+		}
+		cols = append(cols, Column{Name: colName.text, Kind: kind})
+		if p.atKeyword("user") {
+			p.next()
+			if userCol != "" {
+				return fmt.Errorf("%w: multiple USER columns", ErrSchema)
+			}
+			userCol = colName.text
+		}
+		t := p.next()
+		if t.kind == tokComma {
+			continue
+		}
+		if t.kind == tokRParen {
+			break
+		}
+		return fmt.Errorf("%w: expected , or ), got %s", ErrSyntax, t)
+	}
+	if p.peek().kind != tokEOF {
+		return fmt.Errorf("%w: trailing input at %s", ErrSyntax, p.peek())
+	}
+	if userCol == "" {
+		return fmt.Errorf("%w: CREATE TABLE needs exactly one USER column", ErrSchema)
+	}
+	_, err := db.Create(name.text, cols, userCol)
+	return err
+}
+
+func (db *DB) runInsert(p *parser) error {
+	p.next() // INSERT
+	if err := p.expectKeyword("into"); err != nil {
+		return err
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return fmt.Errorf("%w: expected table name, got %s", ErrSyntax, name)
+	}
+	t, err := db.TableByName(name.text)
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return err
+	}
+	for {
+		if tk := p.next(); tk.kind != tokLParen {
+			return fmt.Errorf("%w: expected (, got %s", ErrSyntax, tk)
+		}
+		var vals []Value
+		for {
+			lit := p.next()
+			switch lit.kind {
+			case tokNumber:
+				f, err := strconv.ParseFloat(lit.text, 64)
+				if err != nil {
+					return fmt.Errorf("%w: bad number %q", ErrSyntax, lit.text)
+				}
+				// Integral literals may land in INT columns; coerce by
+				// position below via Table.Insert's kind rules.
+				if f == float64(int64(f)) {
+					vals = append(vals, Int(int64(f)))
+				} else {
+					vals = append(vals, Float(f))
+				}
+			case tokString:
+				vals = append(vals, Str(lit.text))
+			default:
+				return fmt.Errorf("%w: expected literal, got %s", ErrSyntax, lit)
+			}
+			sep := p.next()
+			if sep.kind == tokComma {
+				continue
+			}
+			if sep.kind == tokRParen {
+				break
+			}
+			return fmt.Errorf("%w: expected , or ), got %s", ErrSyntax, sep)
+		}
+		if err := t.Insert(vals...); err != nil {
+			return err
+		}
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return fmt.Errorf("%w: trailing input at %s", ErrSyntax, p.peek())
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package dpsql
+
+import (
+	"errors"
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestRunCreateAndInsert(t *testing.T) {
+	db := NewDB()
+	if err := db.Run("CREATE TABLE readings (device STRING USER, site STRING, value FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.TableByName("readings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.UserCol != "device" {
+		t.Errorf("user col = %q", tbl.UserCol)
+	}
+	if err := db.Run("INSERT INTO readings VALUES ('d1', 'north', 1.5), ('d2', 'south', -2.25)"); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("rows = %d", tbl.NumRows())
+	}
+}
+
+func TestRunCreateTypeAliases(t *testing.T) {
+	db := NewDB()
+	if err := db.Run("CREATE TABLE t (u TEXT USER, a DOUBLE, b INTEGER, c VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.TableByName("t")
+	kinds := []Kind{KindString, KindFloat, KindInt, KindString}
+	for i, want := range kinds {
+		if tbl.Columns[i].Kind != want {
+			t.Errorf("col %d kind = %v, want %v", i, tbl.Columns[i].Kind, want)
+		}
+	}
+}
+
+func TestRunInsertIntegerIntoFloat(t *testing.T) {
+	db := NewDB()
+	if err := db.Run("CREATE TABLE t (u STRING USER, x FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Run("INSERT INTO t VALUES ('a', 3)"); err != nil {
+		t.Errorf("integral literal into FLOAT column: %v", err)
+	}
+	if err := db.Run("INSERT INTO t VALUES ('a', -42)"); err != nil {
+		t.Errorf("negative integral literal: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	db := NewDB()
+	bad := []string{
+		"",
+		"DROP TABLE t",
+		"CREATE TABLE",
+		"CREATE TABLE t",
+		"CREATE TABLE t (u STRING)", // no USER column
+		"CREATE TABLE t (u STRING USER, v INT USER)", // two USER columns
+		"CREATE TABLE t (u BOGUS USER)",
+		"CREATE TABLE t (u STRING USER,)",
+		"CREATE TABLE t (u STRING USER) extra",
+		"INSERT INTO missing VALUES (1)",
+		"INSERT INTO t VALUES",
+	}
+	for _, sql := range bad {
+		if err := db.Run(sql); err == nil {
+			t.Errorf("%q should fail", sql)
+		}
+	}
+	// Arity and kind mismatches surface from Insert.
+	if err := db.Run("CREATE TABLE t (u STRING USER, x FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Run("INSERT INTO t VALUES ('a')"); !errors.Is(err, ErrSchema) {
+		t.Errorf("arity mismatch: %v", err)
+	}
+	if err := db.Run("INSERT INTO t VALUES (1.5, 2.5)"); !errors.Is(err, ErrSchema) {
+		t.Errorf("kind mismatch: %v", err)
+	}
+}
+
+func TestEndToEndSQLOnly(t *testing.T) {
+	// Build and query a database using nothing but SQL strings.
+	db := NewDB()
+	if err := db.Run("CREATE TABLE m (u STRING USER, v FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(7)
+	for u := 0; u < 500; u++ {
+		v := 10 + rng.Gaussian()
+		if err := db.Run(
+			"INSERT INTO m VALUES ('u" + itoa(u) + "', " + ftoa(v) + ")"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Exec(rng, "SELECT AVG(v) FROM m", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Rows[0].Value-10) > 1 {
+		t.Errorf("AVG = %v, want ~10", res.Rows[0].Value)
+	}
+}
+
+func TestMultiAggregateExec(t *testing.T) {
+	db := NewDB()
+	if err := db.Run("CREATE TABLE t (u STRING USER, x FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(11)
+	for u := 0; u < 1000; u++ {
+		v := 100 + 5*rng.Gaussian()
+		if err := db.Run("INSERT INTO t VALUES ('u" + itoa(u) + "', " + ftoa(v) + ")"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Exec(rng, "SELECT COUNT(*), AVG(x), P25(x), P75(x) FROM t", 4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if len(row.Values) != 4 {
+		t.Fatalf("values = %d", len(row.Values))
+	}
+	if row.Value != row.Values[0] {
+		t.Error("Value should mirror Values[0]")
+	}
+	if math.Abs(row.Values[0]-1000) > 50 {
+		t.Errorf("COUNT = %v", row.Values[0])
+	}
+	if math.Abs(row.Values[1]-100) > 3 {
+		t.Errorf("AVG = %v", row.Values[1])
+	}
+	if !(row.Values[2] < row.Values[1] && row.Values[1] < row.Values[3]) {
+		t.Errorf("quartile ordering: %v", row.Values)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'f', 6, 64) }

@@ -1,0 +1,127 @@
+package dpsql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/dp"
+)
+
+// Errors returned by the schema layer.
+var (
+	// ErrNoTable reports an unknown table name.
+	ErrNoTable = errors.New("dpsql: no such table")
+	// ErrNoColumn reports an unknown column name.
+	ErrNoColumn = errors.New("dpsql: no such column")
+	// ErrSchema reports an invalid schema or row.
+	ErrSchema = errors.New("dpsql: schema error")
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Table is an in-memory relation with a designated user column (the unit
+// of privacy).
+type Table struct {
+	Name    string
+	Columns []Column
+	UserCol string
+
+	rows   [][]Value
+	byName map[string]int
+	userIx int
+}
+
+// DB is a collection of tables with an optional shared privacy budget.
+type DB struct {
+	tables map[string]*Table
+	acct   *dp.Accountant
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
+
+// Create registers a new table. userCol must name one of the columns; it
+// identifies the privacy unit.
+func (db *DB) Create(name string, cols []Column, userCol string) (*Table, error) {
+	lname := strings.ToLower(name)
+	if _, dup := db.tables[lname]; dup {
+		return nil, fmt.Errorf("%w: table %q already exists", ErrSchema, name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("%w: table %q needs at least one column", ErrSchema, name)
+	}
+	t := &Table{
+		Name:    name,
+		Columns: append([]Column(nil), cols...),
+		UserCol: userCol,
+		byName:  make(map[string]int, len(cols)),
+		userIx:  -1,
+	}
+	for i, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if _, dup := t.byName[lc]; dup {
+			return nil, fmt.Errorf("%w: duplicate column %q", ErrSchema, c.Name)
+		}
+		t.byName[lc] = i
+		if strings.EqualFold(c.Name, userCol) {
+			t.userIx = i
+		}
+	}
+	if t.userIx < 0 {
+		return nil, fmt.Errorf("%w: user column %q not in schema", ErrSchema, userCol)
+	}
+	db.tables[lname] = t
+	return t, nil
+}
+
+// TableByName looks a table up case-insensitively.
+func (db *DB) TableByName(name string) (*Table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// ColumnIndex resolves a column name case-insensitively.
+func (t *Table) ColumnIndex(name string) (int, error) {
+	i, ok := t.byName[strings.ToLower(name)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q in table %q", ErrNoColumn, name, t.Name)
+	}
+	return i, nil
+}
+
+// Insert appends one row; values must match the schema's kinds (ints are
+// accepted into float columns).
+func (t *Table) Insert(vals ...Value) error {
+	if len(vals) != len(t.Columns) {
+		return fmt.Errorf("%w: got %d values for %d columns", ErrSchema, len(vals), len(t.Columns))
+	}
+	row := make([]Value, len(vals))
+	for i, v := range vals {
+		want := t.Columns[i].Kind
+		switch {
+		case v.Kind == want:
+		case want == KindFloat && v.Kind == KindInt:
+			v = Float(v.F)
+		case want == KindInt && v.Kind == KindFloat && v.F == float64(int64(v.F)):
+			v = Int(int64(v.F))
+		default:
+			return fmt.Errorf("%w: column %q wants %s, got %s",
+				ErrSchema, t.Columns[i].Name, want, v.Kind)
+		}
+		row[i] = v
+	}
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// NumRows returns the (non-private) number of stored rows; intended for
+// tests and data loading, not for release.
+func (t *Table) NumRows() int { return len(t.rows) }

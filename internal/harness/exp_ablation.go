@@ -1,0 +1,322 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/dpsql"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E10",
+		Title:    "IQR estimation: α ∝ 1/(εn) (ours) vs α ∝ 1/(ε log n) (DL09)",
+		PaperRef: "Theorem 6.2 vs DL09 (13) (§1.1.4)",
+		Expect: "our error falls roughly linearly in n; DL09's is dominated by its " +
+			"1/log(n) binning and barely moves across two orders of magnitude of n " +
+			"(and it is only (ε,δ)-DP, with a ⊥ failure mode).",
+		Run: runE10,
+	})
+	register(Experiment{
+		ID:       "E11",
+		Title:    "Table 1 as a robustness matrix: what breaks when A1/A2/A3 are violated",
+		PaperRef: "Table 1",
+		Expect: "baselines are accurate in-assumption but degrade by orders of " +
+			"magnitude when µ leaves [-R, R] (A1), σ exceeds σmax (A2), or P is " +
+			"heavy-tailed (A3); the universal estimator's column is assumption-free " +
+			"and stays at the same error level throughout.",
+		Run: runE11,
+	})
+	register(Experiment{
+		ID:       "E12",
+		Title:    "Ablation: the m = εn subsample for range finding is the right size",
+		PaperRef: "§4.2 discussion (\"m = εn turns out to be a choice that is good enough\")",
+		Expect: "on heavy tails (Pareto) m ≪ εn clips too aggressively and the " +
+			"bias blows up; on symmetric light tails aggressive clipping is " +
+			"harmless (the bias cancels) so small m can even win locally. m = εn " +
+			"is the smallest *universally* safe choice — the paper's point is " +
+			"universality, not per-family optimality.",
+		Run: runE12,
+	})
+	register(Experiment{
+		ID:       "E13",
+		Title:    "Ablation: statistical-setting clipping beats the empirical-setting range",
+		PaperRef: "§4.2 (why Algorithm 8 does not just call Algorithm 5)",
+		Expect: "the subsampled range is never wider than the full-data range and " +
+			"its amplified budget (Theorem 2.4) comes for free; on heavy tails the " +
+			"full-data width inflates γ(n) vs γ(εn) by ~ε^{1/k}, though the dyadic " +
+			"range search can round both to the same power of two.",
+		Run: runE13,
+	})
+	register(Experiment{
+		ID:       "E14",
+		Title:    "User-level DP SUM over a relation: universal vs fixed-bound truncation",
+		PaperRef: "§1.1.1 (DFY+22 connection)",
+		Expect: "fixed per-user truncation at τ biases the total when τ is below the " +
+			"true contribution tail and over-noises when τ is far above it; the " +
+			"universal estimator needs no τ and tracks the true sum.",
+		Run: runE14,
+	})
+}
+
+func runE10(cfg Config) []Table {
+	rng := cfg.rng("E10")
+	d := dist.NewNormal(0, 1)
+	trueIQR := dist.IQROf(d)
+	ns := []int{1000, 10000, 100000}
+	if cfg.Quick {
+		ns = []int{1000, 10000}
+	}
+	const eps = 1.0
+	tb := Table{
+		Title: "E10: IQR median |err| vs n, N(0,1) (true IQR=" + fm(trueIQR) +
+			", eps=1, DL09 δ=1e-6)",
+		Columns: []string{"n", "non-private", "ours (ε-DP)", "DL09 ((ε,δ)-DP)", "DL09 ⊥ rate"},
+	}
+	for _, n := range ns {
+		dlErrs := make([]float64, 0, cfg.trials())
+		bottom := 0
+		for trial := 0; trial < cfg.trials(); trial++ {
+			v, err := baseline.DL09IQR(rng, dist.SampleN(d, rng, n), eps, 1e-6)
+			if errors.Is(err, baseline.ErrUnstable) {
+				bottom++
+				continue
+			}
+			if err != nil {
+				continue
+			}
+			dlErrs = append(dlErrs, math.Abs(v-trueIQR))
+		}
+		tb.Rows = append(tb.Rows, []string{
+			fi(n),
+			fm(medAbsErrs(cfg.trials(), trueIQR, func() (float64, error) {
+				return baseline.NonPrivateIQR(dist.SampleN(d, rng, n)), nil
+			})),
+			fm(medAbsErrs(cfg.trials(), trueIQR, func() (float64, error) {
+				return core.EstimateIQR(rng, dist.SampleN(d, rng, n), eps, 0.1)
+			})),
+			fm(median(dlErrs)),
+			fmt.Sprintf("%d/%d", bottom, cfg.trials()),
+		})
+	}
+	return []Table{tb}
+}
+
+func runE11(cfg Config) []Table {
+	rng := cfg.rng("E11")
+	n := 20000
+	if cfg.Quick {
+		n = 5000
+	}
+	const eps = 1.0
+	const r, sigmaMin, sigmaMax = 1000.0, 0.5, 4.0
+
+	// Four regimes: in-assumption, A1 violated, A2 violated, A3 violated.
+	regimes := []struct {
+		name string
+		d    dist.Distribution
+	}{
+		{"in-assumption N(100,2)", dist.NewNormal(100, 2)},
+		{"A1 violated N(10^5,2)", dist.NewNormal(1e5, 2)},
+		{"A2 violated N(100,400)", dist.NewNormal(100, 400)},
+		{"A3 violated Pareto(1,3)+100", dist.NewAffine(dist.NewPareto(1, 3), 100, 1)},
+	}
+	tb := Table{
+		Title: "E11: mean median |err| with baselines configured for µ∈[-1000,1000], " +
+			"σ∈[0.5,4] (n=" + fi(n) + ", eps=1)",
+		Columns: []string{"regime", "ours (None)", "KV18 (A1,A2,A3)",
+			"CoinPress (A1,A2)", "BS19 (A1,A2)"},
+		Notes: []string{"the column headers carry each estimator's Table-1 assumption profile; " +
+			"'ours' implements the paper's \"None\" row"},
+	}
+	for _, reg := range regimes {
+		mu := reg.d.Mean()
+		tb.Rows = append(tb.Rows, []string{
+			reg.name,
+			fm(medAbsErrs(cfg.trials(), mu, func() (float64, error) {
+				return core.EstimateMean(rng, dist.SampleN(reg.d, rng, n), eps, 0.1)
+			})),
+			fm(medAbsErrs(cfg.trials(), mu, func() (float64, error) {
+				return baseline.KV18Mean(rng, dist.SampleN(reg.d, rng, n), r, sigmaMin, sigmaMax, eps)
+			})),
+			fm(medAbsErrs(cfg.trials(), mu, func() (float64, error) {
+				return baseline.CoinPressMean(rng, dist.SampleN(reg.d, rng, n), r, sigmaMax, eps, 0)
+			})),
+			fm(medAbsErrs(cfg.trials(), mu, func() (float64, error) {
+				return baseline.BS19TrimmedMean(rng, dist.SampleN(reg.d, rng, n), r, sigmaMin, eps)
+			})),
+		})
+	}
+	return []Table{tb}
+}
+
+func runE12(cfg Config) []Table {
+	rng := cfg.rng("E12")
+	n := 50000
+	if cfg.Quick {
+		n = 10000
+	}
+	const eps = 0.1 // subsampling only matters when eps < 1
+	var tables []Table
+	for _, d := range []dist.Distribution{
+		dist.NewNormal(0, 1),
+		dist.NewPareto(1, 3),
+	} {
+		mu := d.Mean()
+		epsN := int(eps * float64(n))
+		sizes := []struct {
+			label string
+			m     int
+		}{
+			{"√(εn)", int(math.Sqrt(float64(epsN)))},
+			{"εn/4", epsN / 4},
+			{"εn (paper)", epsN},
+			{"4·εn", 4 * epsN},
+			{"n (all data)", n},
+		}
+		tb := Table{
+			Title: "E12: subsample size ablation, " + d.Name() +
+				" (n=" + fi(n) + ", eps=" + fm(eps) + ")",
+			Columns: []string{"m", "med |err|", "med |R̃| width"},
+		}
+		for _, s := range sizes {
+			errs := make([]float64, 0, cfg.trials())
+			widths := make([]float64, 0, cfg.trials())
+			for trial := 0; trial < cfg.trials(); trial++ {
+				res, err := core.EstimateMeanWithConfig(rng, dist.SampleN(d, rng, n),
+					eps, 0.1, core.MeanConfig{SubsampleSize: s.m})
+				if err != nil {
+					errs = append(errs, math.Inf(1))
+					continue
+				}
+				errs = append(errs, math.Abs(res.Estimate-mu))
+				widths = append(widths, res.Hi-res.Lo)
+			}
+			tb.Rows = append(tb.Rows, []string{s.label, fm(median(errs)), fm(median(widths))})
+		}
+		tables = append(tables, tb)
+	}
+	return tables
+}
+
+func runE13(cfg Config) []Table {
+	rng := cfg.rng("E13")
+	n := 50000
+	if cfg.Quick {
+		n = 10000
+	}
+	const eps = 0.1
+	tb := Table{
+		Title:   "E13: Algorithm 8 (subsampled range) vs Algorithm 5 on full D (n=" + fi(n) + ", eps=" + fm(eps) + ")",
+		Columns: []string{"distribution", "Alg 8 med |err|", "full-range med |err|", "Alg 8 med width", "full med width"},
+	}
+	for _, d := range []dist.Distribution{
+		dist.NewNormal(0, 1),
+		dist.NewPareto(1, 3),
+	} {
+		mu := d.Mean()
+		collect := func(cfgM core.MeanConfig) (float64, float64) {
+			errs := make([]float64, 0, cfg.trials())
+			widths := make([]float64, 0, cfg.trials())
+			for trial := 0; trial < cfg.trials(); trial++ {
+				res, err := core.EstimateMeanWithConfig(rng, dist.SampleN(d, rng, n), eps, 0.1, cfgM)
+				if err != nil {
+					errs = append(errs, math.Inf(1))
+					continue
+				}
+				errs = append(errs, math.Abs(res.Estimate-mu))
+				widths = append(widths, res.Hi-res.Lo)
+			}
+			return median(errs), median(widths)
+		}
+		subErr, subW := collect(core.MeanConfig{})
+		fullErr, fullW := collect(core.MeanConfig{FullDataRange: true})
+		tb.Rows = append(tb.Rows, []string{d.Name(), fm(subErr), fm(fullErr), fm(subW), fm(fullW)})
+	}
+	return []Table{tb}
+}
+
+func runE14(cfg Config) []Table {
+	rng := cfg.rng("E14")
+	nUsers := 2000
+	if cfg.Quick {
+		nUsers = 500
+	}
+	const eps = 1.0
+
+	// Build a skewed orders table: per-user spend is LogNormal — most users
+	// small, a long tail of big spenders (the regime where a fixed
+	// truncation bound must choose between bias and noise).
+	db := dpsql.NewDB()
+	tbl, err := db.Create("orders", []dpsql.Column{
+		{Name: "user_id", Kind: dpsql.KindString},
+		{Name: "amount", Kind: dpsql.KindFloat},
+	}, "user_id")
+	if err != nil {
+		return []Table{{Title: "E14 setup failed: " + err.Error()}}
+	}
+	spend := dist.NewLogNormal(3, 1.5)
+	userTotals := make([]float64, nUsers)
+	var trueSum float64
+	for u := 0; u < nUsers; u++ {
+		orders := 1 + rng.Intn(5)
+		for o := 0; o < orders; o++ {
+			amt := spend.Sample(rng)
+			userTotals[u] += amt
+			trueSum += amt
+			if err := tbl.Insert(dpsql.Str(fmt.Sprintf("u%d", u)), dpsql.Float(amt)); err != nil {
+				return []Table{{Title: "E14 insert failed: " + err.Error()}}
+			}
+		}
+	}
+
+	// Fixed-bound truncation baseline: clip per-user totals at tau, sum,
+	// add Lap(tau/eps).
+	truncSum := func(tau float64) float64 {
+		var s float64
+		for _, t := range userTotals {
+			if t > tau {
+				t = tau
+			}
+			s += t
+		}
+		return s + rng.Laplace(tau/eps)
+	}
+
+	tb := Table{
+		Title:   "E14: user-level DP SUM(amount), " + fi(nUsers) + " users, LogNormal(3,1.5) spend (eps=1)",
+		Columns: []string{"method", "med |err| / true sum"},
+		Notes:   []string{"true sum ≈ " + fm(trueSum)},
+	}
+	medRel := func(f func() (float64, error)) string {
+		errs := make([]float64, 0, cfg.trials())
+		for trial := 0; trial < cfg.trials(); trial++ {
+			v, err := f()
+			if err != nil {
+				errs = append(errs, math.Inf(1))
+				continue
+			}
+			errs = append(errs, math.Abs(v-trueSum)/trueSum)
+		}
+		return fm(median(errs))
+	}
+	tb.Rows = append(tb.Rows, []string{"ours (dpsql, no bound)", medRel(func() (float64, error) {
+		res, err := db.Exec(rng, "SELECT SUM(amount) FROM orders", eps)
+		if err != nil {
+			return 0, err
+		}
+		return res.Rows[0].Value, nil
+	})})
+	for _, tau := range []float64{20, 200, 20000} {
+		tau := tau
+		tb.Rows = append(tb.Rows, []string{
+			"truncation τ=" + fm(tau),
+			medRel(func() (float64, error) { return truncSum(tau), nil }),
+		})
+	}
+	return []Table{tb}
+}

@@ -1,0 +1,290 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/dp"
+	"repro/internal/empirical"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E1",
+		Title:    "Private radius: r̃ad ≤ 2·rad with O(log log rad / ε) outliers",
+		PaperRef: "Theorem 3.1 / Algorithm 3",
+		Expect: "ratio r̃ad/rad stays ≤ 2 across 5 orders of magnitude of rad; " +
+			"outlier count grows like log log(rad)/ε, i.e. stays in the single digits.",
+		Run: runE1,
+	})
+	register(Experiment{
+		ID:       "E2",
+		Title:    "Private range: |R̃| ≤ 4·γ(D) even when rad(D) ≫ γ(D)",
+		PaperRef: "Theorem 3.2 / Algorithm 4",
+		Expect: "width ratio |R̃|/γ ≤ 4 regardless of how far the data sit from " +
+			"the origin; outliers stay O(log log γ / ε).",
+		Run: runE2,
+	})
+	register(Experiment{
+		ID:       "E3",
+		Title:    "Instance-optimal empirical mean: error ∝ γ(D), not domain size N",
+		PaperRef: "Theorems 3.3, 3.4 / Algorithm 5",
+		Expect: "our error is flat as the domain N grows (it tracks γ(D)·loglog γ " +
+			"/(εn)); the worst-case finite-domain Laplace baseline degrades " +
+			"linearly in N. The packing construction shows errors ≥ γ/(3εn)·loglogN cannot be avoided.",
+		Run: runE3,
+	})
+	register(Experiment{
+		ID:       "E4",
+		Title:    "Private quantiles: rank error O(log γ(D)/ε)",
+		PaperRef: "Theorem 3.5 / Algorithm 6",
+		Expect: "rank error grows linearly in log2(γ) (slope ~ c/ε) and is far " +
+			"below the O(log N) cost a fixed huge domain would force.",
+		Run: runE4,
+	})
+}
+
+func runE1(cfg Config) []Table {
+	rng := cfg.rng("E1")
+	n := 2000
+	if cfg.Quick {
+		n = 500
+	}
+	tb := Table{
+		Title:   "E1: radius estimation (n=" + fi(n) + ")",
+		Columns: []string{"rad(D)", "eps", "med r̃ad/rad", "med #outliers", "bound 2.0 ok"},
+	}
+	for _, k := range []int{3, 10, 20, 40} {
+		radius := int64(1) << k
+		for _, eps := range []float64{0.1, 1.0} {
+			data := make([]int64, n)
+			for i := range data {
+				data[i] = rng.Int64Range(-radius, radius)
+			}
+			data[0] = radius
+			ratios := make([]float64, 0, cfg.trials())
+			outliers := make([]float64, 0, cfg.trials())
+			okCount := 0
+			for trial := 0; trial < cfg.trials(); trial++ {
+				r, err := empirical.Radius(rng, data, eps, 0.1)
+				if err != nil {
+					continue
+				}
+				ratios = append(ratios, float64(r)/float64(radius))
+				outliers = append(outliers, float64(n-stats.CountInInt64(data, -r, r)))
+				if r <= 2*radius {
+					okCount++
+				}
+			}
+			tb.Rows = append(tb.Rows, []string{
+				pow2(k), fm(eps), fm(median(ratios)), fm(median(outliers)),
+				fmt.Sprintf("%d/%d", okCount, cfg.trials()),
+			})
+		}
+	}
+	return []Table{tb}
+}
+
+func runE2(cfg Config) []Table {
+	rng := cfg.rng("E2")
+	n := 5000
+	if cfg.Quick {
+		n = 1000
+	}
+	center := int64(1) << 35 // rad(D) ~ 2^35 regardless of gamma
+	tb := Table{
+		Title:   "E2: range estimation with data centred at 2^35 (n=" + fi(n) + ", eps=1)",
+		Columns: []string{"γ(D)", "med |R̃|/γ", "med #outliers", "|R̃|≤4γ ok"},
+		Notes: []string{"the recentring step makes the width track γ(D), " +
+			"not rad(D) — a naive radius-only range would be ~2^35 wide"},
+	}
+	for _, k := range []int{3, 10, 16, 24, 30} {
+		gamma := int64(1) << k
+		data := make([]int64, n)
+		for i := range data {
+			data[i] = center + rng.Int64Range(-gamma/2, gamma/2)
+		}
+		trueGamma := stats.WidthInt64(data)
+		ratios := make([]float64, 0, cfg.trials())
+		outliers := make([]float64, 0, cfg.trials())
+		okCount := 0
+		for trial := 0; trial < cfg.trials(); trial++ {
+			lo, hi, err := empirical.Range(rng, data, 1.0, 0.1)
+			if err != nil {
+				continue
+			}
+			ratios = append(ratios, float64(hi-lo)/float64(trueGamma))
+			outliers = append(outliers, float64(n-stats.CountInInt64(data, lo, hi)))
+			if hi-lo <= 4*trueGamma {
+				okCount++
+			}
+		}
+		tb.Rows = append(tb.Rows, []string{
+			pow2(k), fm(median(ratios)), fm(median(outliers)),
+			fmt.Sprintf("%d/%d", okCount, cfg.trials()),
+		})
+	}
+	return []Table{tb}
+}
+
+func runE3(cfg Config) []Table {
+	rng := cfg.rng("E3")
+	n := 10000
+	if cfg.Quick {
+		n = 2000
+	}
+	const eps = 1.0
+	const gammaK = 10 // γ(D) ~ 2^10, fixed while the domain N grows
+	gamma := int64(1) << gammaK
+
+	main := Table{
+		Title: "E3a: empirical mean error vs domain size (n=" + fi(n) +
+			", eps=1, γ(D)=2^10 fixed)",
+		Columns: []string{"domain N", "ours med |err|", "HLY21 med |err|",
+			"naive Lap(N/εn) med |err|", "HLY21/ours", "naive/ours"},
+		Notes: []string{"ours = Algorithm 5 (ratio loglog γ); HLY21 = finite-domain " +
+			"instance-optimal (ratio log N — the prior art §1.1.1 improves on); " +
+			"naive = clipped mean over the full [-N, N] domain (worst-case only)"},
+	}
+	for _, domK := range []int{12, 20, 30, 40} {
+		domain := int64(1) << domK
+		data := make([]int64, n)
+		for i := range data {
+			// Skewed within the band: exponential from the bottom edge, so
+			// one-sided clipping bias does not cancel — the regime where
+			// the optimality ratio (#clipped points: log N for HLY21,
+			// loglog γ for ours) shows up in the error.
+			v := int64(rng.Exponential() * float64(gamma) / 6)
+			if v > gamma {
+				v = gamma
+			}
+			data[i] = domain/2 + v
+		}
+		trueMean := meanInt64(data)
+		ours := make([]float64, 0, cfg.trials())
+		hly := make([]float64, 0, cfg.trials())
+		naive := make([]float64, 0, cfg.trials())
+		for trial := 0; trial < cfg.trials(); trial++ {
+			m, err := empirical.Mean(rng, data, eps, 0.1)
+			if err != nil {
+				continue
+			}
+			ours = append(ours, math.Abs(m-trueMean))
+			hm, err := baseline.HLY21Mean(rng, data, domain, eps)
+			if err != nil {
+				continue
+			}
+			hly = append(hly, math.Abs(hm-trueMean))
+			fs := make([]float64, n)
+			for i, v := range data {
+				fs[i] = float64(v)
+			}
+			nm, err := dp.ClippedMean(rng, fs, 0, float64(domain), eps)
+			if err != nil {
+				continue
+			}
+			naive = append(naive, math.Abs(nm-trueMean))
+		}
+		mo, mh, mn := median(ours), median(hly), median(naive)
+		main.Rows = append(main.Rows, []string{
+			pow2(domK), fm(mo), fm(mh), fm(mn), fm(mh / mo), fm(mn / mo),
+		})
+	}
+
+	packing := Table{
+		Title: "E3b: Theorem 3.4 packing construction (n=" + fi(n) + ", eps=1)",
+		Columns: []string{"dataset D(i)", "µ(D(i))", "med |err|",
+			"lower bound γ/(3εn)·loglogN"},
+		Notes: []string{"datasets with loglog(N)/ε records at 2^i and the rest 0; " +
+			"no ε-DP mechanism can beat the bound on every D(i) simultaneously"},
+	}
+	const domK = 30
+	nOnes := int(math.Log(math.Log2(float64(int64(1)<<domK)))/eps) + 1
+	for _, i := range []int{8, 16, 24, 30} {
+		big := int64(1) << i
+		data := make([]int64, n)
+		for j := 0; j < nOnes; j++ {
+			data[j] = big
+		}
+		trueMean := meanInt64(data)
+		errs := make([]float64, 0, cfg.trials())
+		for trial := 0; trial < cfg.trials(); trial++ {
+			m, err := empirical.Mean(rng, data, eps, 0.1)
+			if err != nil {
+				continue
+			}
+			errs = append(errs, math.Abs(m-trueMean))
+		}
+		lb := float64(big) / (3 * eps * float64(n)) * math.Log(30)
+		packing.Rows = append(packing.Rows, []string{
+			fmt.Sprintf("%d × 2^%d", nOnes, i), fm(trueMean), fm(median(errs)), fm(lb),
+		})
+	}
+	return []Table{main, packing}
+}
+
+func runE4(cfg Config) []Table {
+	rng := cfg.rng("E4")
+	n := 10000
+	if cfg.Quick {
+		n = 2000
+	}
+	const eps = 1.0
+	tb := Table{
+		Title:   "E4: quantile rank error vs γ(D) (n=" + fi(n) + ", eps=1, τ=n/2)",
+		Columns: []string{"γ(D)", "med rank err", "rank err / log2(γ)"},
+		Notes:   []string{"Theorem 3.5 predicts rank error O(log γ/ε): the last column should be roughly flat"},
+	}
+	for _, k := range []int{6, 12, 20, 30, 40} {
+		gamma := int64(1) << k
+		data := make([]int64, n)
+		for i := range data {
+			data[i] = rng.Int64Range(0, gamma)
+		}
+		sorted := append([]int64(nil), data...)
+		sortInt64s(sorted)
+		errs := make([]float64, 0, cfg.trials())
+		for trial := 0; trial < cfg.trials(); trial++ {
+			q, err := empirical.Quantile(rng, data, n/2, eps, 0.1)
+			if err != nil {
+				continue
+			}
+			errs = append(errs, float64(rankErr(sorted, n/2, q)))
+		}
+		med := median(errs)
+		tb.Rows = append(tb.Rows, []string{pow2(k), fm(med), fm(med / float64(k))})
+	}
+	return []Table{tb}
+}
+
+// ---------- helpers shared by the empirical experiments ----------
+
+func meanInt64(xs []int64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += float64(v)
+	}
+	return s / float64(len(xs))
+}
+
+func sortInt64s(xs []int64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func rankErr(sorted []int64, tau int, y int64) int {
+	target := sorted[tau-1]
+	lo, hi := target, y
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	cnt := 0
+	for _, v := range sorted {
+		if v > lo && v < hi {
+			cnt++
+		}
+	}
+	return cnt
+}

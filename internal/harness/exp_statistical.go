@@ -1,0 +1,276 @@
+package harness
+
+import (
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "E5",
+		Title:    "Gaussian mean: universal estimator vs A1/A2 baselines",
+		PaperRef: "Theorem 4.6 vs KV18, KLSU19/BDKU20, BS19 (§1.1.2)",
+		Expect: "all methods converge at roughly σ/√n + σ·polylog/(εn); ours needs " +
+			"no (R, σmin, σmax) and matches or beats the baselines, decisively so " +
+			"when their σmax is loose (last column).",
+		Run: runE5,
+	})
+	register(Experiment{
+		ID:       "E6",
+		Title:    "Heavy-tailed mean: universal estimator vs KSU20 with (mis)specified µ̄k",
+		PaperRef: "Theorem 4.9 vs KSU20 (§1.1.2)",
+		Expect: "with the exact moment bound KSU20 is comparable; with a 10× or " +
+			"100× over-estimate (the realistic case — µ̄k is not privately learnable) " +
+			"its error inflates while ours is unchanged.",
+		Run: runE6,
+	})
+	register(Experiment{
+		ID:       "E7",
+		Title:    "IQR lower bound sandwich: ¼·φ(1/16) ≤ IQR̲ ≤ IQR",
+		PaperRef: "Theorem 4.3 / Algorithm 7",
+		Expect: "the sandwich holds across light-tailed, heavy-tailed, shifted, and " +
+			"ill-behaved (spike-and-slab) distributions; for the spike the bound " +
+			"correctly tracks the tiny φ rather than the large IQR.",
+		Run: runE7,
+	})
+	register(Experiment{
+		ID:       "E8",
+		Title:    "Gaussian variance across 6 orders of magnitude of σ",
+		PaperRef: "Theorem 5.3 vs KV18 (10) and KLSU19/BDKU20 (11) (§1.1.3)",
+		Expect: "ours adapts to any σ with no [σmin, σmax]; baselines given a wide " +
+			"range pay for it (KV18's log σmax/σmin localization, CoinPress's floor), " +
+			"while ours has only a log log σ dependence.",
+		Run: runE8,
+	})
+	register(Experiment{
+		ID:       "E9",
+		Title:    "Heavy-tailed variance (first private estimator)",
+		PaperRef: "Theorem 5.5 (§1.1.3: no prior DP baseline exists)",
+		Expect: "relative error decreases with n and stays within a small factor of " +
+			"the non-private sampling error; no prior (ε or (ε,δ)) estimator handles " +
+			"these distributions, so the only baseline is non-private.",
+		Run: runE9,
+	})
+}
+
+// medAbsErrs runs f trials times and reports the median absolute error
+// against want. Failures count as +Inf.
+func medAbsErrs(trials int, want float64, f func() (float64, error)) float64 {
+	errs := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		v, err := f()
+		if err != nil {
+			errs = append(errs, math.Inf(1))
+			continue
+		}
+		errs = append(errs, math.Abs(v-want))
+	}
+	return median(errs)
+}
+
+func runE5(cfg Config) []Table {
+	rng := cfg.rng("E5")
+	const mu, sigma = 1000.0, 2.0
+	const r = 1e6 // A1 bound handed to baselines (generous, honest)
+	d := dist.NewNormal(mu, sigma)
+
+	ns := []int{1 << 10, 1 << 13, 1 << 16}
+	if cfg.Quick {
+		ns = []int{1 << 10, 1 << 13}
+	}
+	var tables []Table
+	for _, eps := range []float64{0.1, 1.0} {
+		tb := Table{
+			Title: "E5: Gaussian mean median |err| (µ=1000, σ=2, eps=" + fm(eps) + ")",
+			Columns: []string{"n", "non-private", "ours (no assumptions)",
+				"KV18 σmax=4", "CoinPress σmax=4", "BS19", "KV18 σmax=200 (loose A2)"},
+		}
+		for _, n := range ns {
+			row := []string{fi(n)}
+			row = append(row, fm(medAbsErrs(cfg.trials(), mu, func() (float64, error) {
+				return baseline.NonPrivateMean(dist.SampleN(d, rng, n)), nil
+			})))
+			row = append(row, fm(medAbsErrs(cfg.trials(), mu, func() (float64, error) {
+				return core.EstimateMean(rng, dist.SampleN(d, rng, n), eps, 0.1)
+			})))
+			row = append(row, fm(medAbsErrs(cfg.trials(), mu, func() (float64, error) {
+				return baseline.KV18Mean(rng, dist.SampleN(d, rng, n), r, 0.5, 4, eps)
+			})))
+			row = append(row, fm(medAbsErrs(cfg.trials(), mu, func() (float64, error) {
+				return baseline.CoinPressMean(rng, dist.SampleN(d, rng, n), r, 4, eps, 0)
+			})))
+			row = append(row, fm(medAbsErrs(cfg.trials(), mu, func() (float64, error) {
+				return baseline.BS19TrimmedMean(rng, dist.SampleN(d, rng, n), r, 0.5, eps)
+			})))
+			row = append(row, fm(medAbsErrs(cfg.trials(), mu, func() (float64, error) {
+				return baseline.KV18Mean(rng, dist.SampleN(d, rng, n), r, 0.5, 200, eps)
+			})))
+			tb.Rows = append(tb.Rows, row)
+		}
+		tables = append(tables, tb)
+	}
+	return tables
+}
+
+func runE6(cfg Config) []Table {
+	rng := cfg.rng("E6")
+	n := 50000
+	if cfg.Quick {
+		n = 10000
+	}
+	const eps = 0.5
+	var tables []Table
+	for _, d := range []dist.Distribution{
+		dist.NewPareto(1, 3),
+		dist.NewStudentTLocScale(3, 5, 1),
+	} {
+		mu := d.Mean()
+		muK := dist.CentralMomentOf(d, rng, 2, 400000)
+		tb := Table{
+			Title: "E6: heavy-tailed mean median |err|, " + d.Name() +
+				" (n=" + fi(n) + ", eps=" + fm(eps) + ", k=2)",
+			Columns: []string{"method", "med |err|", "rel to ours"},
+		}
+		ours := medAbsErrs(cfg.trials(), mu, func() (float64, error) {
+			return core.EstimateMean(rng, dist.SampleN(d, rng, n), eps, 0.1)
+		})
+		rows := [][2]interface{}{
+			{"non-private", medAbsErrs(cfg.trials(), mu, func() (float64, error) {
+				return baseline.NonPrivateMean(dist.SampleN(d, rng, n)), nil
+			})},
+			{"ours (no assumptions)", ours},
+			{"KSU20 µ̄k exact", medAbsErrs(cfg.trials(), mu, func() (float64, error) {
+				return baseline.KSU20Mean(rng, dist.SampleN(d, rng, n), 100, 2, muK, eps)
+			})},
+			{"KSU20 µ̄k ×10", medAbsErrs(cfg.trials(), mu, func() (float64, error) {
+				return baseline.KSU20Mean(rng, dist.SampleN(d, rng, n), 100, 2, 10*muK, eps)
+			})},
+			{"KSU20 µ̄k ×100", medAbsErrs(cfg.trials(), mu, func() (float64, error) {
+				return baseline.KSU20Mean(rng, dist.SampleN(d, rng, n), 100, 2, 100*muK, eps)
+			})},
+		}
+		for _, r := range rows {
+			v := r[1].(float64)
+			tb.Rows = append(tb.Rows, []string{r[0].(string), fm(v), fm(v / ours)})
+		}
+		tables = append(tables, tb)
+	}
+	return tables
+}
+
+func runE7(cfg Config) []Table {
+	rng := cfg.rng("E7")
+	n := 4000
+	if cfg.Quick {
+		n = 1000
+	}
+	tb := Table{
+		Title:   "E7: Algorithm 7 sandwich ¼·φ(1/16) ≤ IQR̲ ≤ IQR (n=" + fi(n) + ", eps=1)",
+		Columns: []string{"distribution", "¼·φ(1/16)", "med IQR̲", "IQR", "sandwich ok"},
+	}
+	families := []dist.Distribution{
+		dist.NewNormal(0, 1),
+		dist.NewNormal(1e6, 50),
+		dist.NewLaplace(0, 3),
+		dist.NewUniform(-5, 5),
+		dist.NewExponential(2),
+		dist.NewPareto(1, 3),
+		dist.NewStudentT(4),
+		dist.NewCauchy(0, 1),
+		dist.SpikeAndSlab(1e-4, 10, 0.3),
+	}
+	for _, d := range families {
+		phi4 := dist.Phi(d, 1.0/16) / 4
+		iqr := dist.IQROf(d)
+		data := dist.SampleN(d, rng, n)
+		vals := make([]float64, 0, cfg.trials())
+		ok := 0
+		for trial := 0; trial < cfg.trials(); trial++ {
+			lb, err := core.IQRLowerBound(rng, data, 1.0, 0.1)
+			if err != nil {
+				continue
+			}
+			vals = append(vals, lb)
+			if lb >= phi4/2 && lb <= iqr*2 { // factor-2 grace for sampling at finite n
+				ok++
+			}
+		}
+		tb.Rows = append(tb.Rows, []string{
+			d.Name(), fm(phi4), fm(median(vals)), fm(iqr),
+			fi(ok) + "/" + fi(cfg.trials()),
+		})
+	}
+	return []Table{tb}
+}
+
+func runE8(cfg Config) []Table {
+	rng := cfg.rng("E8")
+	n := 30000
+	if cfg.Quick {
+		n = 8000
+	}
+	const eps = 1.0
+	tb := Table{
+		Title: "E8: Gaussian variance median |err|/σ² (n=" + fi(n) + ", eps=1; " +
+			"baselines given σ∈[1e-4, 1e4])",
+		Columns: []string{"σ", "non-private", "ours (no assumptions)", "KV18-var", "CoinPress-var"},
+	}
+	for _, sigma := range []float64{1e-3, 1, 1e3} {
+		d := dist.NewNormal(0, sigma)
+		s2 := sigma * sigma
+		rel := func(err float64) string { return fm(err / s2) }
+		tb.Rows = append(tb.Rows, []string{
+			fm(sigma),
+			rel(medAbsErrs(cfg.trials(), s2, func() (float64, error) {
+				return baseline.NonPrivateVariance(dist.SampleN(d, rng, n)), nil
+			})),
+			rel(medAbsErrs(cfg.trials(), s2, func() (float64, error) {
+				return core.EstimateVariance(rng, dist.SampleN(d, rng, n), eps, 0.1)
+			})),
+			rel(medAbsErrs(cfg.trials(), s2, func() (float64, error) {
+				return baseline.KV18Variance(rng, dist.SampleN(d, rng, n), 1e-4, 1e4, eps)
+			})),
+			rel(medAbsErrs(cfg.trials(), s2, func() (float64, error) {
+				return baseline.CoinPressVariance(rng, dist.SampleN(d, rng, n), 1e-4, 1e4, eps, 0)
+			})),
+		})
+	}
+	return []Table{tb}
+}
+
+func runE9(cfg Config) []Table {
+	rng := cfg.rng("E9")
+	ns := []int{10000, 100000}
+	if cfg.Quick {
+		ns = []int{5000, 20000}
+	}
+	const eps = 1.0
+	var tables []Table
+	for _, d := range []dist.Distribution{
+		dist.NewPareto(1, 5),
+		dist.NewStudentT(5),
+	} {
+		trueVar := d.Var()
+		tb := Table{
+			Title:   "E9: heavy-tailed variance median |err|/σ², " + d.Name() + " (eps=1)",
+			Columns: []string{"n", "non-private", "ours"},
+			Notes:   []string{"no prior private variance estimator exists for this family (Theorem 5.5 is the first)"},
+		}
+		for _, n := range ns {
+			tb.Rows = append(tb.Rows, []string{
+				fi(n),
+				fm(medAbsErrs(cfg.trials(), trueVar, func() (float64, error) {
+					return baseline.NonPrivateVariance(dist.SampleN(d, rng, n)), nil
+				}) / trueVar),
+				fm(medAbsErrs(cfg.trials(), trueVar, func() (float64, error) {
+					return core.EstimateVariance(rng, dist.SampleN(d, rng, n), eps, 0.1)
+				}) / trueVar),
+			})
+		}
+		tables = append(tables, tb)
+	}
+	return tables
+}

@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/xrand"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 21 {
+		t.Fatalf("registered %d experiments, want 21", len(all))
+	}
+	for i, e := range all {
+		if want := i + 1; idOrder(e.ID) != want {
+			t.Errorf("position %d holds %s", i, e.ID)
+		}
+		if e.Title == "" || e.PaperRef == "" || e.Expect == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E5"); !ok {
+		t.Error("E5 missing")
+	}
+	if _, ok := ByID("e5"); !ok {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("E99 should not exist")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"hello"},
+	}
+	out := tb.Render()
+	for _, want := range []string{"## demo", "a    bb", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := Table{Title: "m", Columns: []string{"x"}, Rows: [][]string{{"1"}}}
+	out := tb.Markdown()
+	if !strings.Contains(out, "| x |") || !strings.Contains(out, "|---|") {
+		t.Errorf("Markdown malformed:\n%s", out)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := Table{
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{`va"l`, "x,y"}},
+	}
+	out := tb.CSV()
+	if !strings.Contains(out, `"va""l"`) || !strings.Contains(out, `"x,y"`) {
+		t.Errorf("CSV quoting failed:\n%s", out)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Error("median odd")
+	}
+	if !math.IsNaN(median(nil)) {
+		t.Error("median empty")
+	}
+}
+
+func TestFm(t *testing.T) {
+	cases := map[float64]string{
+		0:          "0",
+		1.5:        "1.5",
+		0.001:      "0.001",
+		1234567:    "1.23e+06",
+		math.NaN(): "nan",
+	}
+	for v, want := range cases {
+		if got := fm(v); got != want {
+			t.Errorf("fm(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if fm(math.Inf(1)) != "inf" {
+		t.Error("fm inf")
+	}
+}
+
+func TestConfigDeterministicRNG(t *testing.T) {
+	c := Config{Seed: 7}
+	a := c.rng("E1").Uint64()
+	b := c.rng("E1").Uint64()
+	if a != b {
+		t.Error("same experiment should get the same stream")
+	}
+	if c.rng("E2").Uint64() == a {
+		t.Error("different experiments should get different streams")
+	}
+}
+
+// TestAllExperimentsQuick runs every registered experiment in quick mode and
+// validates the table structure — an integration test over the whole stack.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	cfg := Config{Seed: 12345, Quick: true, Trials: 3}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables := e.Run(cfg)
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if tb.Title == "" {
+					t.Error("table without title")
+				}
+				if len(tb.Rows) == 0 {
+					t.Errorf("table %q has no rows", tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Errorf("table %q: row width %d != %d columns",
+							tb.Title, len(row), len(tb.Columns))
+					}
+				}
+				// Rendering must not panic and must mention the title.
+				if !strings.Contains(tb.Render(), tb.Title) {
+					t.Error("render lost the title")
+				}
+				_ = tb.Markdown()
+				_ = tb.CSV()
+			}
+		})
+	}
+}
+
+func TestLsSlope(t *testing.T) {
+	// Exact line y = 3 + 2x.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{3, 5, 7, 9}
+	got, ok := lsSlope(xs, ys)
+	if !ok || math.Abs(got-2) > 1e-12 {
+		t.Errorf("lsSlope = %v (ok=%v), want 2", got, ok)
+	}
+	if _, ok := lsSlope([]float64{1}, []float64{2}); ok {
+		t.Error("single point should not fit")
+	}
+	if _, ok := lsSlope([]float64{5, 5}, []float64{1, 2}); ok {
+		t.Error("degenerate x should not fit")
+	}
+	if _, ok := lsSlope([]float64{1, 2}, []float64{1}); ok {
+		t.Error("mismatched lengths should not fit")
+	}
+}
+
+func TestRequiredNTwoConsecutivePasses(t *testing.T) {
+	rng := Config{Seed: 1}.rng("test")
+	d := dist.NewUniform(0, 1)
+	// Error profile: a lucky dip at exactly n in [100, 125), otherwise
+	// error 1/n. requiredN must NOT stop inside the dip (the next grid
+	// point fails again), and must stop once 1/n <= alpha holds twice.
+	est := func(r *xrand.RNG, data []float64) (float64, error) {
+		n := len(data)
+		if n >= 100 && n < 125 {
+			return 0, nil // lucky dip: |0 - target| = 0 <= alpha
+		}
+		return 1 / float64(n), nil
+	}
+	alpha := 1.0 / 2000
+	got := requiredN(rng, d, 0, est, alpha, 3, 64, 100000)
+	if got < 2000 {
+		t.Errorf("requiredN stopped at %d, inside the lucky dip or too early", got)
+	}
+	// Unreachable alpha returns 0.
+	got = requiredN(rng, d, 0, func(r *xrand.RNG, data []float64) (float64, error) {
+		return 1, nil
+	}, 0.5, 2, 64, 1000)
+	if got != 0 {
+		t.Errorf("unreachable alpha: requiredN = %d, want 0", got)
+	}
+}

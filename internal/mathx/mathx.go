@@ -1,0 +1,272 @@
+// Package mathx implements the special functions and numeric routines the
+// distribution substrate needs and the Go standard library lacks: the
+// standard normal CDF and quantile, the regularized incomplete beta function
+// (for Student-t CDFs), adaptive Simpson quadrature, numerically stable
+// log-sum-exp, and generic root bracketing/bisection for quantile inversion.
+package mathx
+
+import "math"
+
+// NormCDF returns the standard normal cumulative distribution function.
+func NormCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormPDF returns the standard normal density.
+func NormPDF(x float64) float64 {
+	return math.Exp(-0.5*x*x) / math.Sqrt(2*math.Pi)
+}
+
+// NormQuantile returns the standard normal quantile (inverse CDF) using
+// Acklam's rational approximation refined by one Halley step, giving close
+// to full double precision. It returns -Inf for p<=0 and +Inf for p>=1.
+func NormQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for Acklam's approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// LogBeta returns log(Beta(a, b)) = lgamma(a)+lgamma(b)-lgamma(a+b).
+func LogBeta(a, b float64) float64 {
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	return la + lb - lab
+}
+
+// RegIncBeta returns the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Lentz's algorithm), following
+// Numerical Recipes. Inputs: a, b > 0, x in [0, 1].
+func RegIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lnFront := a*math.Log(x) + b*math.Log(1-x) - LogBeta(a, b)
+	front := math.Exp(lnFront)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const maxIter = 300
+	const eps = 3e-15
+	const fpmin = 1e-300
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * m
+		aa := float64(m) * (b - float64(m)) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// AdaptiveSimpson integrates f over [a, b] to the requested absolute
+// tolerance using adaptive Simpson quadrature with a recursion depth cap.
+func AdaptiveSimpson(f func(float64) float64, a, b, tol float64) float64 {
+	fa, fb := f(a), f(b)
+	m, fm, whole := simpsonStep(f, a, b, fa, fb)
+	return adaptiveSimpsonRec(f, a, b, fa, fb, m, fm, whole, tol, 50)
+}
+
+func simpsonStep(f func(float64) float64, a, b, fa, fb float64) (m, fm, s float64) {
+	m = (a + b) / 2
+	fm = f(m)
+	s = (b - a) / 6 * (fa + 4*fm + fb)
+	return
+}
+
+func adaptiveSimpsonRec(f func(float64) float64, a, b, fa, fb, m, fm, whole, tol float64, depth int) float64 {
+	lm, flm, left := simpsonStep(f, a, m, fa, fm)
+	rm, frm, right := simpsonStep(f, m, b, fm, fb)
+	delta := left + right - whole
+	// Stop on convergence, exhausted depth, a degenerate midpoint, a
+	// tolerance that has underflowed below float64 resolution of the
+	// partial sums, or a non-finite delta (NaN/Inf integrand values can
+	// otherwise defeat the convergence test and force a full-depth
+	// binary recursion).
+	if depth <= 0 || math.Abs(delta) <= 15*tol || m <= a || m >= b ||
+		math.Abs(delta) <= 1e-14*(math.Abs(left)+math.Abs(right)) ||
+		!isFinite(delta) {
+		return left + right + delta/15
+	}
+	return adaptiveSimpsonRec(f, a, m, fa, fm, lm, flm, left, tol/2, depth-1) +
+		adaptiveSimpsonRec(f, m, b, fm, fb, rm, frm, right, tol/2, depth-1)
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// LogSumExp returns log(sum_i exp(xs[i])) computed stably. -Inf entries are
+// treated as zero mass; an empty input returns -Inf.
+func LogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	max := math.Inf(-1)
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Exp(x - max)
+	}
+	return max + math.Log(sum)
+}
+
+// Bisect finds a root of f in [lo, hi] (f(lo) and f(hi) must have opposite
+// signs, or one of them is zero) to absolute tolerance tol on x.
+func Bisect(f func(float64) float64, lo, hi, tol float64) float64 {
+	flo := f(lo)
+	if flo == 0 {
+		return lo
+	}
+	fhi := f(hi)
+	if fhi == 0 {
+		return hi
+	}
+	if math.Signbit(flo) == math.Signbit(fhi) {
+		return math.NaN()
+	}
+	for i := 0; i < 200 && hi-lo > tol; i++ {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 {
+			return mid
+		}
+		if math.Signbit(fm) == math.Signbit(flo) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// GoldenMin minimizes a unimodal function over [lo, hi] by golden-section
+// search, returning the argmin to tolerance tol.
+func GoldenMin(f func(float64) float64, lo, hi, tol float64) float64 {
+	const invPhi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < 300 && b-a > tol; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+// DoubleFactorial returns n!! for n >= -1 (with (-1)!! = 0!! = 1).
+func DoubleFactorial(n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	out := 1.0
+	for k := n; k > 1; k -= 2 {
+		out *= float64(k)
+	}
+	return out
+}
+
+// Binomial returns the binomial coefficient C(n, k) as a float64.
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out = out * float64(n-i) / float64(i+1)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{-3, 0.0013498980316300933},
+	}
+	for _, c := range cases {
+		if got := NormCDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("NormCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-5, 0.01, 0.25, 0.5, 0.75, 0.9, 0.999, 1 - 1e-9} {
+		x := NormQuantile(p)
+		if got := NormCDF(x); math.Abs(got-p) > 1e-10*math.Max(1, 1/p) && math.Abs(got-p) > 1e-9 {
+			t.Errorf("NormCDF(NormQuantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormQuantileKnown(t *testing.T) {
+	if got := NormQuantile(0.975); math.Abs(got-1.959963984540054) > 1e-9 {
+		t.Errorf("NormQuantile(0.975) = %v", got)
+	}
+	if got := NormQuantile(0.5); math.Abs(got) > 1e-12 {
+		t.Errorf("NormQuantile(0.5) = %v", got)
+	}
+	if !math.IsInf(NormQuantile(0), -1) || !math.IsInf(NormQuantile(1), 1) {
+		t.Error("boundary quantiles should be infinite")
+	}
+}
+
+func TestNormQuantileSymmetry(t *testing.T) {
+	if err := quick.Check(func(raw float64) bool {
+		p := math.Abs(math.Mod(raw, 0.5))
+		if p == 0 {
+			p = 0.25
+		}
+		a := NormQuantile(p)
+		b := NormQuantile(1 - p)
+		return math.Abs(a+b) < 1e-8
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncBetaUniform(t *testing.T) {
+	// I_x(1,1) = x.
+	for _, x := range []float64{0, 0.2, 0.5, 0.77, 1} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a).
+	if err := quick.Check(func(ar, br, xr float64) bool {
+		a := 0.5 + math.Abs(math.Mod(ar, 5))
+		b := 0.5 + math.Abs(math.Mod(br, 5))
+		x := math.Abs(math.Mod(xr, 1))
+		got := RegIncBeta(a, b, x)
+		want := 1 - RegIncBeta(b, a, 1-x)
+		return math.Abs(got-want) < 1e-10
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncBetaStudentTConnection(t *testing.T) {
+	// For Student-t with nu df: P(T <= 0) = 0.5 via I.
+	// F(t) for t>0 is 1 - 0.5*I_{nu/(nu+t^2)}(nu/2, 1/2).
+	nu := 4.0
+	tval := 2.0
+	got := 1 - 0.5*RegIncBeta(nu/2, 0.5, nu/(nu+tval*tval))
+	// Known: P(T_4 <= 2) = 0.9419417...
+	if math.Abs(got-0.941941738) > 1e-6 {
+		t.Errorf("t CDF via RegIncBeta = %v", got)
+	}
+}
+
+func TestAdaptiveSimpsonPolynomial(t *testing.T) {
+	// Integral of x^3 over [0,2] = 4 (Simpson is exact on cubics).
+	got := AdaptiveSimpson(func(x float64) float64 { return x * x * x }, 0, 2, 1e-12)
+	if math.Abs(got-4) > 1e-10 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestAdaptiveSimpsonGaussian(t *testing.T) {
+	got := AdaptiveSimpson(NormPDF, -8, 8, 1e-12)
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("Gaussian mass = %v", got)
+	}
+}
+
+func TestAdaptiveSimpsonPeaked(t *testing.T) {
+	// Narrow peak requiring adaptivity.
+	f := func(x float64) float64 { return math.Exp(-x * x * 1e4) }
+	got := AdaptiveSimpson(f, -1, 1, 1e-12)
+	want := math.Sqrt(math.Pi) / 100
+	if math.Abs(got-want) > 1e-8 {
+		t.Errorf("peaked integral = %v, want %v", got, want)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if math.Abs(got-math.Log(6)) > 1e-12 {
+		t.Errorf("LogSumExp = %v", got)
+	}
+	// Huge values must not overflow.
+	got = LogSumExp([]float64{1000, 1000})
+	if math.Abs(got-(1000+math.Ln2)) > 1e-9 {
+		t.Errorf("LogSumExp big = %v", got)
+	}
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Error("empty LogSumExp should be -Inf")
+	}
+	if !math.IsInf(LogSumExp([]float64{math.Inf(-1)}), -1) {
+		t.Error("all -Inf LogSumExp should be -Inf")
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Errorf("root = %v", root)
+	}
+	if !math.IsNaN(Bisect(func(x float64) float64 { return 1 }, 0, 1, 1e-6)) {
+		t.Error("no sign change should be NaN")
+	}
+}
+
+func TestGoldenMin(t *testing.T) {
+	x := GoldenMin(func(x float64) float64 { return (x - 3) * (x - 3) }, -10, 10, 1e-10)
+	if math.Abs(x-3) > 1e-8 {
+		t.Errorf("argmin = %v", x)
+	}
+}
+
+func TestDoubleFactorial(t *testing.T) {
+	cases := map[int]float64{-1: 1, 0: 1, 1: 1, 2: 2, 3: 3, 4: 8, 5: 15, 7: 105}
+	for n, want := range cases {
+		if got := DoubleFactorial(n); got != want {
+			t.Errorf("%d!! = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	if Binomial(5, 2) != 10 {
+		t.Error("C(5,2)")
+	}
+	if Binomial(10, 0) != 1 || Binomial(10, 10) != 1 {
+		t.Error("edges")
+	}
+	if Binomial(4, 5) != 0 || Binomial(4, -1) != 0 {
+		t.Error("out of range")
+	}
+	if math.Abs(Binomial(50, 25)-1.2641060643775e+14) > 1e3 {
+		t.Errorf("C(50,25) = %v", Binomial(50, 25))
+	}
+}

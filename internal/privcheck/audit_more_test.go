@@ -1,0 +1,110 @@
+package privcheck
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/empirical"
+	"repro/internal/xrand"
+)
+
+// Further end-to-end audits: each major release path is rerun on a
+// neighboring pair at its claimed ε; none may exhibit a measurable
+// privacy-loss excess.
+
+func TestIQRLowerBoundAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive audit")
+	}
+	rng := xrand.New(11)
+	base := make([]float64, 32)
+	r2 := xrand.New(55)
+	for i := range base {
+		base[i] = r2.Gaussian()
+	}
+	d1, d2 := NeighboringPair(base, 1e9)
+	mech := func(rng *xrand.RNG, data []float64) (float64, error) {
+		return core.IQRLowerBound(rng, data, 1.0, 0.2)
+	}
+	res, err := Check(rng, mech, d1, d2, 1.0, Config{Trials: 8000, Bins: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation {
+		t.Errorf("Algorithm 7 audit flagged: %v > 1.0", res.MaxLogRatio)
+	}
+}
+
+func TestVarianceAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive audit")
+	}
+	rng := xrand.New(12)
+	base := make([]float64, 64)
+	r2 := xrand.New(56)
+	for i := range base {
+		base[i] = r2.Gaussian() * 3
+	}
+	d1, d2 := NeighboringPair(base, 1e6)
+	mech := func(rng *xrand.RNG, data []float64) (float64, error) {
+		return core.EstimateVariance(rng, data, 1.0, 0.2)
+	}
+	res, err := Check(rng, mech, d1, d2, 1.0, Config{Trials: 8000, Bins: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation {
+		t.Errorf("Algorithm 9 audit flagged: %v > 1.0", res.MaxLogRatio)
+	}
+}
+
+func TestEmpiricalRangeAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive audit")
+	}
+	rng := xrand.New(13)
+	base := make([]float64, 48)
+	for i := range base {
+		base[i] = float64(i * 3)
+	}
+	d1, d2 := NeighboringPair(base, -1e7)
+	mech := func(rng *xrand.RNG, data []float64) (float64, error) {
+		ints := make([]int64, len(data))
+		for i, v := range data {
+			ints[i] = int64(v)
+		}
+		lo, hi, err := empirical.Range(rng, ints, 1.0, 0.2)
+		// Audit a scalar functional of the released pair.
+		return float64(hi - lo), err
+	}
+	res, err := Check(rng, mech, d1, d2, 1.0, Config{Trials: 8000, Bins: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation {
+		t.Errorf("Algorithm 4 audit flagged: %v > 1.0", res.MaxLogRatio)
+	}
+}
+
+func TestScaleUpperBoundAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive audit")
+	}
+	rng := xrand.New(14)
+	base := make([]float64, 32)
+	r2 := xrand.New(57)
+	for i := range base {
+		base[i] = r2.Laplace(2)
+	}
+	d1, d2 := NeighboringPair(base, 1e8)
+	mech := func(rng *xrand.RNG, data []float64) (float64, error) {
+		return core.IQRUpperBound(rng, data, 1.0, 0.2)
+	}
+	res, err := Check(rng, mech, d1, d2, 1.0, Config{Trials: 8000, Bins: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation {
+		t.Errorf("IQRUpperBound audit flagged: %v > 1.0", res.MaxLogRatio)
+	}
+}

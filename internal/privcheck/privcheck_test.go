@@ -1,0 +1,242 @@
+package privcheck
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// laplaceMeanMech is a correctly calibrated eps-DP clipped mean over [0,1].
+func laplaceMeanMech(eps float64) Mechanism {
+	return func(rng *xrand.RNG, data []float64) (float64, error) {
+		return dp.ClippedMean(rng, data, 0, 1, eps)
+	}
+}
+
+// brokenMech releases the exact mean with no noise.
+func brokenMech(rng *xrand.RNG, data []float64) (float64, error) {
+	return stats.Mean(data), nil
+}
+
+func auditPair() (d1, d2 []float64) {
+	base := make([]float64, 20)
+	for i := range base {
+		base[i] = 0.5
+	}
+	return NeighboringPair(base, 1.0) // one record moves 0.5 -> 1.0
+}
+
+func TestCalibratedMechanismPasses(t *testing.T) {
+	rng := xrand.New(1)
+	d1, d2 := auditPair()
+	res, err := Check(rng, laplaceMeanMech(1.0), d1, d2, 1.0, Config{Trials: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation {
+		t.Errorf("calibrated eps=1 mechanism flagged: max ratio %v", res.MaxLogRatio)
+	}
+	if res.Bins == 0 {
+		t.Error("no bins compared")
+	}
+}
+
+func TestNoiselessMechanismFlagged(t *testing.T) {
+	rng := xrand.New(2)
+	d1, d2 := auditPair()
+	res, err := Check(rng, brokenMech, d1, d2, 1.0, Config{Trials: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violation {
+		t.Errorf("noiseless mechanism not flagged: max ratio %v", res.MaxLogRatio)
+	}
+}
+
+func TestUnderScaledNoiseFlagged(t *testing.T) {
+	// Mechanism noise calibrated for eps=10 audited against claim eps=0.5:
+	// the realized log ratio on the neighboring pair is ~ 10x too large.
+	rng := xrand.New(3)
+	d1, d2 := auditPair()
+	res, err := Check(rng, laplaceMeanMech(10), d1, d2, 0.5, Config{Trials: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violation {
+		t.Errorf("under-noised mechanism not flagged: max ratio %v vs claim 0.5", res.MaxLogRatio)
+	}
+}
+
+func TestIdenticalDatasetsNeverViolate(t *testing.T) {
+	rng := xrand.New(4)
+	d := make([]float64, 10)
+	res, err := Check(rng, laplaceMeanMech(1.0), d, d, 0.01, Config{Trials: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation {
+		t.Errorf("identical datasets flagged: %v", res.MaxLogRatio)
+	}
+}
+
+func TestConstantMechanismPasses(t *testing.T) {
+	rng := xrand.New(5)
+	constMech := func(rng *xrand.RNG, data []float64) (float64, error) { return 42, nil }
+	d1, d2 := auditPair()
+	res, err := Check(rng, constMech, d1, d2, 0.001, Config{Trials: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation {
+		t.Error("constant mechanism cannot leak")
+	}
+}
+
+func TestDisjointSupportsFlagged(t *testing.T) {
+	// The strongest possible violation: the output reveals which dataset
+	// was used with certainty (two point masses at different values).
+	// Detectability bound: with add-half smoothing the measurable excess
+	// is log(2·Trials) minus the ~5.7 slack of an empty-vs-full bin, so a
+	// 3000-trial audit certifies violations of claims up to ~3.0.
+	rng := xrand.New(21)
+	d1, d2 := auditPair()
+	res, err := Check(rng, brokenMech, d1, d2, 2.0, Config{Trials: 3000, Bins: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violation {
+		t.Errorf("disjoint supports not flagged: max ratio %v vs claim 2.0", res.MaxLogRatio)
+	}
+}
+
+func TestMechanismErrorPropagates(t *testing.T) {
+	rng := xrand.New(6)
+	failing := func(rng *xrand.RNG, data []float64) (float64, error) {
+		return 0, dp.ErrEmptyData
+	}
+	d1, d2 := auditPair()
+	if _, err := Check(rng, failing, d1, d2, 1, Config{Trials: 10}); err == nil {
+		t.Error("mechanism error should propagate")
+	}
+}
+
+func TestUniversalMeanEstimatorAudit(t *testing.T) {
+	// End-to-end audit of the paper's Algorithm 8 at eps=1. The estimator
+	// is eps-DP by construction; the audit must not detect a violation.
+	if testing.Short() {
+		t.Skip("expensive audit")
+	}
+	rng := xrand.New(7)
+	base := make([]float64, 64)
+	r2 := xrand.New(99)
+	for i := range base {
+		base[i] = r2.Gaussian()
+	}
+	d1, d2 := NeighboringPair(base, 50) // one far outlier swapped in
+	mech := func(rng *xrand.RNG, data []float64) (float64, error) {
+		return core.EstimateMean(rng, data, 1.0, 0.2)
+	}
+	res, err := Check(rng, mech, d1, d2, 1.0, Config{Trials: 8000, Bins: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation {
+		t.Errorf("Algorithm 8 audit flagged a violation: %v > 1.0", res.MaxLogRatio)
+	}
+}
+
+func TestEmpiricalQuantileAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive audit")
+	}
+	rng := xrand.New(8)
+	base := make([]float64, 40)
+	for i := range base {
+		base[i] = float64(i)
+	}
+	d1, d2 := NeighboringPair(base, 1e6)
+	mech := func(rng *xrand.RNG, data []float64) (float64, error) {
+		ints := make([]int64, len(data))
+		for i, v := range data {
+			ints[i] = int64(v)
+		}
+		q, err := dp.FiniteDomainQuantile(rng, ints, len(ints)/2, -1<<20, 1<<20, 1.0, 0.2)
+		return float64(q), err
+	}
+	res, err := Check(rng, mech, d1, d2, 1.0, Config{Trials: 8000, Bins: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation {
+		t.Errorf("quantile mechanism audit flagged: %v > 1.0", res.MaxLogRatio)
+	}
+}
+
+func TestNeighboringPair(t *testing.T) {
+	d1, d2 := NeighboringPair([]float64{1, 2, 3}, 9)
+	if d1[0] != 1 || d2[0] != 9 || d1[1] != d2[1] || len(d1) != len(d2) {
+		t.Error("pair construction")
+	}
+	diff := 0
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("pair differs in %d records, want 1", diff)
+	}
+	if math.IsNaN(d2[0]) {
+		t.Error("swap value")
+	}
+}
+
+func TestHistogramConservesMassProperty(t *testing.T) {
+	// Property: for arbitrary samples and any sorted, deduplicated edge
+	// set, every sample lands in exactly one bin.
+	f := func(raw []float64, rawEdges []float64) bool {
+		if len(rawEdges) == 0 {
+			return true
+		}
+		edges := append([]float64(nil), rawEdges...)
+		for i := range edges {
+			if math.IsNaN(edges[i]) {
+				edges[i] = 0
+			}
+		}
+		sort.Float64s(edges)
+		dedup := edges[:0]
+		for i, e := range edges {
+			if i == 0 || e > dedup[len(dedup)-1] {
+				dedup = append(dedup, e)
+			}
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		counts := histogram(xs, dedup)
+		if len(counts) != len(dedup) {
+			return false
+		}
+		total := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			total += c
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package privcheck
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/empirical"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Target is one auditable mechanism: a named release with an ε-DP claim and
+// a canonical neighboring dataset pair that stresses it.
+type Target struct {
+	Name string
+	// Claim is the ε the mechanism is supposed to satisfy.
+	Claim float64
+	// Mech runs the release.
+	Mech Mechanism
+	// D1, D2 are the neighboring datasets the audit distinguishes.
+	D1, D2 []float64
+	// WantViolation marks deliberately broken targets (negative controls):
+	// the audit is expected to flag them.
+	WantViolation bool
+}
+
+// Registry returns the full audit suite at the given claim ε: every
+// mechanism the library ships, each on a neighboring pair designed to
+// maximize its privacy loss, plus deliberately broken negative controls
+// that a sound auditor must flag. The suite is what cmd/updp-audit runs.
+func Registry(eps float64) []Target {
+	// A tight cluster with one far-out swapped record: the worst case for
+	// location releases (the swap moves every range/clip decision).
+	base := make([]float64, 24)
+	for i := range base {
+		base[i] = 0.25 + 0.017*float64(i%7)
+	}
+	d1, d2 := NeighboringPair(base, 9.75)
+
+	// Integer twin for the empirical-setting mechanisms (fixed-point).
+	toInt := func(xs []float64) []int64 {
+		out := make([]int64, len(xs))
+		for i, v := range xs {
+			out[i] = int64(v * 1000)
+		}
+		return out
+	}
+
+	targets := []Target{
+		{
+			Name:  "dp.ClippedMean[0,1]",
+			Claim: eps,
+			Mech: func(rng *xrand.RNG, data []float64) (float64, error) {
+				return dp.ClippedMean(rng, data, 0, 1, eps)
+			},
+			D1: d1, D2: d2,
+		},
+		{
+			Name:  "dp.NoisyCount",
+			Claim: eps,
+			Mech: func(rng *xrand.RNG, data []float64) (float64, error) {
+				n := 0
+				for _, v := range data {
+					if v > 0.5 {
+						n++
+					}
+				}
+				return dp.NoisyCount(rng, n, eps), nil
+			},
+			D1: d1, D2: d2,
+		},
+		{
+			Name:  "empirical.Mean (Alg 5)",
+			Claim: eps,
+			Mech: func(rng *xrand.RNG, data []float64) (float64, error) {
+				return empirical.Mean(rng, toInt(data), eps, 0.1)
+			},
+			D1: d1, D2: d2,
+		},
+		{
+			Name:  "empirical.Quantile (Alg 6, median)",
+			Claim: eps,
+			Mech: func(rng *xrand.RNG, data []float64) (float64, error) {
+				q, err := empirical.Quantile(rng, toInt(data), len(data)/2, eps, 0.1)
+				return float64(q), err
+			},
+			D1: d1, D2: d2,
+		},
+		{
+			Name:  "empirical.Radius (Alg 3)",
+			Claim: eps,
+			Mech: func(rng *xrand.RNG, data []float64) (float64, error) {
+				r, err := empirical.Radius(rng, toInt(data), eps, 0.1)
+				return float64(r), err
+			},
+			D1: d1, D2: d2,
+		},
+		{
+			Name:  "core.EstimateMean (Alg 8)",
+			Claim: eps,
+			Mech: func(rng *xrand.RNG, data []float64) (float64, error) {
+				return core.EstimateMean(rng, data, eps, 0.1)
+			},
+			D1: d1, D2: d2,
+		},
+		{
+			Name:  "core.EstimateVariance (Alg 9)",
+			Claim: eps,
+			Mech: func(rng *xrand.RNG, data []float64) (float64, error) {
+				return core.EstimateVariance(rng, data, eps, 0.1)
+			},
+			D1: d1, D2: d2,
+		},
+		{
+			Name:  "core.EstimateIQR (Alg 10)",
+			Claim: eps,
+			Mech: func(rng *xrand.RNG, data []float64) (float64, error) {
+				return core.EstimateIQR(rng, data, eps, 0.1)
+			},
+			D1: d1, D2: d2,
+		},
+		{
+			Name:  "core.TrimmedMean",
+			Claim: eps,
+			Mech: func(rng *xrand.RNG, data []float64) (float64, error) {
+				return core.TrimmedMean(rng, data, 0.1, eps, 0.1)
+			},
+			D1: d1, D2: d2,
+		},
+		{
+			Name:  "core.IQRLowerBound (Alg 7)",
+			Claim: eps,
+			Mech: func(rng *xrand.RNG, data []float64) (float64, error) {
+				return core.IQRLowerBound(rng, data, eps, 0.1)
+			},
+			D1: d1, D2: d2,
+		},
+
+		// ---- negative controls: the audit must flag these ----
+		{
+			Name:  "BROKEN exact mean (no noise)",
+			Claim: eps,
+			Mech: func(rng *xrand.RNG, data []float64) (float64, error) {
+				return stats.Mean(data), nil
+			},
+			D1: d1, D2: d2, WantViolation: true,
+		},
+		{
+			Name:  "BROKEN under-noised mean (20x budget)",
+			Claim: eps,
+			Mech: func(rng *xrand.RNG, data []float64) (float64, error) {
+				return dp.ClippedMean(rng, data, 0, 10, 20*eps)
+			},
+			D1: d1, D2: d2, WantViolation: true,
+		},
+		{
+			Name:  "BROKEN exact max",
+			Claim: eps,
+			Mech: func(rng *xrand.RNG, data []float64) (float64, error) {
+				m := data[0]
+				for _, v := range data[1:] {
+					if v > m {
+						m = v
+					}
+				}
+				return m, nil
+			},
+			D1: d1, D2: d2, WantViolation: true,
+		},
+	}
+	return targets
+}
+
+// Report is the outcome of auditing one target.
+type Report struct {
+	Target Target
+	Result Result
+	// OK is true when the audit outcome matches expectation: clean for
+	// sound mechanisms, flagged for negative controls.
+	OK bool
+}
+
+// RunAll audits every target and reports the outcomes.
+func RunAll(rng *xrand.RNG, targets []Target, cfg Config) ([]Report, error) {
+	reports := make([]Report, 0, len(targets))
+	for _, tg := range targets {
+		res, err := Check(rng, tg.Mech, tg.D1, tg.D2, tg.Claim, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("audit %s: %w", tg.Name, err)
+		}
+		reports = append(reports, Report{
+			Target: tg,
+			Result: res,
+			OK:     res.Violation == tg.WantViolation,
+		})
+	}
+	return reports, nil
+}

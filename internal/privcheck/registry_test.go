@@ -1,0 +1,111 @@
+package privcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestRegistryShape(t *testing.T) {
+	targets := Registry(1.0)
+	if len(targets) < 10 {
+		t.Fatalf("registry too small: %d targets", len(targets))
+	}
+	names := map[string]bool{}
+	var sound, broken int
+	for _, tg := range targets {
+		if tg.Name == "" || tg.Mech == nil || len(tg.D1) == 0 || len(tg.D2) == 0 {
+			t.Errorf("malformed target %+v", tg.Name)
+		}
+		if names[tg.Name] {
+			t.Errorf("duplicate target name %q", tg.Name)
+		}
+		names[tg.Name] = true
+		if tg.Claim != 1.0 {
+			t.Errorf("%s: claim %v, want 1.0", tg.Name, tg.Claim)
+		}
+		if tg.WantViolation {
+			broken++
+			if !strings.Contains(tg.Name, "BROKEN") {
+				t.Errorf("negative control %q should be labeled BROKEN", tg.Name)
+			}
+		} else {
+			sound++
+		}
+	}
+	if sound < 8 {
+		t.Errorf("want >= 8 sound targets, got %d", sound)
+	}
+	if broken < 2 {
+		t.Errorf("want >= 2 negative controls, got %d", broken)
+	}
+}
+
+func TestRegistryNeighboringPairsAreNeighbors(t *testing.T) {
+	for _, tg := range Registry(0.5) {
+		if len(tg.D1) != len(tg.D2) {
+			t.Errorf("%s: pair lengths differ", tg.Name)
+			continue
+		}
+		diff := 0
+		for i := range tg.D1 {
+			if tg.D1[i] != tg.D2[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Errorf("%s: datasets differ in %d records, want exactly 1", tg.Name, diff)
+		}
+	}
+}
+
+func TestRunAllSoundTargetsClean(t *testing.T) {
+	// Sound mechanisms must not be flagged even at a modest trial count.
+	rng := xrand.New(81)
+	targets := Registry(1.0)
+	sound := targets[:0]
+	for _, tg := range targets {
+		if !tg.WantViolation {
+			sound = append(sound, tg)
+		}
+	}
+	reports, err := RunAll(rng, sound, Config{Trials: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.Result.Violation {
+			t.Errorf("%s flagged at ratio %v", r.Target.Name, r.Result.MaxLogRatio)
+		}
+		if !r.OK {
+			t.Errorf("%s: OK flag inconsistent", r.Target.Name)
+		}
+	}
+}
+
+func TestRunAllFlagsNegativeControls(t *testing.T) {
+	// Negative controls need enough trials for the empty-bin slack
+	// (log(2T) - ~5.7) to clear the claim; 8000 suffices at eps=1.
+	if testing.Short() {
+		t.Skip("full audit is slow")
+	}
+	rng := xrand.New(82)
+	targets := Registry(1.0)
+	controls := targets[:0]
+	for _, tg := range targets {
+		if tg.WantViolation {
+			controls = append(controls, tg)
+		}
+	}
+	reports, err := RunAll(rng, controls, Config{Trials: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if !r.Result.Violation {
+			t.Errorf("negative control %s not flagged (ratio %v)",
+				r.Target.Name, r.Result.MaxLogRatio)
+		}
+	}
+}

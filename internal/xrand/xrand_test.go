@@ -1,0 +1,413 @@
+package xrand
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedNotDegenerate(t *testing.T) {
+	r := New(0)
+	var or uint64
+	for i := 0; i < 10; i++ {
+		or |= r.Uint64()
+	}
+	if or == 0 {
+		t.Fatal("seed 0 produced all-zero outputs")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream must not simply replay the parent stream.
+	p2 := New(7)
+	p2.Uint64() // parent consumed one value to split
+	equal := 0
+	for i := 0; i < 64; i++ {
+		if child.Uint64() == p2.Uint64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Fatalf("child replays parent: %d/64 equal", equal)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64OpenRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64Open()
+		if f <= 0 || f >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", f)
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []uint64{1, 2, 3, 7, 10, 1 << 20, 1<<63 + 12345} {
+		for i := 0; i < 1000; i++ {
+			v := r.Uint64n(n)
+			if v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestUint64nUniform(t *testing.T) {
+	r := New(11)
+	const n = 10
+	counts := make([]int, n)
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	for i, c := range counts {
+		exp := float64(trials) / n
+		if math.Abs(float64(c)-exp) > 5*math.Sqrt(exp) {
+			t.Errorf("bucket %d: count %d, expected ~%.0f", i, c, exp)
+		}
+	}
+}
+
+func TestInt64Range(t *testing.T) {
+	r := New(13)
+	cases := []struct{ lo, hi int64 }{
+		{0, 0}, {-5, 5}, {math.MinInt64 / 2, math.MaxInt64 / 2}, {100, 101},
+	}
+	for _, c := range cases {
+		for i := 0; i < 1000; i++ {
+			v := r.Int64Range(c.lo, c.hi)
+			if v < c.lo || v > c.hi {
+				t.Fatalf("Int64Range(%d,%d) = %d", c.lo, c.hi, v)
+			}
+		}
+	}
+}
+
+func TestInt64RangeFullSpan(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100; i++ {
+		_ = r.Int64Range(math.MinInt64, math.MaxInt64) // must not panic
+	}
+}
+
+// meanStd returns the sample mean and standard deviation of draws from f.
+func meanStd(n int, f func() float64) (mean, std float64) {
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := f()
+		sum += v
+		sumsq += v * v
+	}
+	mean = sum / float64(n)
+	std = math.Sqrt(sumsq/float64(n) - mean*mean)
+	return
+}
+
+func TestExponentialMoments(t *testing.T) {
+	r := New(19)
+	mean, std := meanStd(200000, r.Exponential)
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("Exponential mean = %v, want ~1", mean)
+	}
+	if math.Abs(std-1) > 0.02 {
+		t.Errorf("Exponential std = %v, want ~1", std)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	r := New(23)
+	const scale = 2.5
+	mean, std := meanStd(400000, func() float64 { return r.Laplace(scale) })
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	want := scale * math.Sqrt2 // Var = 2 scale^2
+	if math.Abs(std-want) > 0.05 {
+		t.Errorf("Laplace std = %v, want ~%v", std, want)
+	}
+}
+
+func TestLaplaceTailProbability(t *testing.T) {
+	// P(|Lap(b)| > t) = exp(-t/b).
+	r := New(29)
+	const scale = 1.0
+	const thresh = 2.0
+	n, hits := 300000, 0
+	for i := 0; i < n; i++ {
+		if math.Abs(r.Laplace(scale)) > thresh {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	want := math.Exp(-thresh / scale)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("Laplace tail prob = %v, want ~%v", got, want)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := New(31)
+	mean, std := meanStd(400000, r.Gaussian)
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("Gaussian mean = %v, want ~0", mean)
+	}
+	if math.Abs(std-1) > 0.01 {
+		t.Errorf("Gaussian std = %v, want ~1", std)
+	}
+}
+
+func TestGaussianKurtosis(t *testing.T) {
+	r := New(37)
+	var m4, m2 float64
+	const n = 400000
+	for i := 0; i < n; i++ {
+		v := r.Gaussian()
+		m2 += v * v
+		m4 += v * v * v * v
+	}
+	m2 /= n
+	m4 /= n
+	kurt := m4 / (m2 * m2)
+	if math.Abs(kurt-3) > 0.15 {
+		t.Errorf("Gaussian kurtosis = %v, want ~3", kurt)
+	}
+}
+
+func TestGumbelMoments(t *testing.T) {
+	r := New(41)
+	mean, std := meanStd(400000, r.Gumbel)
+	const euler = 0.5772156649015329
+	if math.Abs(mean-euler) > 0.02 {
+		t.Errorf("Gumbel mean = %v, want ~%v", mean, euler)
+	}
+	want := math.Pi / math.Sqrt(6)
+	if math.Abs(std-want) > 0.02 {
+		t.Errorf("Gumbel std = %v, want ~%v", std, want)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(43)
+	for _, shape := range []float64{0.5, 1, 2.5, 10} {
+		mean, std := meanStd(300000, func() float64 { return r.Gamma(shape) })
+		if math.Abs(mean-shape) > 0.05*math.Max(1, shape) {
+			t.Errorf("Gamma(%v) mean = %v, want ~%v", shape, mean, shape)
+		}
+		want := math.Sqrt(shape)
+		if math.Abs(std-want) > 0.05*math.Max(1, want) {
+			t.Errorf("Gamma(%v) std = %v, want ~%v", shape, std, want)
+		}
+	}
+}
+
+func TestChiSquareMean(t *testing.T) {
+	r := New(47)
+	for _, df := range []float64{1, 3, 10} {
+		mean, _ := meanStd(200000, func() float64 { return r.ChiSquare(df) })
+		if math.Abs(mean-df) > 0.05*math.Max(1, df) {
+			t.Errorf("ChiSquare(%v) mean = %v", df, mean)
+		}
+	}
+}
+
+func TestParetoMoments(t *testing.T) {
+	r := New(53)
+	xm, alpha := 1.0, 4.0
+	mean, _ := meanStd(400000, func() float64 { return r.Pareto(xm, alpha) })
+	want := alpha * xm / (alpha - 1)
+	if math.Abs(mean-want) > 0.02 {
+		t.Errorf("Pareto mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestParetoSupport(t *testing.T) {
+	r := New(59)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+	}
+}
+
+func TestStudentTSymmetricAndHeavy(t *testing.T) {
+	r := New(61)
+	const nu = 5.0
+	mean, std := meanStd(400000, func() float64 { return r.StudentT(nu) })
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("StudentT mean = %v, want ~0", mean)
+	}
+	want := math.Sqrt(nu / (nu - 2))
+	if math.Abs(std-want) > 0.05 {
+		t.Errorf("StudentT std = %v, want ~%v", std, want)
+	}
+}
+
+func TestUniformKS(t *testing.T) {
+	// Kolmogorov–Smirnov test of Float64 against U(0,1).
+	r := New(67)
+	const n = 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	sort.Float64s(xs)
+	var d float64
+	for i, x := range xs {
+		lo := math.Abs(x - float64(i)/n)
+		hi := math.Abs(x - float64(i+1)/n)
+		d = math.Max(d, math.Max(lo, hi))
+	}
+	// Critical value at alpha=0.001 is ~1.95/sqrt(n).
+	if d > 1.95/math.Sqrt(n) {
+		t.Errorf("KS statistic %v too large", d)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(71)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleIndicesDistinct(t *testing.T) {
+	r := New(73)
+	if err := quick.Check(func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		m := int(mRaw) % (n + 1)
+		rr := New(seed)
+		idx := rr.SampleIndices(n, m)
+		if len(idx) != m {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range idx {
+			if i < 0 || i >= n || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 300, Rand: nil}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestSampleIndicesUniform(t *testing.T) {
+	// Each index should appear with probability m/n.
+	r := New(79)
+	const n, m, trials = 10, 3, 60000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, j := range r.SampleIndices(n, m) {
+			counts[j]++
+		}
+	}
+	exp := float64(trials) * m / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-exp) > 6*math.Sqrt(exp) {
+			t.Errorf("index %d sampled %d times, expected ~%.0f", i, c, exp)
+		}
+	}
+}
+
+func TestSampleIndicesFull(t *testing.T) {
+	r := New(83)
+	idx := r.SampleIndices(5, 5)
+	sort.Ints(idx)
+	for i, v := range idx {
+		if v != i {
+			t.Fatalf("full sample is not a permutation: %v", idx)
+		}
+	}
+}
+
+func TestGaussianCacheConsistency(t *testing.T) {
+	// Consuming an odd number of Gaussians must not corrupt the stream.
+	a := New(89)
+	b := New(89)
+	_ = a.Gaussian()
+	_ = a.Uint64()
+	_ = b.Gaussian()
+	_ = b.Uint64()
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("stream mismatch after Gaussian")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { New(1).Laplace(-1) },
+		func() { New(1).Gamma(0) },
+		func() { New(1).Pareto(0, 1) },
+		func() { New(1).Pareto(1, 0) },
+		func() { New(1).StudentT(0) },
+		func() { New(1).Int63n(0) },
+		func() { New(1).Int64Range(3, 2) },
+		func() { New(1).SampleIndices(3, 4) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,114 @@
+package updp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Table-driven validation tests: every public release must reject a bad
+// epsilon, a bad beta option, and an undersized sample with the documented
+// typed errors, regardless of which estimator it wraps.
+
+func TestAllReleasesRejectBadEpsilon(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ints := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	calls := map[string]func(eps float64) error{
+		"Mean":     func(e float64) error { _, err := Mean(data, e); return err },
+		"Variance": func(e float64) error { _, err := Variance(data, e); return err },
+		"StdDev":   func(e float64) error { _, err := StdDev(data, e); return err },
+		"IQR":      func(e float64) error { _, err := IQR(data, e); return err },
+		"Quantile": func(e float64) error { _, err := Quantile(data, 0.5, e); return err },
+		"Median":   func(e float64) error { _, err := Median(data, e); return err },
+		"Quantiles": func(e float64) error {
+			_, err := Quantiles(data, []float64{0.5}, e)
+			return err
+		},
+		"TrimmedMean": func(e float64) error { _, err := TrimmedMean(data, 0.1, e); return err },
+		"MeanInterval": func(e float64) error {
+			_, err := MeanInterval(data, e)
+			return err
+		},
+		"QuantileInterval": func(e float64) error {
+			_, err := QuantileInterval(data, 0.5, e)
+			return err
+		},
+		"IQRInterval":       func(e float64) error { _, err := IQRInterval(data, e); return err },
+		"EmpiricalMean":     func(e float64) error { _, err := EmpiricalMean(ints, e); return err },
+		"EmpiricalQuantile": func(e float64) error { _, err := EmpiricalQuantile(ints, 4, e); return err },
+		"PrivateRange":      func(e float64) error { _, _, err := PrivateRange(ints, e); return err },
+		"PrivateRadius":     func(e float64) error { _, err := PrivateRadius(ints, e); return err },
+		"MeanVector": func(e float64) error {
+			_, err := MeanVector([][]float64{{1}, {2}, {3}, {4}, {5}}, e)
+			return err
+		},
+		"VarianceDiagonal": func(e float64) error {
+			_, err := VarianceDiagonal([][]float64{{1}, {2}, {3}, {4}, {5}}, e)
+			return err
+		},
+		"IQRBracket": func(e float64) error { _, err := IQRBracket(data, e); return err },
+	}
+	for name, call := range calls {
+		for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+			if err := call(eps); !errors.Is(err, ErrInvalidEpsilon) {
+				t.Errorf("%s(eps=%v): want ErrInvalidEpsilon, got %v", name, eps, err)
+			}
+		}
+	}
+}
+
+func TestAllReleasesRejectBadBeta(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	calls := map[string]func(o Option) error{
+		"Mean":        func(o Option) error { _, err := Mean(data, 1, o); return err },
+		"Variance":    func(o Option) error { _, err := Variance(data, 1, o); return err },
+		"StdDev":      func(o Option) error { _, err := StdDev(data, 1, o); return err },
+		"IQR":         func(o Option) error { _, err := IQR(data, 1, o); return err },
+		"Median":      func(o Option) error { _, err := Median(data, 1, o); return err },
+		"TrimmedMean": func(o Option) error { _, err := TrimmedMean(data, 0.1, 1, o); return err },
+		"IQRInterval": func(o Option) error { _, err := IQRInterval(data, 1, o); return err },
+	}
+	for name, call := range calls {
+		for _, beta := range []float64{0, 1, -0.5, 2, math.NaN()} {
+			if err := call(WithBeta(beta)); !errors.Is(err, ErrInvalidBeta) {
+				t.Errorf("%s(beta=%v): want ErrInvalidBeta, got %v", name, beta, err)
+			}
+		}
+	}
+}
+
+func TestAllReleasesRejectTinySamples(t *testing.T) {
+	tiny := []float64{1, 2}
+	calls := map[string]func() error{
+		"Mean":         func() error { _, err := Mean(tiny, 1); return err },
+		"Variance":     func() error { _, err := Variance(tiny, 1); return err },
+		"StdDev":       func() error { _, err := StdDev(tiny, 1); return err },
+		"IQR":          func() error { _, err := IQR(tiny, 1); return err },
+		"TrimmedMean":  func() error { _, err := TrimmedMean(tiny, 0.1, 1); return err },
+		"MeanInterval": func() error { _, err := MeanInterval(tiny, 1); return err },
+		"IQRBracket":   func() error { _, err := IQRBracket(tiny, 1); return err },
+	}
+	for name, call := range calls {
+		if err := call(); !errors.Is(err, ErrTooFewSamples) {
+			t.Errorf("%s(n=2): want ErrTooFewSamples, got %v", name, err)
+		}
+	}
+}
+
+func TestStdDevNonNegativeProjection(t *testing.T) {
+	// With a tiny budget the variance release can come out negative; the
+	// standard deviation must still be finite and non-negative.
+	data := make([]float64, 200)
+	for i := range data {
+		data[i] = float64(i) * 0.01
+	}
+	for seed := uint64(1); seed <= 20; seed++ {
+		s, err := StdDev(data, 0.05, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < 0 || math.IsNaN(s) {
+			t.Fatalf("seed %d: stddev %v", seed, s)
+		}
+	}
+}

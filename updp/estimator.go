@@ -1,0 +1,141 @@
+package updp
+
+import (
+	"repro/internal/dp"
+	"repro/internal/xrand"
+)
+
+// Estimator answers multiple statistics about one dataset under a total
+// privacy budget, enforcing basic composition (Lemma 2.2): each call
+// deducts its ε and fails with ErrBudgetExhausted once the budget is
+// spent. This is the recommended way to release several statistics about
+// the same individuals.
+//
+//	est, _ := updp.NewEstimator(data, 3.0)   // total ε = 3
+//	m, _ := est.Mean(1.0)
+//	v, _ := est.Variance(1.0)
+//	q, _ := est.IQR(1.0)
+//	_, err := est.Mean(0.5)                  // ErrBudgetExhausted
+//
+// An Estimator is not safe for concurrent use.
+type Estimator struct {
+	data []float64
+	acct *dp.Accountant
+	beta float64
+	rng  *xrand.RNG
+}
+
+// NewEstimator wraps data with a total ε budget. Options set the utility
+// failure probability and the RNG seed, as for the package-level functions.
+func NewEstimator(data []float64, totalEps float64, opts ...Option) (*Estimator, error) {
+	c, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	acct, err := dp.NewAccountant(totalEps)
+	if err != nil {
+		return nil, err
+	}
+	cp := append([]float64(nil), data...)
+	return &Estimator{data: cp, acct: acct, beta: c.beta, rng: c.rng}, nil
+}
+
+// Remaining reports the unspent budget.
+func (e *Estimator) Remaining() float64 { return e.acct.Remaining() }
+
+// spendAndRun deducts eps and, on success, runs the release.
+func (e *Estimator) spendAndRun(eps float64, f func() (float64, error)) (float64, error) {
+	if err := e.acct.Spend(eps); err != nil {
+		return 0, err
+	}
+	return f()
+}
+
+// Mean releases the mean with budget eps (see package-level Mean).
+func (e *Estimator) Mean(eps float64) (float64, error) {
+	return e.spendAndRun(eps, func() (float64, error) {
+		return Mean(e.data, eps, WithBeta(e.beta), withRNG(e.rng))
+	})
+}
+
+// Variance releases the variance with budget eps.
+func (e *Estimator) Variance(eps float64) (float64, error) {
+	return e.spendAndRun(eps, func() (float64, error) {
+		return Variance(e.data, eps, WithBeta(e.beta), withRNG(e.rng))
+	})
+}
+
+// StdDev releases the standard deviation with budget eps.
+func (e *Estimator) StdDev(eps float64) (float64, error) {
+	return e.spendAndRun(eps, func() (float64, error) {
+		return StdDev(e.data, eps, WithBeta(e.beta), withRNG(e.rng))
+	})
+}
+
+// IQR releases the interquartile range with budget eps.
+func (e *Estimator) IQR(eps float64) (float64, error) {
+	return e.spendAndRun(eps, func() (float64, error) {
+		return IQR(e.data, eps, WithBeta(e.beta), withRNG(e.rng))
+	})
+}
+
+// Quantile releases the p-quantile with budget eps.
+func (e *Estimator) Quantile(p, eps float64) (float64, error) {
+	return e.spendAndRun(eps, func() (float64, error) {
+		return Quantile(e.data, p, eps, WithBeta(e.beta), withRNG(e.rng))
+	})
+}
+
+// Median releases the median with budget eps.
+func (e *Estimator) Median(eps float64) (float64, error) {
+	return e.Quantile(0.5, eps)
+}
+
+// withRNG is the internal option that shares the Estimator's stream.
+func withRNG(rng *xrand.RNG) Option {
+	return func(c *config) { c.rng = rng }
+}
+
+// Quantiles releases several quantiles in one budgeted call: far better
+// than separate Quantile calls at split budgets (the shared-range release,
+// see package-level Quantiles).
+func (e *Estimator) Quantiles(ps []float64, eps float64) ([]float64, error) {
+	if err := e.acct.Spend(eps); err != nil {
+		return nil, err
+	}
+	return Quantiles(e.data, ps, eps, WithBeta(e.beta), withRNG(e.rng))
+}
+
+// TrimmedMean releases the trim-fraction trimmed mean with budget eps.
+func (e *Estimator) TrimmedMean(trim, eps float64) (float64, error) {
+	return e.spendAndRun(eps, func() (float64, error) {
+		return TrimmedMean(e.data, trim, eps, WithBeta(e.beta), withRNG(e.rng))
+	})
+}
+
+// MeanInterval releases the mean with a confidence interval for the
+// truncated mean, spending eps (see package-level MeanInterval).
+func (e *Estimator) MeanInterval(eps float64) (MeanCI, error) {
+	if err := e.acct.Spend(eps); err != nil {
+		return MeanCI{}, err
+	}
+	return MeanInterval(e.data, eps, WithBeta(e.beta), withRNG(e.rng))
+}
+
+// QuantileInterval releases a distribution-free confidence interval for
+// the population p-quantile, spending eps.
+func (e *Estimator) QuantileInterval(p, eps float64) (QuantileCI, error) {
+	if err := e.acct.Spend(eps); err != nil {
+		return QuantileCI{}, err
+	}
+	return QuantileInterval(e.data, p, eps, WithBeta(e.beta), withRNG(e.rng))
+}
+
+// IQRInterval releases a distribution-free confidence interval for the
+// population IQR, spending eps.
+func (e *Estimator) IQRInterval(eps float64) (QuantileCI, error) {
+	if err := e.acct.Spend(eps); err != nil {
+		return QuantileCI{}, err
+	}
+	return IQRInterval(e.data, eps, WithBeta(e.beta), withRNG(e.rng))
+}

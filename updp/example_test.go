@@ -1,0 +1,114 @@
+package updp_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/updp"
+)
+
+// synthetic returns a deterministic, continuous-looking sample centred at
+// loc with the given spread — enough structure for the estimators, stable
+// output for the examples.
+func synthetic(n int, loc, spread float64) []float64 {
+	data := make([]float64, n)
+	for i := range data {
+		u := math.Mod(float64(i)*0.6180339887, 1) // low-discrepancy in [0,1)
+		v := math.Mod(float64(i)*0.7548776662, 1)
+		// Box-Muller-ish shaping for a roughly bell-shaped sample.
+		z := math.Sqrt(-2*math.Log(u+1e-12)) * math.Cos(2*math.Pi*v)
+		data[i] = loc + spread*z
+	}
+	return data
+}
+
+func ExampleMean() {
+	data := synthetic(20000, 170, 10) // e.g. heights in cm, no range hints
+	m, err := updp.Mean(data, 1.0, updp.WithSeed(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("within 2cm of 170:", math.Abs(m-170) < 2)
+	// Output: within 2cm of 170: true
+}
+
+func ExampleQuantiles() {
+	data := synthetic(20000, 100, 15)
+	qs, err := updp.Quantiles(data, []float64{0.25, 0.5, 0.75}, 1.0, updp.WithSeed(2))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("monotone:", qs[0] <= qs[1] && qs[1] <= qs[2])
+	fmt.Println("median near 100:", math.Abs(qs[1]-100) < 5)
+	// Output:
+	// monotone: true
+	// median near 100: true
+}
+
+func ExampleTrimmedMean() {
+	data := synthetic(10000, 50, 5)
+	for i := 0; i < 100; i++ {
+		data[i] = 1e9 // 1% gross corruption
+	}
+	tm, err := updp.TrimmedMean(data, 0.1, 1.0, updp.WithSeed(3))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("robust to outliers:", math.Abs(tm-50) < 5)
+	// Output: robust to outliers: true
+}
+
+func ExampleQuantileInterval() {
+	data := synthetic(20000, 0, 1)
+	ci, err := updp.QuantileInterval(data, 0.9, 1.0, updp.WithSeed(4))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// The population p90 of the shaping distribution is ~1.28.
+	fmt.Println("covers 1.28:", ci.Lo <= 1.28 && 1.28 <= ci.Hi)
+	// Output: covers 1.28: true
+}
+
+func ExampleNewEstimator() {
+	data := synthetic(10000, 0, 1)
+	est, err := updp.NewEstimator(data, 2.0, updp.WithSeed(5))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if _, err := est.Mean(1.0); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if _, err := est.Median(1.0); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	_, err = est.Variance(0.5) // budget is spent
+	fmt.Println("refused:", errors.Is(err, updp.ErrBudgetExhausted))
+	fmt.Printf("remaining: %.1f\n", est.Remaining())
+	// Output:
+	// refused: true
+	// remaining: 0.0
+}
+
+func ExampleWithDither() {
+	// Integer-valued data (large atoms) breaks the continuity assumption;
+	// dithering at the quantization step restores it.
+	data := make([]float64, 8000)
+	for i := range data {
+		data[i] = float64(i % 7) // atoms at 0..6
+	}
+	m, err := updp.Mean(data, 1.0, updp.WithSeed(6), updp.WithDither(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("near 3:", math.Abs(m-3) < 1)
+	// Output: near 3: true
+}

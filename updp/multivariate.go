@@ -1,0 +1,44 @@
+package updp
+
+import (
+	"repro/internal/core"
+)
+
+// MeanVector releases an ε-DP estimate of the mean of d-dimensional data,
+// the paper's §1.2 multivariate extension: the universal univariate
+// estimator per coordinate under an even budget split, pure ε-DP
+// throughout. Coordinates may follow entirely different distribution
+// families and scales; no per-coordinate ranges are needed.
+func MeanVector(data [][]float64, eps float64, opts ...Option) ([]float64, error) {
+	c, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.EstimateMeanVector(c.rng, data, eps, c.beta)
+}
+
+// VarianceDiagonal releases ε-DP estimates of the per-coordinate variances
+// (the diagonal of the covariance matrix) under an even budget split.
+func VarianceDiagonal(data [][]float64, eps float64, opts ...Option) ([]float64, error) {
+	c, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.EstimateVarianceDiagonal(c.rng, data, eps, c.beta)
+}
+
+// ScaleBracket is an ε-DP bracket [Lo, Hi] containing the distribution's
+// IQR with high probability — a privatized scale bound in the direction of
+// the paper's §1.3 open problem (privatized parameter upper bounds).
+type ScaleBracket = core.ScaleBracket
+
+// IQRBracket releases a scale bracket: Lo ≥ ¼·φ(1/16) (Theorem 4.3) and
+// Hi ≥ IQR w.h.p. Useful as a sanity check before trusting a point
+// estimate, or to pick follow-up clipping bounds without extra data peeks.
+func IQRBracket(data []float64, eps float64, opts ...Option) (ScaleBracket, error) {
+	c, err := buildConfig(opts)
+	if err != nil {
+		return ScaleBracket{}, err
+	}
+	return core.EstimateScaleBracket(c.rng, data, eps, c.beta)
+}

@@ -1,0 +1,78 @@
+package updp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestMeanVector(t *testing.T) {
+	rng := xrand.New(1)
+	const n = 20000
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = []float64{3 + rng.Gaussian(), -50 + 2*rng.Gaussian()}
+	}
+	got, err := MeanVector(data, 2.0, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("dims = %d", len(got))
+	}
+	if math.Abs(got[0]-3) > 0.3 || math.Abs(got[1]+50) > 0.6 {
+		t.Errorf("MeanVector = %v", got)
+	}
+}
+
+func TestMeanVectorOptionsValidated(t *testing.T) {
+	if _, err := MeanVector([][]float64{{1}, {2}, {3}, {4}}, 1.0, WithBeta(2)); !errors.Is(err, ErrInvalidBeta) {
+		t.Error("bad beta")
+	}
+	if _, err := MeanVector(nil, 1.0); !errors.Is(err, ErrTooFewSamples) {
+		t.Error("empty data")
+	}
+}
+
+func TestVarianceDiagonal(t *testing.T) {
+	rng := xrand.New(2)
+	const n = 30000
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = []float64{rng.Gaussian(), 4 * rng.Gaussian()}
+	}
+	got, err := VarianceDiagonal(data, 2.0, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-1) > 0.5 || math.Abs(got[1]-16) > 6 {
+		t.Errorf("VarianceDiagonal = %v", got)
+	}
+}
+
+func TestIQRBracket(t *testing.T) {
+	rng := xrand.New(3)
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = rng.Gaussian()
+	}
+	const trueIQR = 1.3489795
+	hits := 0
+	for seed := uint64(0); seed < 20; seed++ {
+		br, err := IQRBracket(data, 1.0, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br.Lo > br.Hi {
+			t.Fatalf("malformed bracket %+v", br)
+		}
+		if br.Lo <= trueIQR && trueIQR <= br.Hi {
+			hits++
+		}
+	}
+	if hits < 15 {
+		t.Errorf("bracket contained the IQR only %d/20 times", hits)
+	}
+}

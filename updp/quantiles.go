@@ -1,0 +1,91 @@
+package updp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ErrInvalidTrim reports a trim fraction outside [0, 0.5).
+var ErrInvalidTrim = errors.New("updp: trim fraction must be in [0, 0.5)")
+
+// Quantiles releases ε-DP estimates of several quantiles of the same data
+// in one call. The probabilities may be in any order; the output is
+// parallel to ps and always monotone in p. A single shared privatized range
+// is used for all of them, so for k quantiles this is substantially more
+// accurate than k independent Quantile calls at ε/k each (the range-finding
+// rank cost is paid once instead of k times — see experiment E16).
+func Quantiles(data []float64, ps []float64, eps float64, opts ...Option) ([]float64, error) {
+	for _, p := range ps {
+		if !(p > 0 && p < 1) {
+			return nil, fmt.Errorf("%w: got %v", ErrInvalidQuantile, p)
+		}
+	}
+	c, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.EstimateQuantilesProb(c.rng, c.prepare(data), ps, eps, c.beta)
+}
+
+// TrimmedMean releases an ε-DP estimate of the trim-fraction trimmed mean:
+// the mean after clipping to privately located trim and 1-trim quantiles.
+// A robust location estimate for heavy-tailed or contaminated data; needs
+// no boundedness assumptions.
+func TrimmedMean(data []float64, trim, eps float64, opts ...Option) (float64, error) {
+	if !(trim >= 0 && trim < 0.5) {
+		return 0, fmt.Errorf("%w: got %v", ErrInvalidTrim, trim)
+	}
+	c, err := buildConfig(opts)
+	if err != nil {
+		return 0, err
+	}
+	return core.TrimmedMean(c.rng, c.prepare(data), trim, eps, c.beta)
+}
+
+// MeanCI is a confidence interval around the Mean release. Its coverage
+// target is the truncated mean E[clip(X, R̃)] over the privatized clipping
+// range R̃ — see the core package's interval documentation for exactly what
+// universal coverage is and is not possible under pure DP (the paper's
+// §1.3 open problem).
+type MeanCI = core.MeanCI
+
+// QuantileCI is a distribution-free confidence interval for a population
+// quantile, with universal coverage over every continuous distribution.
+type QuantileCI = core.QuantileCI
+
+// MeanInterval releases the Mean estimate together with a
+// (1-beta)-confidence interval for the truncated mean, at no extra privacy
+// cost beyond the ε of the release itself.
+func MeanInterval(data []float64, eps float64, opts ...Option) (MeanCI, error) {
+	c, err := buildConfig(opts)
+	if err != nil {
+		return MeanCI{}, err
+	}
+	return core.MeanInterval(c.rng, c.prepare(data), eps, c.beta)
+}
+
+// QuantileInterval releases an ε-DP interval covering the population
+// p-quantile F⁻¹(p) with probability at least 1-beta, for every continuous
+// distribution — coverage needs no assumptions at all.
+func QuantileInterval(data []float64, p, eps float64, opts ...Option) (QuantileCI, error) {
+	if !(p > 0 && p < 1) {
+		return QuantileCI{}, fmt.Errorf("%w: got %v", ErrInvalidQuantile, p)
+	}
+	c, err := buildConfig(opts)
+	if err != nil {
+		return QuantileCI{}, err
+	}
+	return core.QuantileInterval(c.rng, c.prepare(data), p, eps, c.beta)
+}
+
+// IQRInterval releases an ε-DP interval covering the population IQR with
+// probability at least 1-beta, for every continuous distribution.
+func IQRInterval(data []float64, eps float64, opts ...Option) (QuantileCI, error) {
+	c, err := buildConfig(opts)
+	if err != nil {
+		return QuantileCI{}, err
+	}
+	return core.IQRInterval(c.rng, c.prepare(data), eps, c.beta)
+}

@@ -1,0 +1,182 @@
+package updp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func gaussianSample(seed uint64, n int, mu, sigma float64) []float64 {
+	rng := xrand.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mu + sigma*rng.Gaussian()
+	}
+	return out
+}
+
+func TestQuantilesPublicAPI(t *testing.T) {
+	data := gaussianSample(101, 10000, 50, 5)
+	ps := []float64{0.25, 0.5, 0.75}
+	qs, err := Quantiles(data, ps, 1.0, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("want 3 quantiles, got %d", len(qs))
+	}
+	if !(qs[0] <= qs[1] && qs[1] <= qs[2]) {
+		t.Errorf("quantiles not monotone: %v", qs)
+	}
+	if math.Abs(qs[1]-50) > 3 {
+		t.Errorf("median %v far from 50", qs[1])
+	}
+}
+
+func TestQuantilesValidation(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	if _, err := Quantiles(data, []float64{0.5, 1.5}, 1.0); !errors.Is(err, ErrInvalidQuantile) {
+		t.Errorf("want ErrInvalidQuantile, got %v", err)
+	}
+	if _, err := Quantiles(data, []float64{0.5}, -1); !errors.Is(err, ErrInvalidEpsilon) {
+		t.Errorf("want ErrInvalidEpsilon, got %v", err)
+	}
+	if _, err := Quantiles(data, []float64{0.5}, 1, WithBeta(2)); !errors.Is(err, ErrInvalidBeta) {
+		t.Errorf("want ErrInvalidBeta, got %v", err)
+	}
+}
+
+func TestTrimmedMeanPublicAPI(t *testing.T) {
+	data := gaussianSample(102, 8000, -7, 2)
+	// Contaminate 2%.
+	for i := 0; i < len(data)/50; i++ {
+		data[i] = 1e12
+	}
+	m, err := TrimmedMean(data, 0.1, 1.0, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-(-7)) > 2 {
+		t.Errorf("trimmed mean %v far from -7 despite trimming", m)
+	}
+}
+
+func TestTrimmedMeanValidation(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	for _, trim := range []float64{-0.1, 0.5, 0.9, math.NaN()} {
+		if _, err := TrimmedMean(data, trim, 1.0); !errors.Is(err, ErrInvalidTrim) {
+			t.Errorf("trim=%v: want ErrInvalidTrim, got %v", trim, err)
+		}
+	}
+}
+
+func TestMeanIntervalPublicAPI(t *testing.T) {
+	data := gaussianSample(103, 6000, 3, 1)
+	ci, err := MeanInterval(data, 1.0, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ci.Lo <= ci.Estimate && ci.Estimate <= ci.Hi) {
+		t.Errorf("estimate outside interval: %+v", ci)
+	}
+	if ci.Hi-ci.Lo <= 0 {
+		t.Errorf("degenerate interval: %+v", ci)
+	}
+}
+
+func TestQuantileIntervalPublicAPI(t *testing.T) {
+	data := gaussianSample(104, 6000, 0, 1)
+	ci, err := QuantileInterval(data, 0.5, 1.0, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ci.Lo <= ci.Hi) {
+		t.Errorf("malformed interval: %+v", ci)
+	}
+	// The true median 0 should be inside for a well-behaved Gaussian run.
+	if 0 < ci.Lo || 0 > ci.Hi {
+		t.Errorf("median CI [%v, %v] misses 0", ci.Lo, ci.Hi)
+	}
+	if _, err := QuantileInterval(data, 0, 1.0); !errors.Is(err, ErrInvalidQuantile) {
+		t.Errorf("want ErrInvalidQuantile, got %v", err)
+	}
+}
+
+func TestIQRIntervalPublicAPI(t *testing.T) {
+	data := gaussianSample(105, 6000, 0, 2)
+	ci, err := IQRInterval(data, 1.0, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueIQR := 2 * 1.3489795 // 2*sigma*(z(0.75)-z(0.25))
+	if ci.Lo < 0 || ci.Lo > ci.Hi {
+		t.Errorf("malformed IQR interval: %+v", ci)
+	}
+	if trueIQR < ci.Lo || trueIQR > ci.Hi {
+		t.Errorf("IQR CI [%v, %v] misses true IQR %v", ci.Lo, ci.Hi, trueIQR)
+	}
+}
+
+func TestQuantilesWithDither(t *testing.T) {
+	// Heavily quantized data (integer grid) works once dithered.
+	rng := xrand.New(106)
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = float64(rng.Intn(10)) // atoms at 0..9
+	}
+	qs, err := Quantiles(data, []float64{0.25, 0.75}, 1.0, WithSeed(6), WithDither(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs[0] < -2 || qs[1] > 12 || qs[0] > qs[1] {
+		t.Errorf("dithered quantiles implausible: %v", qs)
+	}
+}
+
+func TestEstimatorNewReleases(t *testing.T) {
+	data := gaussianSample(107, 10000, 0, 1)
+	est, err := NewEstimator(data, 5.0, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := est.Quantiles([]float64{0.25, 0.75}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs[0] > qs[1] {
+		t.Errorf("quantiles not monotone: %v", qs)
+	}
+	if _, err := est.TrimmedMean(0.1, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.MeanInterval(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.QuantileInterval(0.5, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Remaining(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("remaining budget %v, want 1.0", got)
+	}
+	if _, err := est.IQRInterval(1.0); err != nil {
+		t.Fatal(err)
+	}
+	// Budget is now exhausted: every new-release method must refuse.
+	if _, err := est.Quantiles([]float64{0.5}, 0.5); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("Quantiles after exhaustion: %v", err)
+	}
+	if _, err := est.TrimmedMean(0.1, 0.5); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("TrimmedMean after exhaustion: %v", err)
+	}
+	if _, err := est.MeanInterval(0.5); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("MeanInterval after exhaustion: %v", err)
+	}
+	if _, err := est.QuantileInterval(0.5, 0.5); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("QuantileInterval after exhaustion: %v", err)
+	}
+	if _, err := est.IQRInterval(0.5); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("IQRInterval after exhaustion: %v", err)
+	}
+}

@@ -1,0 +1,249 @@
+package updp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func gaussianData(seed uint64, n int, mu, sigma float64) []float64 {
+	rng := xrand.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mu + sigma*rng.Gaussian()
+	}
+	return out
+}
+
+func TestMeanBasic(t *testing.T) {
+	data := gaussianData(1, 20000, 50, 2)
+	m, err := Mean(data, 1.0, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-50) > 1 {
+		t.Errorf("Mean = %v, want ~50", m)
+	}
+}
+
+func TestVarianceBasic(t *testing.T) {
+	data := gaussianData(2, 20000, -10, 3)
+	v, err := Variance(data, 1.0, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-9) > 3 {
+		t.Errorf("Variance = %v, want ~9", v)
+	}
+}
+
+func TestStdDevNonNegative(t *testing.T) {
+	data := gaussianData(3, 5000, 0, 1)
+	for seed := uint64(0); seed < 10; seed++ {
+		s, err := StdDev(data, 0.5, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < 0 || math.IsNaN(s) {
+			t.Errorf("StdDev = %v", s)
+		}
+	}
+}
+
+func TestIQRBasic(t *testing.T) {
+	data := gaussianData(4, 20000, 0, 1)
+	q, err := IQR(data, 1.0, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q-1.349) > 0.3 {
+		t.Errorf("IQR = %v, want ~1.349", q)
+	}
+}
+
+func TestQuantileAndMedian(t *testing.T) {
+	data := gaussianData(5, 20000, 100, 1)
+	med, err := Median(data, 1.0, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-100) > 0.5 {
+		t.Errorf("Median = %v", med)
+	}
+	p90, err := Quantile(data, 0.9, 1.0, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p90-101.28) > 0.5 {
+		t.Errorf("p90 = %v, want ~101.28", p90)
+	}
+	if _, err := Quantile(data, 0, 1.0); !errors.Is(err, ErrInvalidQuantile) {
+		t.Error("p=0 should fail")
+	}
+	if _, err := Quantile(data, 1.2, 1.0); !errors.Is(err, ErrInvalidQuantile) {
+		t.Error("p>1 should fail")
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	data := gaussianData(6, 5000, 0, 1)
+	a, err := Mean(data, 1.0, WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mean(data, 1.0, WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed should reproduce")
+	}
+	c, err := Mean(data, 1.0, WithSeed(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestFreshRandomnessByDefault(t *testing.T) {
+	data := gaussianData(7, 5000, 0, 1)
+	a, err := Mean(data, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mean(data, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("default releases must use fresh randomness")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	data := gaussianData(8, 100, 0, 1)
+	if _, err := Mean(data, 1.0, WithBeta(0)); !errors.Is(err, ErrInvalidBeta) {
+		t.Error("beta = 0")
+	}
+	if _, err := Mean(data, 0); !errors.Is(err, ErrInvalidEpsilon) {
+		t.Error("eps = 0")
+	}
+	if _, err := Mean([]float64{1, 2, 3}, 1.0); !errors.Is(err, ErrTooFewSamples) {
+		t.Error("too few samples")
+	}
+}
+
+func TestEmpiricalAPIs(t *testing.T) {
+	rng := xrand.New(9)
+	data := make([]int64, 5000)
+	for i := range data {
+		data[i] = 1_000_000 + rng.Int64Range(-100, 100)
+	}
+	m, err := EmpiricalMean(data, 1.0, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-1_000_000) > 50 {
+		t.Errorf("EmpiricalMean = %v", m)
+	}
+	q, err := EmpiricalQuantile(data, 2500, 1.0, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 999_800 || q > 1_000_200 {
+		t.Errorf("EmpiricalQuantile = %v", q)
+	}
+	lo, hi, err := PrivateRange(data, 1.0, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 999_900 || hi < 1_000_100 || hi-lo > 4*220 {
+		t.Errorf("PrivateRange = [%v, %v]", lo, hi)
+	}
+	r, err := PrivateRadius(data, 1.0, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 1_000_000 || r > 2*1_000_100 {
+		t.Errorf("PrivateRadius = %v", r)
+	}
+}
+
+func TestEstimatorBudget(t *testing.T) {
+	data := gaussianData(10, 10000, 5, 1)
+	est, err := NewEstimator(data, 2.0, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Mean(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.Variance(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if r := est.Remaining(); math.Abs(r-0.5) > 1e-9 {
+		t.Errorf("remaining = %v", r)
+	}
+	if _, err := est.IQR(1.0); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("overdraw should fail, got %v", err)
+	}
+	// The failed call must not have spent anything.
+	if _, err := est.IQR(0.5); err != nil {
+		t.Errorf("exact-fit after failed overdraw should pass: %v", err)
+	}
+}
+
+func TestEstimatorAllStats(t *testing.T) {
+	data := gaussianData(12, 20000, 0, 2)
+	est, err := NewEstimator(data, 10, WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := est.Mean(2); err != nil || math.Abs(m) > 0.5 {
+		t.Errorf("mean %v err %v", m, err)
+	}
+	if v, err := est.Variance(2); err != nil || math.Abs(v-4) > 2 {
+		t.Errorf("var %v err %v", v, err)
+	}
+	if s, err := est.StdDev(2); err != nil || math.Abs(s-2) > 0.7 {
+		t.Errorf("std %v err %v", s, err)
+	}
+	if q, err := est.Median(2); err != nil || math.Abs(q) > 0.5 {
+		t.Errorf("median %v err %v", q, err)
+	}
+	if q, err := est.Quantile(0.75, 2); err != nil || math.Abs(q-1.349) > 0.6 {
+		t.Errorf("p75 %v err %v", q, err)
+	}
+}
+
+func TestEstimatorCopiesData(t *testing.T) {
+	data := gaussianData(14, 5000, 0, 1)
+	est, err := NewEstimator(data, 5, WithSeed(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := est.Mean(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		data[i] = 1e9 // caller mutates after construction
+	}
+	b, err := est.Mean(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b) > math.Abs(a)+5 {
+		t.Error("estimator must snapshot the data at construction")
+	}
+}
+
+func TestEstimatorBadBudget(t *testing.T) {
+	if _, err := NewEstimator([]float64{1, 2, 3, 4}, 0); err == nil {
+		t.Error("zero budget should fail")
+	}
+}
