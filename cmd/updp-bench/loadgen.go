@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/xrand"
+)
+
+// loadgenConfig parameterizes the service-level benchmark.
+type loadgenConfig struct {
+	target   string // "self" or a base URL like http://host:8500
+	clients  int
+	duration time.Duration
+	users    int
+	eps      float64 // per-release budget
+	seed     uint64
+}
+
+// runLoadgen hammers an updp-serve instance with a mixed estimator/SQL
+// workload and reports throughput and latency — the repository's
+// service-level benchmark. With target "self" an in-process server is
+// started on a loopback port so the benchmark is self-contained.
+func runLoadgen(cfg loadgenConfig) error {
+	base := cfg.target
+	if cfg.target == "self" {
+		// Queue sized to the offered concurrency so the benchmark measures
+		// service throughput, not the load-shedder (which has its own test).
+		srv := serve.New(serve.Options{Seed: cfg.seed, QueueDepth: 4 * cfg.clients})
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv}
+		go func() { _ = hs.Serve(ln) }()
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "loadgen: in-process server at %s (workers=%d)\n", base, srv.Workers())
+	}
+
+	tenant := fmt.Sprintf("bench-%d", time.Now().UnixNano())
+	hc := &http.Client{Timeout: 30 * time.Second}
+	post := func(path string, body, out any) (int, error) {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := hc.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if out != nil && resp.StatusCode < 300 {
+			return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+
+	// Provision: tenant with an effectively bottomless budget (the
+	// benchmark measures throughput, not refusals — those get their own
+	// counter), one table, cfg.users users with two rows each.
+	if code, err := post("/v1/tenants", serve.CreateTenantRequest{ID: tenant, Epsilon: 1e9}, nil); err != nil || code != http.StatusCreated {
+		return fmt.Errorf("loadgen: creating tenant: code=%d err=%v", code, err)
+	}
+	if code, err := post("/v1/tenants/"+tenant+"/tables", serve.CreateTableRequest{
+		Name: "metrics",
+		Columns: []serve.ColumnSpec{
+			{Name: "uid", Kind: "string"},
+			{Name: "v", Kind: "float"},
+			{Name: "grp", Kind: "string"},
+		},
+		UserColumn: "uid",
+	}, nil); err != nil || code != http.StatusCreated {
+		return fmt.Errorf("loadgen: creating table: code=%d err=%v", code, err)
+	}
+	rng := xrand.New(cfg.seed)
+	groups := []string{"a", "b", "c"}
+	const batch = 2000
+	rows := make([][]any, 0, batch)
+	flush := func() error {
+		if len(rows) == 0 {
+			return nil
+		}
+		code, err := post("/v1/tenants/"+tenant+"/tables/metrics/rows", serve.InsertRowsRequest{Rows: rows}, nil)
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("loadgen: inserting rows: code=%d err=%v", code, err)
+		}
+		rows = rows[:0]
+		return nil
+	}
+	for u := 0; u < cfg.users; u++ {
+		uid := fmt.Sprintf("u%06d", u)
+		g := groups[u%len(groups)]
+		for r := 0; r < 2; r++ {
+			rows = append(rows, []any{uid, 250 + 30*rng.Gaussian(), g})
+			if len(rows) == batch {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	// Mixed workload: half SQL, half direct estimator releases.
+	sqls := []string{
+		"SELECT AVG(v) FROM metrics",
+		"SELECT COUNT(*) FROM metrics",
+		"SELECT MEDIAN(v) FROM metrics",
+		"SELECT AVG(v) FROM metrics GROUP BY grp",
+	}
+	stats := []string{"mean", "median", "iqr", "variance"}
+
+	type tally struct {
+		ok, refused, shed, errs int
+		lat                     []time.Duration
+	}
+	tallies := make([]tally, cfg.clients)
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := &http.Client{Timeout: 30 * time.Second}
+			ta := &tallies[c]
+			for i := 0; time.Now().Before(deadline); i++ {
+				var (
+					path string
+					body any
+				)
+				if (c+i)%2 == 0 {
+					path = "/v1/tenants/" + tenant + "/query"
+					body = serve.QueryRequest{SQL: sqls[i%len(sqls)], Epsilon: cfg.eps}
+				} else {
+					path = "/v1/tenants/" + tenant + "/estimate"
+					body = serve.EstimateRequest{
+						Table: "metrics", Column: "v",
+						Stat: stats[i%len(stats)], Epsilon: cfg.eps,
+					}
+				}
+				b, _ := json.Marshal(body)
+				t0 := time.Now()
+				resp, err := cl.Post(base+path, "application/json", bytes.NewReader(b))
+				if err != nil {
+					ta.errs++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ta.lat = append(ta.lat, time.Since(t0))
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ta.ok++
+				case http.StatusTooManyRequests:
+					ta.refused++
+				case http.StatusServiceUnavailable:
+					ta.shed++
+				default:
+					ta.errs++
+				}
+			}
+		}(c)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed < cfg.duration {
+		elapsed = cfg.duration
+	}
+
+	var total tally
+	for _, ta := range tallies {
+		total.ok += ta.ok
+		total.refused += ta.refused
+		total.shed += ta.shed
+		total.errs += ta.errs
+		total.lat = append(total.lat, ta.lat...)
+	}
+	sort.Slice(total.lat, func(i, j int) bool { return total.lat[i] < total.lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(total.lat) == 0 {
+			return 0
+		}
+		ix := int(math.Ceil(p*float64(len(total.lat)))) - 1
+		if ix < 0 {
+			ix = 0
+		}
+		return total.lat[ix]
+	}
+	n := total.ok + total.refused + total.shed + total.errs
+	fmt.Printf("=== serve loadgen: %d clients, %v, %d users, eps/release=%g ===\n",
+		cfg.clients, cfg.duration, cfg.users, cfg.eps)
+	fmt.Printf("requests     %d (ok %d, budget-refused %d, shed %d, errors %d)\n",
+		n, total.ok, total.refused, total.shed, total.errs)
+	fmt.Printf("throughput   %.1f req/s\n", float64(n)/elapsed.Seconds())
+	fmt.Printf("latency      p50 %v  p95 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	if total.errs > 0 {
+		return fmt.Errorf("loadgen: %d requests errored", total.errs)
+	}
+	return nil
+}

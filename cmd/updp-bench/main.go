@@ -7,6 +7,13 @@
 //	updp-bench -list
 //	updp-bench -exp E5,E10 -trials 20 -seed 1
 //	updp-bench -all -quick -format md > results.md
+//
+// It is also the service-level load generator for updp-serve: -serve
+// hammers a server with a mixed estimator/SQL workload from many
+// concurrent clients and reports throughput and latency percentiles.
+//
+//	updp-bench -serve self -clients 32 -duration 5s
+//	updp-bench -serve http://localhost:8500 -clients 64 -duration 30s -users 20000
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -27,8 +35,30 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "base RNG seed")
 		quick   = flag.Bool("quick", false, "smaller data sizes for a fast pass")
 		format  = flag.String("format", "text", "output format: text, md, csv")
+
+		serveTarget = flag.String("serve", "", `load-generate against an updp-serve instance: "self" or a base URL`)
+		clients     = flag.Int("clients", 32, "loadgen: concurrent clients")
+		duration    = flag.Duration("duration", 5*time.Second, "loadgen: run length")
+		users       = flag.Int("users", 5000, "loadgen: synthetic users in the bench table")
+		loadEps     = flag.Float64("loadeps", 0.001, "loadgen: per-release epsilon")
 	)
 	flag.Parse()
+
+	if *serveTarget != "" {
+		err := runLoadgen(loadgenConfig{
+			target:   *serveTarget,
+			clients:  *clients,
+			duration: *duration,
+			users:    *users,
+			eps:      *loadEps,
+			seed:     *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range harness.All() {

@@ -7,4 +7,19 @@
 // inventory, EXPERIMENTS.md for the reproduction results, and
 // bench_test.go (this package) for one benchmark per reproduced
 // table/figure.
+//
+// # Serving layer
+//
+// Beyond the library, the repository ships a concurrent multi-tenant DP
+// query service (internal/serve, run with cmd/updp-serve): an HTTP+JSON
+// API that hosts many tenants, each with an isolated dpsql database and
+// one ε-budget accountant shared by every release path. Estimator calls
+// (mean, variance, stddev, iqr, median, quantile, and the paper's
+// Section-3 empirical variants) and full dpsql SQL queries execute
+// concurrently on a bounded worker pool while ingestion streams in;
+// dp.Accountant and the dpsql engine are safe for concurrent use, with
+// atomic check-and-deduct budget enforcement so racing releases can never
+// jointly overdraw a tenant's ε. cmd/updp-bench doubles as the
+// service-level load generator (-serve) reporting throughput and latency
+// percentiles. See examples/serve for a full client walkthrough.
 package repro

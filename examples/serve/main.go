@@ -1,0 +1,142 @@
+// Multi-tenant DP query service, driven over HTTP: start an in-process
+// updp-serve instance, provision two tenants with their own data and ε
+// budgets, release statistics concurrently from both, and watch the
+// per-tenant accountant refuse the release that would overdraw.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+
+	"repro/internal/serve"
+	"repro/internal/xrand"
+)
+
+func main() {
+	// An in-process server on a loopback port; in production this is
+	// `updp-serve -addr :8500` and clients speak plain HTTP+JSON.
+	srv := serve.New(serve.Options{Seed: 42})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving at %s\n\n", base)
+
+	// Two tenants: a hospital with a tight budget and a retailer with a
+	// loose one. Each gets its own table; nothing is shared.
+	mustPost(base, "/v1/tenants", serve.CreateTenantRequest{ID: "hospital", Epsilon: 2.0})
+	mustPost(base, "/v1/tenants", serve.CreateTenantRequest{ID: "retailer", Epsilon: 50.0})
+	for _, tenant := range []string{"hospital", "retailer"} {
+		mustPost(base, "/v1/tenants/"+tenant+"/tables", serve.CreateTableRequest{
+			Name: "records",
+			Columns: []serve.ColumnSpec{
+				{Name: "uid", Kind: "string"},
+				{Name: "value", Kind: "float"},
+			},
+			UserColumn: "uid",
+		})
+	}
+
+	// Ingest: lengths of stay for the hospital (lognormal, days), basket
+	// totals for the retailer (heavier tail). No range hints anywhere —
+	// the universal estimators do not need them.
+	rng := xrand.New(7)
+	for _, load := range []struct {
+		tenant string
+		gen    func() float64
+	}{
+		{"hospital", func() float64 { return math.Exp(1.2 + 0.5*rng.Gaussian()) }},
+		{"retailer", func() float64 { return math.Exp(3.5 + 1.1*rng.Gaussian()) }},
+	} {
+		rows := make([][]any, 0, 4000)
+		for u := 0; u < 2000; u++ {
+			uid := fmt.Sprintf("u%04d", u)
+			rows = append(rows, []any{uid, load.gen()}, []any{uid, load.gen()})
+		}
+		mustPost(base, "/v1/tenants/"+load.tenant+"/tables/records/rows",
+			serve.InsertRowsRequest{Rows: rows})
+	}
+
+	// Concurrent mixed traffic: estimator calls and SQL against both
+	// tenants at once — the server runs them through its worker pool while
+	// each tenant's accountant tracks its own spend.
+	var wg sync.WaitGroup
+	release := func(tenant, label, path string, body any) {
+		defer wg.Done()
+		code, reply := post(base, path, body)
+		if code == http.StatusOK {
+			fmt.Printf("%-9s %-28s -> %s\n", tenant, label, reply)
+		} else {
+			fmt.Printf("%-9s %-28s -> HTTP %d %s\n", tenant, label, code, reply)
+		}
+	}
+	wg.Add(4)
+	go release("hospital", "median stay (eps=0.5)", "/v1/tenants/hospital/estimate",
+		serve.EstimateRequest{Table: "records", Column: "value", Stat: "median", Epsilon: 0.5})
+	go release("hospital", "iqr of stay (eps=0.5)", "/v1/tenants/hospital/estimate",
+		serve.EstimateRequest{Table: "records", Column: "value", Stat: "iqr", Epsilon: 0.5})
+	go release("retailer", "SELECT AVG(value) (eps=1)", "/v1/tenants/retailer/query",
+		serve.QueryRequest{SQL: "SELECT AVG(value) FROM records", Epsilon: 1})
+	go release("retailer", "p90 basket (eps=1)", "/v1/tenants/retailer/estimate",
+		serve.EstimateRequest{Table: "records", Column: "value", Stat: "quantile", P: 0.9, Epsilon: 1})
+	wg.Wait()
+
+	// The hospital has spent 1.0 of its 2.0 budget. A 1.5-ε release must
+	// be refused outright — and the refusal itself releases nothing.
+	fmt.Println()
+	code, reply := post(base, "/v1/tenants/hospital/estimate",
+		serve.EstimateRequest{Table: "records", Column: "value", Stat: "mean", Epsilon: 1.5})
+	fmt.Printf("hospital  mean at eps=1.5           -> HTTP %d (%s)\n", code, reply)
+
+	for _, tenant := range []string{"hospital", "retailer"} {
+		var st serve.TenantStatus
+		get(base, "/v1/tenants/"+tenant, &st)
+		fmt.Printf("%-9s budget: total %.1f, spent %.1f, remaining %.1f (refusals: %d)\n",
+			tenant, st.Total, st.Spent, st.Remaining, st.Refusals)
+	}
+}
+
+func post(base, path string, body any) (int, string) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp.StatusCode, string(bytes.TrimSpace(buf.Bytes()))
+}
+
+func mustPost(base, path string, body any) {
+	if code, reply := post(base, path, body); code >= 300 {
+		log.Fatalf("POST %s: HTTP %d %s", path, code, reply)
+	}
+}
+
+func get(base, path string, out any) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Every family's sample moments must match its claimed population
+// functionals; its quantile function must invert its sampling CDF.
+func TestFamiliesSelfConsistent(t *testing.T) {
+	rng := xrand.New(1)
+	families := []Distribution{
+		NewNormal(3, 2),
+		NewLaplace(-1, 0.5),
+		NewUniform(-4, 10),
+		NewExponential(0.25),
+		NewLogNormal(1, 0.4),
+		NewPareto(2, 4),
+		NewStudentTLocScale(6, 5, 2),
+		NewWeibull(2, 1.5),
+		NewGumbel(1, 2),
+		NewTriangular(0, 6),
+		NewAffine(NewNormal(0, 1), 10, -3),
+		SpikeAndSlab(0.1, 4, 0.3),
+	}
+	const n = 400000
+	for _, d := range families {
+		xs := SampleN(d, rng, n)
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= n
+		var v float64
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= n
+		sd := math.Sqrt(d.Var())
+		if !almostEq(mean, d.Mean(), 6*sd/math.Sqrt(n)+1e-9) {
+			t.Errorf("%s: sample mean %v, population %v", d.Name(), mean, d.Mean())
+		}
+		if !almostEq(v, d.Var(), 0.05*d.Var()+1e-9) {
+			t.Errorf("%s: sample var %v, population %v", d.Name(), v, d.Var())
+		}
+		if cm2 := d.CentralMoment(2); !almostEq(cm2, d.Var(), 0.02*d.Var()+1e-9) {
+			t.Errorf("%s: CentralMoment(2) %v != Var %v", d.Name(), cm2, d.Var())
+		}
+		// Quantile vs empirical order statistics at the quartiles.
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+			q := d.Quantile(p)
+			below := 0
+			for _, x := range xs {
+				if x <= q {
+					below++
+				}
+			}
+			if frac := float64(below) / n; math.Abs(frac-p) > 0.01 {
+				t.Errorf("%s: F(Q(%v)) = %v", d.Name(), p, frac)
+			}
+		}
+	}
+}
+
+// Families without a finite mean/variance must say so instead of lying.
+func TestDivergentMoments(t *testing.T) {
+	if m := NewCauchy(0, 1).Mean(); !math.IsNaN(m) {
+		t.Errorf("Cauchy mean = %v, want NaN", m)
+	}
+	if v := NewPareto(1, 1.5).Var(); !math.IsInf(v, 1) {
+		t.Errorf("Pareto(1,1.5) var = %v, want +Inf", v)
+	}
+	if v := NewStudentT(2).Var(); !math.IsInf(v, 1) {
+		t.Errorf("StudentT(2) var = %v, want +Inf", v)
+	}
+}
+
+func TestIQRKnownValues(t *testing.T) {
+	// Cauchy(0,1): IQR = tan(pi/4) - tan(-pi/4) = 2.
+	if got := IQROf(NewCauchy(0, 1)); !almostEq(got, 2, 1e-9) {
+		t.Errorf("Cauchy IQR = %v, want 2", got)
+	}
+	// Normal(0,1): IQR = 2*0.674489...
+	if got := IQROf(NewNormal(0, 1)); !almostEq(got, 1.3489795003921634, 1e-9) {
+		t.Errorf("Normal IQR = %v", got)
+	}
+}
+
+func TestPhiSmallForSpikeAndSlab(t *testing.T) {
+	// Most mass in a width-1e-6 spike: pair distances are mostly ~1e-6, so
+	// the 1/16 pair-distance quantile must collapse with it.
+	d := SpikeAndSlab(1e-6, 10, 0.2)
+	if phi := Phi(d, 1.0/16); phi > 1e-5 {
+		t.Errorf("Phi(spike-and-slab, 1/16) = %v, want tiny", phi)
+	}
+	if phi := Phi(NewNormal(0, 1), 1.0/16); !(phi > 0.05 && phi < 0.2) {
+		t.Errorf("Phi(N(0,1), 1/16) = %v, want ~0.11", phi)
+	}
+}

@@ -1,0 +1,453 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// ---------- Normal ----------
+
+type normalDist struct{ mu, sigma float64 }
+
+// NewNormal returns N(mu, sigma²). It panics unless sigma > 0.
+func NewNormal(mu, sigma float64) Distribution {
+	if !(sigma > 0) {
+		panic(fmt.Sprintf("dist: Normal with sigma %v <= 0", sigma))
+	}
+	return normalDist{mu, sigma}
+}
+
+func (d normalDist) Name() string  { return fmt.Sprintf("Normal(%g,%g)", d.mu, d.sigma) }
+func (d normalDist) Mean() float64 { return d.mu }
+func (d normalDist) Var() float64  { return d.sigma * d.sigma }
+func (d normalDist) Quantile(p float64) float64 {
+	return d.mu + d.sigma*invNormCDF(p)
+}
+func (d normalDist) Sample(rng *xrand.RNG) float64 { return d.mu + d.sigma*rng.Gaussian() }
+func (d normalDist) CentralMoment(k int) float64 {
+	if k%2 == 1 {
+		return 0
+	}
+	// E[(X-µ)^k] = σ^k (k-1)!! for even k.
+	return math.Pow(d.sigma, float64(k)) * doubleFactorial(k-1)
+}
+
+// ---------- Laplace ----------
+
+type laplaceDist struct{ loc, scale float64 }
+
+// NewLaplace returns Laplace(loc, scale). It panics unless scale > 0.
+func NewLaplace(loc, scale float64) Distribution {
+	if !(scale > 0) {
+		panic(fmt.Sprintf("dist: Laplace with scale %v <= 0", scale))
+	}
+	return laplaceDist{loc, scale}
+}
+
+func (d laplaceDist) Name() string  { return fmt.Sprintf("Laplace(%g,%g)", d.loc, d.scale) }
+func (d laplaceDist) Mean() float64 { return d.loc }
+func (d laplaceDist) Var() float64  { return 2 * d.scale * d.scale }
+func (d laplaceDist) Quantile(p float64) float64 {
+	if p < 0.5 {
+		return d.loc + d.scale*math.Log(2*p)
+	}
+	return d.loc - d.scale*math.Log(2*(1-p))
+}
+func (d laplaceDist) Sample(rng *xrand.RNG) float64 { return d.loc + rng.Laplace(d.scale) }
+func (d laplaceDist) CentralMoment(k int) float64 {
+	if k%2 == 1 {
+		return 0
+	}
+	// E[(X-µ)^k] = k! · scale^k for even k.
+	f := 1.0
+	for i := 2; i <= k; i++ {
+		f *= float64(i)
+	}
+	return f * math.Pow(d.scale, float64(k))
+}
+
+// ---------- Uniform ----------
+
+type uniformDist struct{ a, b float64 }
+
+// NewUniform returns Uniform(a, b). It panics unless a < b.
+func NewUniform(a, b float64) Distribution {
+	if !(a < b) {
+		panic(fmt.Sprintf("dist: Uniform with a %v >= b %v", a, b))
+	}
+	return uniformDist{a, b}
+}
+
+func (d uniformDist) Name() string  { return fmt.Sprintf("Uniform(%g,%g)", d.a, d.b) }
+func (d uniformDist) Mean() float64 { return (d.a + d.b) / 2 }
+func (d uniformDist) Var() float64  { w := d.b - d.a; return w * w / 12 }
+func (d uniformDist) Quantile(p float64) float64 {
+	return d.a + p*(d.b-d.a)
+}
+func (d uniformDist) Sample(rng *xrand.RNG) float64 { return d.a + rng.Float64()*(d.b-d.a) }
+func (d uniformDist) CentralMoment(k int) float64 {
+	if k%2 == 1 {
+		return 0
+	}
+	h := (d.b - d.a) / 2
+	return math.Pow(h, float64(k)) / float64(k+1)
+}
+
+// ---------- Exponential ----------
+
+type exponentialDist struct{ rate float64 }
+
+// NewExponential returns Exponential(rate) (mean 1/rate). It panics unless
+// rate > 0.
+func NewExponential(rate float64) Distribution {
+	if !(rate > 0) {
+		panic(fmt.Sprintf("dist: Exponential with rate %v <= 0", rate))
+	}
+	return exponentialDist{rate}
+}
+
+func (d exponentialDist) Name() string  { return fmt.Sprintf("Exp(%g)", d.rate) }
+func (d exponentialDist) Mean() float64 { return 1 / d.rate }
+func (d exponentialDist) Var() float64  { return 1 / (d.rate * d.rate) }
+func (d exponentialDist) Quantile(p float64) float64 {
+	return -math.Log(1-p) / d.rate
+}
+func (d exponentialDist) Sample(rng *xrand.RNG) float64 { return rng.Exponential() / d.rate }
+func (d exponentialDist) CentralMoment(k int) float64   { return centralMomentNumeric(d, k) }
+
+// ---------- LogNormal ----------
+
+type logNormalDist struct{ mu, sigma float64 }
+
+// NewLogNormal returns LogNormal(mu, sigma) — exp of N(mu, sigma²). It
+// panics unless sigma > 0.
+func NewLogNormal(mu, sigma float64) Distribution {
+	if !(sigma > 0) {
+		panic(fmt.Sprintf("dist: LogNormal with sigma %v <= 0", sigma))
+	}
+	return logNormalDist{mu, sigma}
+}
+
+func (d logNormalDist) Name() string  { return fmt.Sprintf("LogNormal(%g,%g)", d.mu, d.sigma) }
+func (d logNormalDist) Mean() float64 { return math.Exp(d.mu + d.sigma*d.sigma/2) }
+func (d logNormalDist) Var() float64 {
+	s2 := d.sigma * d.sigma
+	return math.Expm1(s2) * math.Exp(2*d.mu+s2)
+}
+func (d logNormalDist) Quantile(p float64) float64 {
+	return math.Exp(d.mu + d.sigma*invNormCDF(p))
+}
+func (d logNormalDist) Sample(rng *xrand.RNG) float64 {
+	return math.Exp(d.mu + d.sigma*rng.Gaussian())
+}
+func (d logNormalDist) CentralMoment(k int) float64 { return centralMomentNumeric(d, k) }
+
+// ---------- Pareto ----------
+
+type paretoDist struct{ xm, alpha float64 }
+
+// NewPareto returns Pareto(xm, alpha) with support [xm, ∞). It panics
+// unless xm > 0 and alpha > 0.
+func NewPareto(xm, alpha float64) Distribution {
+	if !(xm > 0) || !(alpha > 0) {
+		panic(fmt.Sprintf("dist: Pareto requires xm > 0 and alpha > 0, got (%v,%v)", xm, alpha))
+	}
+	return paretoDist{xm, alpha}
+}
+
+func (d paretoDist) Name() string { return fmt.Sprintf("Pareto(%g,%g)", d.xm, d.alpha) }
+func (d paretoDist) Mean() float64 {
+	if d.alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.alpha * d.xm / (d.alpha - 1)
+}
+func (d paretoDist) Var() float64 {
+	if d.alpha <= 2 {
+		return math.Inf(1)
+	}
+	a := d.alpha
+	return d.xm * d.xm * a / ((a - 1) * (a - 1) * (a - 2))
+}
+func (d paretoDist) Quantile(p float64) float64 {
+	return d.xm * math.Pow(1-p, -1/d.alpha)
+}
+func (d paretoDist) Sample(rng *xrand.RNG) float64 { return rng.Pareto(d.xm, d.alpha) }
+func (d paretoDist) CentralMoment(k int) float64   { return centralMomentNumeric(d, k) }
+
+// ---------- Student-t ----------
+
+type studentTDist struct {
+	nu, loc, scale float64
+}
+
+// NewStudentT returns the standard Student-t with nu degrees of freedom.
+// It panics unless nu > 0.
+func NewStudentT(nu float64) Distribution { return NewStudentTLocScale(nu, 0, 1) }
+
+// NewStudentTLocScale returns loc + scale·T(nu). It panics unless nu > 0
+// and scale > 0.
+func NewStudentTLocScale(nu, loc, scale float64) Distribution {
+	if !(nu > 0) || !(scale > 0) {
+		panic(fmt.Sprintf("dist: StudentT requires nu > 0 and scale > 0, got (%v,%v)", nu, scale))
+	}
+	return studentTDist{nu, loc, scale}
+}
+
+func (d studentTDist) Name() string {
+	if d.loc == 0 && d.scale == 1 {
+		return fmt.Sprintf("StudentT(%g)", d.nu)
+	}
+	return fmt.Sprintf("StudentT(%g,%g,%g)", d.nu, d.loc, d.scale)
+}
+func (d studentTDist) Mean() float64 {
+	if d.nu <= 1 {
+		return math.NaN()
+	}
+	return d.loc
+}
+func (d studentTDist) Var() float64 {
+	if d.nu <= 2 {
+		return math.Inf(1)
+	}
+	return d.scale * d.scale * d.nu / (d.nu - 2)
+}
+func (d studentTDist) Quantile(p float64) float64 {
+	return d.loc + d.scale*studentTQuantile(p, d.nu)
+}
+func (d studentTDist) Sample(rng *xrand.RNG) float64 {
+	return d.loc + d.scale*rng.StudentT(d.nu)
+}
+func (d studentTDist) CentralMoment(k int) float64 {
+	if k%2 == 1 && d.nu > float64(k) {
+		return 0
+	}
+	if k == 2 {
+		return d.Var()
+	}
+	return centralMomentNumeric(d, k)
+}
+
+// ---------- Cauchy ----------
+
+type cauchyDist struct{ loc, scale float64 }
+
+// NewCauchy returns Cauchy(loc, scale): no mean, no variance, IQR 2·scale.
+// It panics unless scale > 0.
+func NewCauchy(loc, scale float64) Distribution {
+	if !(scale > 0) {
+		panic(fmt.Sprintf("dist: Cauchy with scale %v <= 0", scale))
+	}
+	return cauchyDist{loc, scale}
+}
+
+func (d cauchyDist) Name() string  { return fmt.Sprintf("Cauchy(%g,%g)", d.loc, d.scale) }
+func (d cauchyDist) Mean() float64 { return math.NaN() }
+func (d cauchyDist) Var() float64  { return math.Inf(1) }
+func (d cauchyDist) Quantile(p float64) float64 {
+	return d.loc + d.scale*math.Tan(math.Pi*(p-0.5))
+}
+func (d cauchyDist) Sample(rng *xrand.RNG) float64 {
+	return d.Quantile(rng.Float64Open())
+}
+func (d cauchyDist) CentralMoment(k int) float64 {
+	if k == 0 {
+		return 1
+	}
+	return math.NaN()
+}
+
+// ---------- Weibull ----------
+
+type weibullDist struct{ lambda, k float64 }
+
+// NewWeibull returns Weibull(lambda, k) with scale lambda and shape k. It
+// panics unless both are positive.
+func NewWeibull(lambda, k float64) Distribution {
+	if !(lambda > 0) || !(k > 0) {
+		panic(fmt.Sprintf("dist: Weibull requires lambda > 0 and k > 0, got (%v,%v)", lambda, k))
+	}
+	return weibullDist{lambda, k}
+}
+
+func (d weibullDist) Name() string  { return fmt.Sprintf("Weibull(%g,%g)", d.lambda, d.k) }
+func (d weibullDist) Mean() float64 { return d.lambda * math.Gamma(1+1/d.k) }
+func (d weibullDist) Var() float64 {
+	g1 := math.Gamma(1 + 1/d.k)
+	return d.lambda * d.lambda * (math.Gamma(1+2/d.k) - g1*g1)
+}
+func (d weibullDist) Quantile(p float64) float64 {
+	return d.lambda * math.Pow(-math.Log(1-p), 1/d.k)
+}
+func (d weibullDist) Sample(rng *xrand.RNG) float64 {
+	return d.lambda * math.Pow(rng.Exponential(), 1/d.k)
+}
+func (d weibullDist) CentralMoment(k int) float64 { return centralMomentNumeric(d, k) }
+
+// ---------- Gumbel ----------
+
+type gumbelDist struct{ mu, beta float64 }
+
+// NewGumbel returns Gumbel(mu, beta) (location, scale). It panics unless
+// beta > 0.
+func NewGumbel(mu, beta float64) Distribution {
+	if !(beta > 0) {
+		panic(fmt.Sprintf("dist: Gumbel with beta %v <= 0", beta))
+	}
+	return gumbelDist{mu, beta}
+}
+
+const eulerGamma = 0.5772156649015328606
+
+func (d gumbelDist) Name() string  { return fmt.Sprintf("Gumbel(%g,%g)", d.mu, d.beta) }
+func (d gumbelDist) Mean() float64 { return d.mu + d.beta*eulerGamma }
+func (d gumbelDist) Var() float64  { return math.Pi * math.Pi * d.beta * d.beta / 6 }
+func (d gumbelDist) Quantile(p float64) float64 {
+	return d.mu - d.beta*math.Log(-math.Log(p))
+}
+func (d gumbelDist) Sample(rng *xrand.RNG) float64 { return d.mu + d.beta*rng.Gumbel() }
+func (d gumbelDist) CentralMoment(k int) float64   { return centralMomentNumeric(d, k) }
+
+// ---------- Triangular ----------
+
+type triangularDist struct{ a, b float64 }
+
+// NewTriangular returns the symmetric triangular distribution on [a, b]
+// (mode at the midpoint). It panics unless a < b.
+func NewTriangular(a, b float64) Distribution {
+	if !(a < b) {
+		panic(fmt.Sprintf("dist: Triangular with a %v >= b %v", a, b))
+	}
+	return triangularDist{a, b}
+}
+
+func (d triangularDist) Name() string  { return fmt.Sprintf("Triangular(%g,%g)", d.a, d.b) }
+func (d triangularDist) Mean() float64 { return (d.a + d.b) / 2 }
+func (d triangularDist) Var() float64  { w := d.b - d.a; return w * w / 24 }
+func (d triangularDist) Quantile(p float64) float64 {
+	w := d.b - d.a
+	if p < 0.5 {
+		return d.a + w*math.Sqrt(p/2)
+	}
+	return d.b - w*math.Sqrt((1-p)/2)
+}
+func (d triangularDist) Sample(rng *xrand.RNG) float64 {
+	// Sum of two uniforms over half-width halves is triangular on [a, b].
+	w := (d.b - d.a) / 2
+	return d.a + w*(rng.Float64()+rng.Float64())
+}
+func (d triangularDist) CentralMoment(k int) float64 { return centralMomentNumeric(d, k) }
+
+// ---------- Affine transform ----------
+
+type affineDist struct {
+	base         Distribution
+	shift, scale float64
+}
+
+// NewAffine returns shift + scale·X for X from base — used to violate the
+// paper's Table 1 assumption regimes in controlled ways (e.g. a shifted
+// Pareto breaks A3 symmetry/centering assumptions of baselines). scale
+// must be non-zero.
+func NewAffine(base Distribution, shift, scale float64) Distribution {
+	if scale == 0 {
+		panic("dist: Affine with zero scale")
+	}
+	return affineDist{base, shift, scale}
+}
+
+func (d affineDist) Name() string {
+	return fmt.Sprintf("%g+%g*%s", d.shift, d.scale, d.base.Name())
+}
+func (d affineDist) Mean() float64 { return d.shift + d.scale*d.base.Mean() }
+func (d affineDist) Var() float64  { return d.scale * d.scale * d.base.Var() }
+func (d affineDist) Quantile(p float64) float64 {
+	if d.scale < 0 {
+		p = 1 - p
+	}
+	return d.shift + d.scale*d.base.Quantile(p)
+}
+func (d affineDist) Sample(rng *xrand.RNG) float64 {
+	return d.shift + d.scale*d.base.Sample(rng)
+}
+func (d affineDist) CentralMoment(k int) float64 {
+	return math.Pow(d.scale, float64(k)) * d.base.CentralMoment(k)
+}
+
+// ---------- Spike-and-slab mixture ----------
+
+type spikeSlabDist struct {
+	spike, slab, pSlab float64
+}
+
+// SpikeAndSlab returns the mixture that draws Uniform(-spike/2, spike/2)
+// with probability 1-pSlab and Uniform(-slab/2, slab/2) with probability
+// pSlab. With a tiny spike width most pair distances are tiny, so the
+// pairwise functional φ(β) collapses — the adversarial input for
+// Algorithm 7's bucket search that the E7/E8 experiments probe.
+func SpikeAndSlab(spike, slab, pSlab float64) Distribution {
+	if !(spike > 0) || !(slab > 0) || !(pSlab > 0 && pSlab < 1) {
+		panic(fmt.Sprintf("dist: SpikeAndSlab requires positive widths and pSlab in (0,1), got (%v,%v,%v)",
+			spike, slab, pSlab))
+	}
+	return spikeSlabDist{spike, slab, pSlab}
+}
+
+func (d spikeSlabDist) Name() string {
+	return fmt.Sprintf("SpikeSlab(%g,%g,%g)", d.spike, d.slab, d.pSlab)
+}
+func (d spikeSlabDist) Mean() float64 { return 0 }
+func (d spikeSlabDist) Var() float64 {
+	return ((1-d.pSlab)*d.spike*d.spike + d.pSlab*d.slab*d.slab) / 12
+}
+
+// cdf of the mixture of two centered uniforms.
+func (d spikeSlabDist) cdf(x float64) float64 {
+	uni := func(w float64) float64 {
+		switch {
+		case x <= -w/2:
+			return 0
+		case x >= w/2:
+			return 1
+		default:
+			return x/w + 0.5
+		}
+	}
+	return (1-d.pSlab)*uni(d.spike) + d.pSlab*uni(d.slab)
+}
+
+func (d spikeSlabDist) Quantile(p float64) float64 {
+	// The CDF is piecewise linear with breakpoints at ±spike/2 and ±slab/2;
+	// bisection on [-slab/2, slab/2] converges fast and avoids case analysis.
+	lo, hi := -d.slab/2, d.slab/2
+	if d.spike > d.slab {
+		lo, hi = -d.spike/2, d.spike/2
+	}
+	for i := 0; i < 200 && hi-lo > 1e-18*(1+math.Abs(lo)+math.Abs(hi)); i++ {
+		mid := (lo + hi) / 2
+		if d.cdf(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func (d spikeSlabDist) Sample(rng *xrand.RNG) float64 {
+	w := d.spike
+	if rng.Float64() < d.pSlab {
+		w = d.slab
+	}
+	return (rng.Float64() - 0.5) * w
+}
+
+func (d spikeSlabDist) CentralMoment(k int) float64 {
+	if k%2 == 1 {
+		return 0
+	}
+	cm := func(w float64) float64 { return math.Pow(w/2, float64(k)) / float64(k+1) }
+	return (1-d.pSlab)*cm(d.spike) + d.pSlab*cm(d.slab)
+}

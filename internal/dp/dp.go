@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/xrand"
 )
@@ -76,8 +77,11 @@ func SubsampleBudget(epsTotal, eta float64) float64 {
 }
 
 // Accountant tracks cumulative privacy spend under basic composition
-// (Lemma 2.2). It is not safe for concurrent use.
+// (Lemma 2.2). It is safe for concurrent use: Spend is an atomic
+// check-and-deduct, so racing goroutines can never jointly overdraw the
+// budget — the property the serve layer's per-tenant enforcement rests on.
 type Accountant struct {
+	mu    sync.Mutex
 	total float64
 	spent float64
 }
@@ -95,6 +99,8 @@ func (a *Accountant) Spend(eps float64) error {
 	if err := CheckEpsilon(eps); err != nil {
 		return err
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	// Tolerate float rounding at the boundary.
 	if a.spent+eps > a.total*(1+1e-12) {
 		return fmt.Errorf("%w: spent %v + requested %v > total %v",
@@ -106,6 +112,8 @@ func (a *Accountant) Spend(eps float64) error {
 
 // Remaining returns the unspent budget (never negative).
 func (a *Accountant) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	r := a.total - a.spent
 	if r < 0 {
 		return 0
@@ -114,4 +122,15 @@ func (a *Accountant) Remaining() float64 {
 }
 
 // Spent returns the cumulative spend.
-func (a *Accountant) Spent() float64 { return a.spent }
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Total returns the budget ceiling the accountant was created with.
+func (a *Accountant) Total() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}

@@ -45,16 +45,33 @@ func (db *DB) SetBudget(totalEps float64) error {
 	if err != nil {
 		return err
 	}
-	db.acct = acct
+	db.SetAccountant(acct)
 	return nil
+}
+
+// SetAccountant installs a shared accountant, letting several release
+// paths (e.g. a tenant's SQL queries and its direct estimator calls in the
+// serve layer) draw from one budget under basic composition.
+func (db *DB) SetAccountant(acct *dp.Accountant) {
+	db.mu.Lock()
+	db.acct = acct
+	db.mu.Unlock()
+}
+
+// Accountant returns the installed accountant (nil when no budget is set).
+func (db *DB) Accountant() *dp.Accountant {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.acct
 }
 
 // Remaining reports the unspent budget; +Inf when no budget is set.
 func (db *DB) Remaining() float64 {
-	if db.acct == nil {
+	acct := db.Accountant()
+	if acct == nil {
 		return math.Inf(1)
 	}
-	return db.acct.Remaining()
+	return acct.Remaining()
 }
 
 // Exec parses and answers sql under user-level eps-DP.
@@ -100,21 +117,29 @@ func (db *DB) Exec(rng *xrand.RNG, sql string, eps float64) (*Result, error) {
 			return nil, err
 		}
 	}
-
-	if db.acct != nil {
-		if err := db.acct.Spend(eps); err != nil {
+	if q.Where != nil {
+		// Static WHERE check (columns exist, kinds comparable) before the
+		// Spend below: a data-independent mistake must not cost budget.
+		if err := q.Where.validate(t); err != nil {
 			return nil, err
 		}
 	}
 
-	// Filter and group rows.
+	if acct := db.Accountant(); acct != nil {
+		if err := acct.Spend(eps); err != nil {
+			return nil, err
+		}
+	}
+
+	// Filter and group a point-in-time snapshot: concurrent Inserts do not
+	// tear the row set a query aggregates over.
 	type groupData struct {
 		key  Value
 		rows [][]Value
 	}
 	groups := map[string]*groupData{}
 	var order []string
-	for _, row := range t.rows {
+	for _, row := range t.snapshot() {
 		if q.Where != nil {
 			ok, err := q.Where.Eval(t, row)
 			if err != nil {
@@ -169,27 +194,11 @@ func (db *DB) Exec(rng *xrand.RNG, sql string, eps float64) (*Result, error) {
 	return res, nil
 }
 
-// aggregate collapses rows to per-user contributions and releases the
+// aggregate collapses rows to per-user contributions (the shared
+// replace-one-user reduction, Table.collapseByUser) and releases the
 // requested aggregate with budget eps.
 func (db *DB) aggregate(rng *xrand.RNG, t *Table, spec AggSpec, rows [][]Value, aggIx int, eps float64) (float64, error) {
-	// Collapse rows per user.
-	type userAgg struct {
-		sum   float64
-		count int
-	}
-	users := map[string]*userAgg{}
-	for _, row := range rows {
-		uid := row[t.userIx].String()
-		u, ok := users[uid]
-		if !ok {
-			u = &userAgg{}
-			users[uid] = u
-		}
-		if aggIx >= 0 {
-			u.sum += row[aggIx].F
-		}
-		u.count++
-	}
+	users := t.collapseByUser(rows, aggIx)
 	nUsers := len(users)
 
 	if spec.Kind == AggCount {
@@ -200,18 +209,9 @@ func (db *DB) aggregate(rng *xrand.RNG, t *Table, spec AggSpec, rows [][]Value, 
 		return 0, ErrTooFewUsers
 	}
 
-	// Deterministic contribution order (map iteration is randomized, and
-	// the estimators' pairing/subsampling consume the seeded RNG in input
-	// order — WithSeed reproducibility needs a stable order).
-	ids := make([]string, 0, nUsers)
-	for uid := range users {
-		ids = append(ids, uid)
-	}
-	sort.Strings(ids)
 	sums := make([]float64, 0, nUsers)
 	means := make([]float64, 0, nUsers)
-	for _, uid := range ids {
-		u := users[uid]
+	for _, u := range users {
 		sums = append(sums, u.sum)
 		means = append(means, u.sum/float64(u.count))
 	}

@@ -53,6 +53,10 @@ func (a AggKind) String() string {
 type Expr interface {
 	// Eval evaluates the predicate against a row of table t.
 	Eval(t *Table, row []Value) (bool, error)
+	// validate checks the predicate statically against t's schema
+	// (columns exist, literal kinds are comparable, operators known), so
+	// Exec can refuse an invalid query before any budget is spent.
+	validate(t *Table) error
 }
 
 // CmpExpr is "column <op> literal".
@@ -90,6 +94,26 @@ func (e *CmpExpr) Eval(t *Table, row []Value) (bool, error) {
 	}
 }
 
+// validate implements Expr.
+func (e *CmpExpr) validate(t *Table) error {
+	ix, err := t.ColumnIndex(e.Col)
+	if err != nil {
+		return err
+	}
+	// Mirror Value.Compare's kind rule: numeric compares with numeric,
+	// string with string. The column's kind stands in for its cells.
+	colNumeric := t.Columns[ix].Kind != KindString
+	if colNumeric != e.Lit.IsNumeric() {
+		return fmt.Errorf("dpsql: cannot compare %s with %s", t.Columns[ix].Kind, e.Lit.Kind)
+	}
+	switch e.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown operator %q", ErrSyntax, e.Op)
+	}
+}
+
 // BinExpr is "left AND/OR right".
 type BinExpr struct {
 	Op          string // "and" | "or"
@@ -111,6 +135,14 @@ func (e *BinExpr) Eval(t *Table, row []Value) (bool, error) {
 	return e.Right.Eval(t, row)
 }
 
+// validate implements Expr.
+func (e *BinExpr) validate(t *Table) error {
+	if err := e.Left.validate(t); err != nil {
+		return err
+	}
+	return e.Right.validate(t)
+}
+
 // NotExpr negates its operand.
 type NotExpr struct{ Inner Expr }
 
@@ -119,6 +151,9 @@ func (e *NotExpr) Eval(t *Table, row []Value) (bool, error) {
 	v, err := e.Inner.Eval(t, row)
 	return !v, err
 }
+
+// validate implements Expr.
+func (e *NotExpr) validate(t *Table) error { return e.Inner.validate(t) }
 
 // AggSpec is one aggregate in the SELECT list.
 type AggSpec struct {

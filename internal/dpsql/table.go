@@ -3,7 +3,9 @@ package dpsql
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/dp"
 )
@@ -25,19 +27,26 @@ type Column struct {
 }
 
 // Table is an in-memory relation with a designated user column (the unit
-// of privacy).
+// of privacy). Schema fields (Name, Columns, UserCol, byName, userIx) are
+// immutable after Create; the row store is guarded by mu, so concurrent
+// Insert and Exec calls are safe — ingestion can stream in while queries
+// run against a consistent snapshot.
 type Table struct {
 	Name    string
 	Columns []Column
 	UserCol string
 
+	mu     sync.RWMutex
 	rows   [][]Value
 	byName map[string]int
 	userIx int
 }
 
 // DB is a collection of tables with an optional shared privacy budget.
+// The table registry and the accountant pointer are guarded by mu; a DB
+// is safe for concurrent Create/TableByName/Exec/Run use.
 type DB struct {
+	mu     sync.RWMutex
 	tables map[string]*Table
 	acct   *dp.Accountant
 }
@@ -49,6 +58,8 @@ func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
 // identifies the privacy unit.
 func (db *DB) Create(name string, cols []Column, userCol string) (*Table, error) {
 	lname := strings.ToLower(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.tables[lname]; dup {
 		return nil, fmt.Errorf("%w: table %q already exists", ErrSchema, name)
 	}
@@ -81,6 +92,8 @@ func (db *DB) Create(name string, cols []Column, userCol string) (*Table, error)
 
 // TableByName looks a table up case-insensitively.
 func (db *DB) TableByName(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[strings.ToLower(name)]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
@@ -118,10 +131,113 @@ func (t *Table) Insert(vals ...Value) error {
 		}
 		row[i] = v
 	}
+	t.mu.Lock()
 	t.rows = append(t.rows, row)
+	t.mu.Unlock()
 	return nil
 }
 
 // NumRows returns the (non-private) number of stored rows; intended for
 // tests and data loading, not for release.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// snapshot returns the current row set. Rows are append-only and a stored
+// row is never mutated, so handing out the slice header taken under the
+// read lock yields a consistent point-in-time view even while concurrent
+// Inserts grow (and possibly reallocate) the backing array.
+func (t *Table) snapshot() [][]Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// userAgg is one user's accumulated contribution to a numeric column.
+type userAgg struct {
+	sum   float64
+	count int
+}
+
+// collapseByUser folds rows into one accumulator per user, returned in
+// deterministic (sorted user id) order. This is the replace-one-user
+// privacy reduction every release path shares: the result changes in one
+// position between neighboring databases, so feeding it to a record-level
+// eps-DP mechanism yields a user-level eps-DP release. colIx < 0
+// accumulates row counts only (COUNT). The deterministic order matters
+// beyond reproducibility: the estimators' pairing/subsampling consume the
+// seeded RNG in input order.
+func (t *Table) collapseByUser(rows [][]Value, colIx int) []userAgg {
+	users := map[string]*userAgg{}
+	ids := make([]string, 0, 64)
+	for _, row := range rows {
+		uid := row[t.userIx].String()
+		u, ok := users[uid]
+		if !ok {
+			u = &userAgg{}
+			users[uid] = u
+			ids = append(ids, uid)
+		}
+		if colIx >= 0 {
+			u.sum += row[colIx].F
+		}
+		u.count++
+	}
+	sort.Strings(ids)
+	out := make([]userAgg, len(ids))
+	for i, uid := range ids {
+		out[i] = *users[uid]
+	}
+	return out
+}
+
+// UserMeans collapses the named numeric column to one contribution per
+// user — the mean of that user's rows — via collapseByUser over a
+// consistent snapshot. This is the estimate endpoint's input.
+func (t *Table) UserMeans(col string) ([]float64, error) {
+	ix, err := t.ColumnIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	if t.Columns[ix].Kind == KindString {
+		return nil, fmt.Errorf("dpsql: column %q is %s, need numeric", col, KindString)
+	}
+	users := t.collapseByUser(t.snapshot(), ix)
+	out := make([]float64, len(users))
+	for i, u := range users {
+		out[i] = u.sum / float64(u.count)
+	}
+	return out, nil
+}
+
+// UserIntSums collapses the named INT column to one integer contribution
+// per user (the sum of that user's rows) in deterministic order — the
+// input shape the paper's empirical-setting estimators (Section 3) take.
+// It accumulates in int64 rather than through collapseByUser's float64
+// sums so integer totals stay exact.
+func (t *Table) UserIntSums(col string) ([]int64, error) {
+	ix, err := t.ColumnIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	if t.Columns[ix].Kind != KindInt {
+		return nil, fmt.Errorf("dpsql: column %q is %s, need %s for an empirical release",
+			col, t.Columns[ix].Kind, KindInt)
+	}
+	users := map[string]int64{}
+	for _, row := range t.snapshot() {
+		users[row[t.userIx].String()] += int64(row[ix].F)
+	}
+	ids := make([]string, 0, len(users))
+	for uid := range users {
+		ids = append(ids, uid)
+	}
+	sort.Strings(ids)
+	out := make([]int64, len(ids))
+	for i, uid := range ids {
+		out[i] = users[uid]
+	}
+	return out, nil
+}

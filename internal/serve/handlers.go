@@ -1,0 +1,500 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/dpsql"
+	"repro/updp"
+)
+
+// Handler-level errors.
+var (
+	errTenantExists = errors.New("serve: tenant already exists")
+	// ErrOverloaded reports a full worker queue (the request was shed).
+	ErrOverloaded = errors.New("serve: overloaded, retry later")
+)
+
+// ---------- wire types ----------
+
+// CreateTenantRequest creates a tenant with a total ε budget.
+type CreateTenantRequest struct {
+	ID      string  `json:"id"`
+	Epsilon float64 `json:"epsilon"`
+}
+
+// TenantStatus is the budget and counter view of one tenant.
+type TenantStatus struct {
+	ID        string  `json:"id"`
+	Total     float64 `json:"total_epsilon"`
+	Spent     float64 `json:"spent_epsilon"`
+	Remaining float64 `json:"remaining_epsilon"`
+	Queries   int64   `json:"queries"`
+	Estimates int64   `json:"estimates"`
+	Refusals  int64   `json:"refusals"`
+}
+
+// ColumnSpec is one column in a CreateTableRequest: kind is "float",
+// "int", or "string".
+type ColumnSpec struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// CreateTableRequest creates a table; UserColumn designates the privacy
+// unit.
+type CreateTableRequest struct {
+	Name       string       `json:"name"`
+	Columns    []ColumnSpec `json:"columns"`
+	UserColumn string       `json:"user_column"`
+}
+
+// InsertRowsRequest appends rows; each row is positional, parallel to the
+// table's columns. Numeric cells are JSON numbers, string cells strings.
+type InsertRowsRequest struct {
+	Rows [][]any `json:"rows"`
+}
+
+// InsertRowsResponse reports how many rows were stored.
+type InsertRowsResponse struct {
+	Inserted int `json:"inserted"`
+}
+
+// QueryRequest runs one dpsql SELECT with budget ε.
+type QueryRequest struct {
+	SQL     string  `json:"sql"`
+	Epsilon float64 `json:"epsilon"`
+}
+
+// QueryResultRow is one released row.
+type QueryResultRow struct {
+	Group  string    `json:"group,omitempty"`
+	Values []float64 `json:"values"`
+}
+
+// QueryResponse is a released SQL answer.
+type QueryResponse struct {
+	Rows     []QueryResultRow `json:"rows"`
+	EpsSpent float64          `json:"eps_spent"`
+}
+
+// EstimateRequest runs one estimator release on a column. Stat is one of
+// mean, variance, stddev, iqr, median, quantile (with P), empirical_mean,
+// empirical_quantile (with Tau). Beta defaults to 0.1.
+type EstimateRequest struct {
+	Table   string  `json:"table"`
+	Column  string  `json:"column"`
+	Stat    string  `json:"stat"`
+	P       float64 `json:"p,omitempty"`
+	Tau     int     `json:"tau,omitempty"`
+	Epsilon float64 `json:"epsilon"`
+	Beta    float64 `json:"beta,omitempty"`
+}
+
+// EstimateResponse is a released estimate.
+type EstimateResponse struct {
+	Value    float64 `json:"value"`
+	EpsSpent float64 `json:"eps_spent"`
+}
+
+// ServerStats is the server-wide counter view.
+type ServerStats struct {
+	Tenants       int     `json:"tenants"`
+	Workers       int     `json:"workers"`
+	Queries       int64   `json:"queries"`
+	Estimates     int64   `json:"estimates"`
+	Refusals      int64   `json:"refusals"`
+	Shed          int64   `json:"shed"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// ---------- routing ----------
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/tenants", s.handleCreateTenant)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleListTenants)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}", s.handleTenantStatus)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/tables", s.handleCreateTable)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/tables/{table}/rows", s.handleInsertRows)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/estimate", s.handleEstimate)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, apiError{Error: err.Error(), Code: code})
+}
+
+// writeReleaseErr maps a release error onto the HTTP surface.
+func writeReleaseErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, dp.ErrBudgetExhausted):
+		writeErr(w, http.StatusTooManyRequests, "budget_exhausted", err)
+	case errors.Is(err, ErrOverloaded):
+		writeErr(w, http.StatusServiceUnavailable, "overloaded", err)
+	case errors.Is(err, dpsql.ErrNoTable), errors.Is(err, dpsql.ErrNoColumn):
+		writeErr(w, http.StatusNotFound, "not_found", err)
+	case errors.Is(err, dpsql.ErrTooFewUsers), errors.Is(err, updp.ErrTooFewSamples):
+		writeErr(w, http.StatusUnprocessableEntity, "too_few_users", err)
+	default:
+		writeErr(w, http.StatusBadRequest, "bad_request", err)
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_json", fmt.Errorf("serve: decoding body: %w", err))
+		return false
+	}
+	return true
+}
+
+// pathTenant resolves the {tenant} path segment, writing 404 on a miss.
+func (s *Server) pathTenant(w http.ResponseWriter, r *http.Request) (*Tenant, bool) {
+	id := r.PathValue("tenant")
+	t, ok := s.tenantByID(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no_tenant", fmt.Errorf("serve: no tenant %q", id))
+	}
+	return t, ok
+}
+
+// ---------- tenant lifecycle ----------
+
+func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	var req CreateTenantRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.ID == "" || strings.ContainsAny(req.ID, "/ \t\n") {
+		writeErr(w, http.StatusBadRequest, "bad_tenant_id",
+			fmt.Errorf("serve: tenant id %q must be non-empty without slashes or spaces", req.ID))
+		return
+	}
+	t, err := s.createTenant(req.ID, req.Epsilon)
+	if err != nil {
+		if errors.Is(err, errTenantExists) {
+			writeErr(w, http.StatusConflict, "tenant_exists", err)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "bad_epsilon", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.status(t))
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"tenants": s.tenantIDs()})
+}
+
+func (s *Server) status(t *Tenant) TenantStatus {
+	return TenantStatus{
+		ID:        t.id,
+		Total:     t.acct.Total(),
+		Spent:     t.acct.Spent(),
+		Remaining: t.acct.Remaining(),
+		Queries:   t.queries.Load(),
+		Estimates: t.estimates.Load(),
+		Refusals:  t.refusals.Load(),
+	}
+}
+
+func (s *Server) handleTenantStatus(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.pathTenant(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(t))
+}
+
+// ---------- schema and ingestion ----------
+
+func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.pathTenant(w, r)
+	if !ok {
+		return
+	}
+	var req CreateTableRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	cols := make([]dpsql.Column, len(req.Columns))
+	for i, c := range req.Columns {
+		var kind dpsql.Kind
+		switch strings.ToLower(c.Kind) {
+		case "float", "double", "real":
+			kind = dpsql.KindFloat
+		case "int", "integer", "bigint":
+			kind = dpsql.KindInt
+		case "string", "text", "varchar":
+			kind = dpsql.KindString
+		default:
+			writeErr(w, http.StatusBadRequest, "bad_kind",
+				fmt.Errorf("serve: unknown column kind %q", c.Kind))
+			return
+		}
+		cols[i] = dpsql.Column{Name: c.Name, Kind: kind}
+	}
+	if _, err := t.db.Create(req.Name, cols, req.UserColumn); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_schema", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"table": req.Name})
+}
+
+func (s *Server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.pathTenant(w, r)
+	if !ok {
+		return
+	}
+	tab, err := t.db.TableByName(r.PathValue("table"))
+	if err != nil {
+		writeReleaseErr(w, err)
+		return
+	}
+	var req InsertRowsRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	for i, row := range req.Rows {
+		vals := make([]dpsql.Value, len(row))
+		for j, cell := range row {
+			switch c := cell.(type) {
+			case float64:
+				// JSON numbers decode as float64; Table.Insert converts
+				// integral floats into INT columns.
+				vals[j] = dpsql.Float(c)
+			case string:
+				vals[j] = dpsql.Str(c)
+			default:
+				// Rows before this one are already stored; report the
+				// partial count so the client can resume precisely.
+				writeJSON(w, http.StatusBadRequest, map[string]any{
+					"error":    fmt.Sprintf("serve: row %d cell %d: unsupported JSON type %T", i, j, cell),
+					"code":     "bad_cell",
+					"inserted": i,
+				})
+				return
+			}
+		}
+		if err := tab.Insert(vals...); err != nil {
+			// Earlier rows of the batch are already stored; report the
+			// partial count so the client can resume precisely.
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error": err.Error(), "code": "bad_row", "inserted": i,
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, InsertRowsResponse{Inserted: len(req.Rows)})
+}
+
+// ---------- releases ----------
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.pathTenant(w, r)
+	if !ok {
+		return
+	}
+	var req QueryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	s.queries.Add(1)
+	t.queries.Add(1)
+	var (
+		res *dpsql.Result
+		err error
+	)
+	ran := s.pool.do(func() {
+		res, err = t.db.Exec(s.splitRNG(), req.SQL, req.Epsilon)
+	})
+	if !ran {
+		s.shed.Add(1)
+		writeReleaseErr(w, ErrOverloaded)
+		return
+	}
+	if err != nil {
+		if errors.Is(err, dp.ErrBudgetExhausted) {
+			s.refusals.Add(1)
+			t.refusals.Add(1)
+		}
+		writeReleaseErr(w, err)
+		return
+	}
+	out := QueryResponse{EpsSpent: res.EpsSpent, Rows: make([]QueryResultRow, 0, len(res.Rows))}
+	for _, row := range res.Rows {
+		qr := QueryResultRow{Values: row.Values}
+		if row.HasGroup {
+			qr.Group = row.Group.String()
+		}
+		out.Rows = append(out.Rows, qr)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.pathTenant(w, r)
+	if !ok {
+		return
+	}
+	var req EstimateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Beta == 0 {
+		req.Beta = 0.1
+	}
+	s.estimates.Add(1)
+	t.estimates.Add(1)
+	value, err := s.estimate(t, req)
+	if err != nil {
+		if errors.Is(err, dp.ErrBudgetExhausted) {
+			s.refusals.Add(1)
+			t.refusals.Add(1)
+		}
+		writeReleaseErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{Value: value, EpsSpent: req.Epsilon})
+}
+
+// estimate validates the request, then hands the whole release — per-user
+// collapse, budget deduction, and mechanism — to a worker. Validation
+// happens on the handler goroutine so data-independent mistakes (bad stat
+// name, unknown table) cost nothing; the table scan and the Spend both
+// run inside the pool, so the Workers bound really caps the CPU cost per
+// release and a shed request (full queue) is never charged. Once the
+// budget is deducted the charge sticks even if the mechanism fails.
+func (s *Server) estimate(t *Tenant, req EstimateRequest) (float64, error) {
+	tab, err := t.db.TableByName(req.Table)
+	if err != nil {
+		return 0, err
+	}
+	switch strings.ToLower(req.Stat) {
+	case "mean", "variance", "stddev", "iqr", "median", "empirical_mean":
+	case "quantile":
+		if !(req.P > 0 && req.P < 1) {
+			return 0, fmt.Errorf("%w: got %v", updp.ErrInvalidQuantile, req.P)
+		}
+	case "empirical_quantile":
+		if req.Tau < 1 {
+			return 0, fmt.Errorf("serve: empirical_quantile needs tau >= 1, got %d", req.Tau)
+		}
+	default:
+		return 0, fmt.Errorf("serve: unknown stat %q", req.Stat)
+	}
+
+	var value float64
+	var runErr error
+	ran := s.pool.do(func() { value, runErr = s.runEstimate(t, tab, req) })
+	if !ran {
+		s.shed.Add(1)
+		return 0, ErrOverloaded
+	}
+	return value, runErr
+}
+
+// runEstimate executes one estimator release on a worker goroutine.
+func (s *Server) runEstimate(t *Tenant, tab *dpsql.Table, req EstimateRequest) (float64, error) {
+	stat := strings.ToLower(req.Stat)
+
+	// Pull the per-user contributions (a consistent snapshot).
+	var (
+		xs  []float64
+		zs  []int64
+		err error
+	)
+	if stat == "empirical_mean" || stat == "empirical_quantile" {
+		zs, err = tab.UserIntSums(req.Column)
+	} else {
+		xs, err = tab.UserMeans(req.Column)
+	}
+	if err != nil {
+		return 0, err
+	}
+
+	// Atomically reserve the budget, then release.
+	if err := t.acct.Spend(req.Epsilon); err != nil {
+		return 0, err
+	}
+	o := []updp.Option{updp.WithBeta(req.Beta), updp.WithSeed(s.splitRNG().Uint64())}
+	var value float64
+	switch stat {
+	case "mean":
+		value, err = updp.Mean(xs, req.Epsilon, o...)
+	case "variance":
+		// Scale parameters are non-negative; projecting the raw release
+		// onto [0, ∞) is free post-processing (as the SQL path does).
+		value, err = clampNonNeg(updp.Variance(xs, req.Epsilon, o...))
+	case "stddev":
+		value, err = updp.StdDev(xs, req.Epsilon, o...)
+	case "iqr":
+		value, err = clampNonNeg(updp.IQR(xs, req.Epsilon, o...))
+	case "median":
+		value, err = updp.Median(xs, req.Epsilon, o...)
+	case "quantile":
+		value, err = updp.Quantile(xs, req.P, req.Epsilon, o...)
+	case "empirical_mean":
+		value, err = updp.EmpiricalMean(zs, req.Epsilon, o...)
+	case "empirical_quantile":
+		var v int64
+		v, err = updp.EmpiricalQuantile(zs, req.Tau, req.Epsilon, o...)
+		value = float64(v)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return 0, fmt.Errorf("serve: mechanism produced non-finite value")
+	}
+	return value, nil
+}
+
+// clampNonNeg projects a scale release onto [0, ∞), passing errors through.
+func clampNonNeg(v float64, err error) (float64, error) {
+	if err == nil && v < 0 {
+		v = 0
+	}
+	return v, err
+}
+
+// ---------- server stats ----------
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.tenants)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, ServerStats{
+		Tenants:       n,
+		Workers:       s.Workers(),
+		Queries:       s.queries.Load(),
+		Estimates:     s.estimates.Load(),
+		Refusals:      s.refusals.Load(),
+		Shed:          s.shed.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}

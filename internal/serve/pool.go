@@ -1,0 +1,69 @@
+package serve
+
+import "sync"
+
+// pool runs submitted release jobs on a fixed set of worker goroutines
+// with a bounded queue. Estimator releases are CPU-bound, so capping
+// concurrency at ~GOMAXPROCS keeps throughput flat under overload instead
+// of collapsing; the bounded queue turns excess load into fast 503s
+// (load shedding) rather than unbounded latency.
+type pool struct {
+	workers int
+	jobs    chan func()
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newPool(workers, depth int) *pool {
+	p := &pool{workers: workers, jobs: make(chan func(), depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// do runs f on a worker and waits for it to finish. It returns false
+// without running f when the queue is full (the caller sheds the request)
+// or the pool is closed.
+func (p *pool) do(f func()) bool {
+	done := make(chan struct{})
+	wrapped := func() {
+		defer close(done)
+		f()
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	select {
+	case p.jobs <- wrapped:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		return false
+	}
+	<-done
+	return true
+}
+
+// close drains queued jobs and stops the workers. Safe to call once.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

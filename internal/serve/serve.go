@@ -1,0 +1,185 @@
+// Package serve is the multi-tenant DP query service: an HTTP+JSON layer
+// that hosts many isolated tenants, each owning a dpsql database and one
+// privacy-budget accountant, and executes estimator releases and SQL
+// queries concurrently through a bounded worker pool.
+//
+// This is the system shape the paper's universal estimators need to be
+// useful at scale: many statistics served off one dataset under one
+// accounted ε budget (basic composition, Lemma 2.2), with ingestion
+// streaming in while queries run. Because the estimators need no range,
+// scale, or family hints, the service exposes them with no tuning knobs
+// beyond (statistic, ε) — a tenant cannot misconfigure a clipping bound,
+// because there is none.
+//
+// Budget model: a tenant is created with a total ε. Every release — SQL
+// query or direct estimator call — names its own ε and is atomically
+// deducted from the tenant's single accountant before the mechanism runs;
+// a request that would overdraw is refused with HTTP 429 and releases
+// nothing. Failed releases after deduction stay charged (refunding on
+// data-dependent failures would leak through the budget itself). Schema
+// DDL and row ingestion touch stored data only and are free.
+//
+// Endpoints (all JSON; see handlers.go for wire types):
+//
+//	POST /v1/tenants                          create a tenant with a total ε
+//	GET  /v1/tenants                          list tenant ids
+//	GET  /v1/tenants/{t}                      budget + request counters
+//	POST /v1/tenants/{t}/tables               create a table (schema + user column)
+//	POST /v1/tenants/{t}/tables/{name}/rows   append rows (streaming ingestion)
+//	POST /v1/tenants/{t}/query                dpsql SELECT under user-level DP
+//	POST /v1/tenants/{t}/estimate             one estimator release on a column
+//	GET  /v1/stats                            server-wide counters
+//	GET  /v1/healthz                          liveness
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/dpsql"
+	"repro/internal/xrand"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds the number of releases executing concurrently
+	// (estimators are CPU-bound; unbounded concurrency only adds
+	// scheduling overhead). 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running releases
+	// before the server sheds load with 503. 0 means 8×Workers.
+	QueueDepth int
+	// Seed makes the server's noise deterministic — tests and benchmarks
+	// only; production must leave it 0 (OS entropy) or the privacy
+	// guarantee is void.
+	Seed uint64
+}
+
+// Server hosts tenants and serves the HTTP API. Create with New; it is
+// safe for concurrent use.
+type Server struct {
+	mux  *http.ServeMux
+	pool *pool
+
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+
+	// rng is the root generator; per-release generators are split off
+	// under rngMu because xrand.RNG itself is single-threaded.
+	rngMu sync.Mutex
+	rng   *xrand.RNG
+
+	start     time.Time
+	queries   atomic.Int64 // SQL releases attempted
+	estimates atomic.Int64 // estimator releases attempted
+	refusals  atomic.Int64 // releases refused for budget
+	shed      atomic.Int64 // requests shed by the full queue
+}
+
+// Tenant is one isolated customer: a database, one budget accountant
+// shared by every release path, and counters.
+type Tenant struct {
+	id      string
+	db      *dpsql.DB
+	acct    *dp.Accountant
+	created time.Time
+
+	queries   atomic.Int64
+	estimates atomic.Int64
+	refusals  atomic.Int64
+}
+
+// New returns a ready-to-serve Server.
+func New(opts Options) *Server {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 8 * workers
+	}
+	rng := xrand.NewRandomSeed()
+	if opts.Seed != 0 {
+		rng = xrand.New(opts.Seed)
+	}
+	s := &Server{
+		mux:     http.NewServeMux(),
+		pool:    newPool(workers, depth),
+		tenants: map[string]*Tenant{},
+		rng:     rng,
+		start:   time.Now(),
+	}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the worker pool after draining queued releases. The HTTP
+// listener's lifecycle belongs to the caller.
+func (s *Server) Close() { s.pool.close() }
+
+// Workers reports the worker-pool size (for status output).
+func (s *Server) Workers() int { return s.pool.workers }
+
+// splitRNG derives an independent generator for one release.
+func (s *Server) splitRNG() *xrand.RNG {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.Split()
+}
+
+// DB exposes the tenant's database for programmatic provisioning (demo
+// data, benchmarks); its releases draw from the tenant's accountant.
+func (t *Tenant) DB() *dpsql.DB { return t.db }
+
+// CreateTenant registers a tenant with a total ε budget — the
+// programmatic twin of POST /v1/tenants.
+func (s *Server) CreateTenant(id string, totalEps float64) (*Tenant, error) {
+	return s.createTenant(id, totalEps)
+}
+
+// createTenant registers a tenant with a total ε budget.
+func (s *Server) createTenant(id string, totalEps float64) (*Tenant, error) {
+	acct, err := dp.NewAccountant(totalEps)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tenants[id]; dup {
+		return nil, errTenantExists
+	}
+	db := dpsql.NewDB()
+	db.SetAccountant(acct)
+	t := &Tenant{id: id, db: db, acct: acct, created: time.Now()}
+	s.tenants[id] = t
+	return t, nil
+}
+
+// tenantByID looks a tenant up.
+func (s *Server) tenantByID(id string) (*Tenant, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tenants[id]
+	return t, ok
+}
+
+// tenantIDs returns the sorted tenant ids.
+func (s *Server) tenantIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.tenants))
+	for id := range s.tenants {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -87,6 +87,26 @@ func TestQuantileAndMedian(t *testing.T) {
 	}
 }
 
+func TestQuantileExtremeRankClamped(t *testing.T) {
+	// Extreme p on small n must clamp the target rank into [1, n] (the
+	// EstimateQuantilesProb behavior) instead of handing the core an
+	// off-the-data rank. All of these must release a value near the data.
+	data := []float64{1, 2, 3, 4, 5}
+	for _, p := range []float64{1e-12, 1e-300, 0.001, 0.999, 1 - 1e-16} {
+		q, err := Quantile(data, p, 1.0, WithSeed(3))
+		if err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+		if q < -100 || q > 100 {
+			t.Errorf("p=%v: release %v is wildly off the data", p, q)
+		}
+	}
+	// Empty data still fails cleanly with the too-few-samples error.
+	if _, err := Quantile(nil, 0.5, 1.0); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("empty data: got %v, want ErrTooFewSamples", err)
+	}
+}
+
 func TestSeedDeterminism(t *testing.T) {
 	data := gaussianData(6, 5000, 0, 1)
 	a, err := Mean(data, 1.0, WithSeed(42))
