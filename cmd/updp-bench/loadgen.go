@@ -19,62 +19,64 @@ import (
 
 // loadgenConfig parameterizes the service-level benchmark.
 type loadgenConfig struct {
-	target   string // "self" or a base URL like http://host:8500
-	clients  int
-	duration time.Duration
-	users    int
-	eps      float64 // per-release budget
-	seed     uint64
+	target     string // "self" or a base URL like http://host:8500
+	clients    int
+	duration   time.Duration
+	users      int
+	eps        float64 // per-release budget
+	seed       uint64
+	accounting string  // bench tenant backend: "pure" or "zcdp"
+	delta      float64 // zcdp delta (0 = server default)
+	window     float64 // refill window seconds (0 = lifetime budget)
+	budget     float64 // compare mode: nominal total eps per twin
 }
 
-// runLoadgen hammers an updp-serve instance with a mixed estimator/SQL
-// workload and reports throughput and latency — the repository's
-// service-level benchmark. With target "self" an in-process server is
-// started on a loopback port so the benchmark is self-contained.
-func runLoadgen(cfg loadgenConfig) error {
-	base := cfg.target
-	if cfg.target == "self" {
-		// Queue sized to the offered concurrency so the benchmark measures
-		// service throughput, not the load-shedder (which has its own test).
-		srv := serve.New(serve.Options{Seed: cfg.seed, QueueDepth: 4 * cfg.clients})
-		defer srv.Close()
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		hs := &http.Server{Handler: srv}
-		go func() { _ = hs.Serve(ln) }()
-		defer hs.Close()
-		base = "http://" + ln.Addr().String()
-		fmt.Fprintf(os.Stderr, "loadgen: in-process server at %s (workers=%d)\n", base, srv.Workers())
+// selfServe starts an in-process server on a loopback port when target is
+// "self", returning the base URL and a shutdown func.
+func selfServe(cfg loadgenConfig) (string, func(), error) {
+	if cfg.target != "self" {
+		return cfg.target, func() {}, nil
 	}
+	// Queue sized to the offered concurrency so the benchmark measures
+	// service throughput, not the load-shedder (which has its own test).
+	srv := serve.New(serve.Options{Seed: cfg.seed, QueueDepth: 4 * cfg.clients})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "loadgen: in-process server at %s (workers=%d)\n", base, srv.Workers())
+	return base, func() { hs.Close(); srv.Close() }, nil
+}
 
-	tenant := fmt.Sprintf("bench-%d", time.Now().UnixNano())
-	hc := &http.Client{Timeout: 30 * time.Second}
-	post := func(path string, body, out any) (int, error) {
-		b, err := json.Marshal(body)
-		if err != nil {
-			return 0, err
-		}
-		resp, err := hc.Post(base+path, "application/json", bytes.NewReader(b))
-		if err != nil {
-			return 0, err
-		}
-		defer resp.Body.Close()
-		if out != nil && resp.StatusCode < 300 {
-			return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
-		}
-		_, _ = io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, nil
+// jsonPost marshals body, posts it, and decodes a <300 reply into out.
+func jsonPost(hc *http.Client, base, path string, body, out any) (int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
 	}
+	resp, err := hc.Post(base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
 
-	// Provision: tenant with an effectively bottomless budget (the
-	// benchmark measures throughput, not refusals — those get their own
-	// counter), one table, cfg.users users with two rows each.
-	if code, err := post("/v1/tenants", serve.CreateTenantRequest{ID: tenant, Epsilon: 1e9}, nil); err != nil || code != http.StatusCreated {
-		return fmt.Errorf("loadgen: creating tenant: code=%d err=%v", code, err)
+// provisionBench creates a tenant and fills its metrics table with
+// cfg.users synthetic users (two rows each).
+func provisionBench(cfg loadgenConfig, hc *http.Client, base string, req serve.CreateTenantRequest) error {
+	if code, err := jsonPost(hc, base, "/v1/tenants", req, nil); err != nil || code != http.StatusCreated {
+		return fmt.Errorf("loadgen: creating tenant %s: code=%d err=%v", req.ID, code, err)
 	}
-	if code, err := post("/v1/tenants/"+tenant+"/tables", serve.CreateTableRequest{
+	if code, err := jsonPost(hc, base, "/v1/tenants/"+req.ID+"/tables", serve.CreateTableRequest{
 		Name: "metrics",
 		Columns: []serve.ColumnSpec{
 			{Name: "uid", Kind: "string"},
@@ -83,7 +85,7 @@ func runLoadgen(cfg loadgenConfig) error {
 		},
 		UserColumn: "uid",
 	}, nil); err != nil || code != http.StatusCreated {
-		return fmt.Errorf("loadgen: creating table: code=%d err=%v", code, err)
+		return fmt.Errorf("loadgen: creating table for %s: code=%d err=%v", req.ID, code, err)
 	}
 	rng := xrand.New(cfg.seed)
 	groups := []string{"a", "b", "c"}
@@ -93,7 +95,7 @@ func runLoadgen(cfg loadgenConfig) error {
 		if len(rows) == 0 {
 			return nil
 		}
-		code, err := post("/v1/tenants/"+tenant+"/tables/metrics/rows", serve.InsertRowsRequest{Rows: rows}, nil)
+		code, err := jsonPost(hc, base, "/v1/tenants/"+req.ID+"/tables/metrics/rows", serve.InsertRowsRequest{Rows: rows}, nil)
 		if err != nil || code != http.StatusOK {
 			return fmt.Errorf("loadgen: inserting rows: code=%d err=%v", code, err)
 		}
@@ -112,11 +114,42 @@ func runLoadgen(cfg loadgenConfig) error {
 			}
 		}
 	}
-	if err := flush(); err != nil {
+	return flush()
+}
+
+// runLoadgen hammers an updp-serve instance with a mixed estimator/SQL
+// workload and reports throughput and latency — the repository's
+// service-level benchmark. With target "self" an in-process server is
+// started on a loopback port so the benchmark is self-contained.
+func runLoadgen(cfg loadgenConfig) error {
+	base, shutdown, err := selfServe(cfg)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+
+	// Provision: tenant with an effectively bottomless budget (the
+	// benchmark measures throughput, not refusals — those get their own
+	// counter), one table, cfg.users users with two rows each. The
+	// -accounting/-delta/-window flags pick the composition backend so
+	// both ledgers see real service traffic.
+	tenant := fmt.Sprintf("bench-%d", time.Now().UnixNano())
+	hc := &http.Client{Timeout: 30 * time.Second}
+	if err := provisionBench(cfg, hc, base, serve.CreateTenantRequest{
+		ID:            tenant,
+		Epsilon:       1e9,
+		Accounting:    cfg.accounting,
+		Delta:         cfg.delta,
+		WindowSeconds: cfg.window,
+	}); err != nil {
 		return err
 	}
 
-	// Mixed workload: half SQL, half direct estimator releases.
+	// Mixed workload: half SQL, half direct estimator releases. Half of
+	// each client's requests are distinct (per-iteration WHERE bound /
+	// quantile rank) so they exercise the mechanisms; the other half
+	// repeat a small fixed set, exercising the response cache the way
+	// dashboard-style traffic does.
 	sqls := []string{
 		"SELECT AVG(v) FROM metrics",
 		"SELECT COUNT(*) FROM metrics",
@@ -143,15 +176,25 @@ func runLoadgen(cfg loadgenConfig) error {
 					path string
 					body any
 				)
+				distinct := i%4 >= 2
 				if (c+i)%2 == 0 {
 					path = "/v1/tenants/" + tenant + "/query"
-					body = serve.QueryRequest{SQL: sqls[i%len(sqls)], Epsilon: cfg.eps}
+					sql := sqls[i%len(sqls)]
+					if distinct {
+						sql = fmt.Sprintf("SELECT AVG(v) FROM metrics WHERE v < %d", 100000+c*1000003+i)
+					}
+					body = serve.QueryRequest{SQL: sql, Epsilon: cfg.eps}
 				} else {
 					path = "/v1/tenants/" + tenant + "/estimate"
-					body = serve.EstimateRequest{
+					req := serve.EstimateRequest{
 						Table: "metrics", Column: "v",
 						Stat: stats[i%len(stats)], Epsilon: cfg.eps,
 					}
+					if distinct {
+						req.Stat = "quantile"
+						req.P = 0.001 + 0.998*float64((c*7919+i)%9973)/9973
+					}
+					body = req
 				}
 				b, _ := json.Marshal(body)
 				t0 := time.Now()
@@ -203,16 +246,127 @@ func runLoadgen(cfg loadgenConfig) error {
 		return total.lat[ix]
 	}
 	n := total.ok + total.refused + total.shed + total.errs
-	fmt.Printf("=== serve loadgen: %d clients, %v, %d users, eps/release=%g ===\n",
-		cfg.clients, cfg.duration, cfg.users, cfg.eps)
+	fmt.Printf("=== serve loadgen: %d clients, %v, %d users, eps/release=%g, accounting=%s ===\n",
+		cfg.clients, cfg.duration, cfg.users, cfg.eps, cfg.accounting)
 	fmt.Printf("requests     %d (ok %d, budget-refused %d, shed %d, errors %d)\n",
 		n, total.ok, total.refused, total.shed, total.errs)
 	fmt.Printf("throughput   %.1f req/s\n", float64(n)/elapsed.Seconds())
 	fmt.Printf("latency      p50 %v  p95 %v  p99 %v  max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	if st, err := fetchStats(hc, base); err == nil {
+		fmt.Printf("cache        %d hits, %d misses (hits are budget-free replays)\n",
+			st.CacheHits, st.CacheMisses)
+	}
 	if total.errs > 0 {
 		return fmt.Errorf("loadgen: %d requests errored", total.errs)
 	}
+	return nil
+}
+
+// fetchStats pulls /v1/stats.
+func fetchStats(hc *http.Client, base string) (serve.ServerStats, error) {
+	var st serve.ServerStats
+	resp, err := hc.Get(base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// runCompare is the backend exhaustion duel: twin tenants with the same
+// nominal (ε, δ = 1e-6) budget — one under basic composition, one under
+// zCDP — receive the identical stream of distinct small releases until
+// each hits 429. Basic composition affords budget/eps releases; zCDP
+// affords rho(budget, δ)/(eps²/2), which for small per-release ε is far
+// more. A third, windowed twin shows the renewable budget recovering from
+// 429 after one window tick.
+func runCompare(cfg loadgenConfig) error {
+	base, shutdown, err := selfServe(cfg)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	hc := &http.Client{Timeout: 30 * time.Second}
+
+	ts := time.Now().UnixNano()
+	pure := fmt.Sprintf("cmp-pure-%d", ts)
+	zcdp := fmt.Sprintf("cmp-zcdp-%d", ts)
+	for _, req := range []serve.CreateTenantRequest{
+		{ID: pure, Epsilon: cfg.budget},
+		{ID: zcdp, Epsilon: cfg.budget, Accounting: "zcdp"},
+	} {
+		if err := provisionBench(cfg, hc, base, req); err != nil {
+			return err
+		}
+	}
+
+	// Identical distinct releases (varying quantile rank defeats the
+	// free-replay cache: cached answers would never exhaust anything).
+	const maxTries = 100000
+	sustained := func(tenant string) (int, error) {
+		for i := 0; i < maxTries; i++ {
+			p := 0.001 + 0.998*float64(i%99991)/99991
+			code, err := jsonPost(hc, base, "/v1/tenants/"+tenant+"/estimate", serve.EstimateRequest{
+				Table: "metrics", Column: "v", Stat: "quantile", P: p, Epsilon: cfg.eps,
+			}, nil)
+			if err != nil {
+				return i, err
+			}
+			switch code {
+			case http.StatusOK:
+			case http.StatusTooManyRequests:
+				return i, nil
+			default:
+				return i, fmt.Errorf("loadgen: %s release %d: HTTP %d", tenant, i, code)
+			}
+		}
+		return maxTries, nil
+	}
+	t0 := time.Now()
+	nPure, err := sustained(pure)
+	if err != nil {
+		return err
+	}
+	nZCDP, err := sustained(zcdp)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("=== accounting duel: nominal eps=%g (delta=1e-6), per-release eps=%g, %d users ===\n",
+		cfg.budget, cfg.eps, cfg.users)
+	fmt.Printf("pure-eps     %6d releases before 429 (basic composition: eps/release adds up)\n", nPure)
+	fmt.Printf("zcdp         %6d releases before 429 (each costs eps^2/2 in rho)\n", nZCDP)
+	if nPure > 0 {
+		fmt.Printf("advantage    %.1fx more releases from the same nominal budget\n",
+			float64(nZCDP)/float64(nPure))
+	}
+	fmt.Printf("elapsed      %v\n", time.Since(t0).Round(time.Millisecond))
+
+	// Renewable budgets: a windowed twin comes back after one tick.
+	windowed := fmt.Sprintf("cmp-win-%d", ts)
+	const winSecs = 1.0
+	if err := provisionBench(cfg, hc, base, serve.CreateTenantRequest{
+		ID: windowed, Epsilon: cfg.budget, WindowSeconds: winSecs,
+	}); err != nil {
+		return err
+	}
+	if n, err := sustained(windowed); err != nil {
+		return err
+	} else {
+		fmt.Printf("windowed     %6d releases, then 429\n", n)
+	}
+	time.Sleep(time.Duration(winSecs*float64(time.Second)) + 200*time.Millisecond)
+	code, err := jsonPost(hc, base, "/v1/tenants/"+windowed+"/estimate", serve.EstimateRequest{
+		Table: "metrics", Column: "v", Stat: "median", Epsilon: cfg.eps,
+	}, nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("loadgen: windowed tenant did not recover after its window (HTTP %d)", code)
+	}
+	fmt.Printf("windowed     recovered after one %gs window tick (budget refilled)\n", winSecs)
 	return nil
 }

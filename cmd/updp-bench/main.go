@@ -14,6 +14,14 @@
 //
 //	updp-bench -serve self -clients 32 -duration 5s
 //	updp-bench -serve http://localhost:8500 -clients 64 -duration 30s -users 20000
+//	updp-bench -serve self -accounting zcdp -window 60
+//	updp-bench -serve self -compare -budget 0.1
+//
+// -accounting/-delta/-window pick the bench tenant's composition backend;
+// -compare runs the backend exhaustion duel instead of the throughput
+// run: twin tenants with the same nominal (ε, δ) budget — one pure-ε, one
+// zCDP — receive identical small releases until each hits 429, showing
+// how many more releases ρ-accounting sustains.
 package main
 
 import (
@@ -41,18 +49,33 @@ func main() {
 		duration    = flag.Duration("duration", 5*time.Second, "loadgen: run length")
 		users       = flag.Int("users", 5000, "loadgen: synthetic users in the bench table")
 		loadEps     = flag.Float64("loadeps", 0.001, "loadgen: per-release epsilon")
+		accounting  = flag.String("accounting", "pure", `loadgen: bench tenant backend, "pure" or "zcdp"`)
+		delta       = flag.Float64("delta", 0, "loadgen: zcdp delta (0 = server default 1e-6)")
+		window      = flag.Float64("window", 0, "loadgen: bench tenant refill window in seconds (0 = lifetime)")
+		compare     = flag.Bool("compare", false, "loadgen: run the pure-vs-zcdp exhaustion duel instead of the throughput run")
+		budget      = flag.Float64("budget", 0.1, "compare: nominal total epsilon per twin tenant")
 	)
 	flag.Parse()
 
 	if *serveTarget != "" {
-		err := runLoadgen(loadgenConfig{
-			target:   *serveTarget,
-			clients:  *clients,
-			duration: *duration,
-			users:    *users,
-			eps:      *loadEps,
-			seed:     *seed,
-		})
+		cfg := loadgenConfig{
+			target:     *serveTarget,
+			clients:    *clients,
+			duration:   *duration,
+			users:      *users,
+			eps:        *loadEps,
+			seed:       *seed,
+			accounting: *accounting,
+			delta:      *delta,
+			window:     *window,
+			budget:     *budget,
+		}
+		var err error
+		if *compare {
+			err = runCompare(cfg)
+		} else {
+			err = runLoadgen(cfg)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "updp-bench: %v\n", err)
 			os.Exit(1)

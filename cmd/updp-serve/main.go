@@ -4,9 +4,14 @@
 //
 //	updp-serve -addr :8500
 //	updp-serve -addr :8500 -workers 8 -demo
+//	updp-serve -demo -accounting zcdp -delta 1e-6
+//	updp-serve -demo -window 3600           # budget refills hourly
 //
 // With -demo a tenant "demo" (ε = 16) is preloaded with a synthetic
-// salaries table so the API can be explored immediately:
+// salaries table so the API can be explored immediately; -accounting,
+// -delta, and -window configure the demo tenant's composition backend
+// (pure-ε basic composition, zCDP ρ-accounting, optional renewable
+// window):
 //
 //	curl -s localhost:8500/v1/tenants/demo
 //	curl -s -X POST localhost:8500/v1/tenants/demo/estimate \
@@ -37,20 +42,24 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8500", "listen address")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		seed    = flag.Uint64("seed", 0, "RNG seed; 0 uses OS entropy (required for real privacy)")
-		demo    = flag.Bool("demo", false, "preload a demo tenant with synthetic salaries")
+		addr       = flag.String("addr", ":8500", "listen address")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		seed       = flag.Uint64("seed", 0, "RNG seed; 0 uses OS entropy (required for real privacy)")
+		demo       = flag.Bool("demo", false, "preload a demo tenant with synthetic salaries")
+		accounting = flag.String("accounting", "pure", `demo tenant composition backend: "pure" or "zcdp"`)
+		delta      = flag.Float64("delta", 0, "demo tenant delta for zcdp accounting (0 = server default 1e-6)")
+		window     = flag.Float64("window", 0, "demo tenant budget refill window in seconds (0 = lifetime budget)")
 	)
 	flag.Parse()
 
 	srv := serve.New(serve.Options{Workers: *workers, Seed: *seed})
 	defer srv.Close()
 	if *demo {
-		if err := loadDemo(srv); err != nil {
+		if err := loadDemo(srv, *accounting, *delta, *window); err != nil {
 			log.Fatalf("updp-serve: demo data: %v", err)
 		}
-		log.Printf("demo tenant ready: tenant=demo table=salaries budget eps=16")
+		log.Printf("demo tenant ready: tenant=demo table=salaries budget eps=16 accounting=%s window=%gs",
+			*accounting, *window)
 	}
 
 	hs := &http.Server{
@@ -79,8 +88,14 @@ func main() {
 // loadDemo provisions tenant "demo" with a lognormal salaries table —
 // heavy-tailed data with no natural clipping bound, i.e. exactly the
 // regime the universal estimators exist for.
-func loadDemo(srv *serve.Server) error {
-	tn, err := srv.CreateTenant("demo", 16)
+func loadDemo(srv *serve.Server, accounting string, delta, windowSecs float64) error {
+	tn, err := srv.CreateTenantWith(serve.CreateTenantRequest{
+		ID:            "demo",
+		Epsilon:       16,
+		Accounting:    accounting,
+		Delta:         delta,
+		WindowSeconds: windowSecs,
+	})
 	if err != nil {
 		return err
 	}

@@ -13,13 +13,31 @@
 // Beyond the library, the repository ships a concurrent multi-tenant DP
 // query service (internal/serve, run with cmd/updp-serve): an HTTP+JSON
 // API that hosts many tenants, each with an isolated dpsql database and
-// one ε-budget accountant shared by every release path. Estimator calls
-// (mean, variance, stddev, iqr, median, quantile, and the paper's
+// one privacy ledger shared by every release path. Estimator calls
+// (mean, variance, stddev, iqr, median, quantile, count, and the paper's
 // Section-3 empirical variants) and full dpsql SQL queries execute
-// concurrently on a bounded worker pool while ingestion streams in;
-// dp.Accountant and the dpsql engine are safe for concurrent use, with
-// atomic check-and-deduct budget enforcement so racing releases can never
-// jointly overdraw a tenant's ε. cmd/updp-bench doubles as the
+// concurrently on a bounded worker pool while ingestion streams in; the
+// ledgers and the dpsql engine are safe for concurrent use, with atomic
+// check-and-deduct budget enforcement so racing releases can never
+// jointly overdraw a tenant's budget. cmd/updp-bench doubles as the
 // service-level load generator (-serve) reporting throughput and latency
-// percentiles. See examples/serve for a full client walkthrough.
+// percentiles, and (-compare) as the composition-backend exhaustion duel.
+// See examples/serve for a full client walkthrough.
+//
+// # Privacy accounting backends
+//
+// Accounting is pluggable (dp.Ledger): every release path — the
+// updp.Estimator (WithLedger), the dpsql engine (DB.SetLedger), and the
+// serve tenants ("accounting" in the create-tenant request) — charges a
+// composition backend instead of a hard-wired pure-ε accountant.
+// dp.BasicLedger preserves the paper's basic composition (Lemma 2.2);
+// dp.ZCDPLedger accounts in zCDP ρ (Bun & Steinke 2016), pricing each
+// pure ε-release at ε²/2 — so sustained many-small-release traffic lasts
+// quadratically longer under the same nominal (ε, δ) — and charging the
+// natively-Gaussian count release its ρ directly; dp.WindowedLedger wraps
+// either backend with a wall-clock refill window, turning a lifetime
+// budget into a renewable rate. The serve layer also replays
+// byte-identical repeated releases from a per-tenant response cache
+// (free post-processing) and supports record-level privacy units for
+// tables where a row is a user.
 package repro

@@ -1,7 +1,10 @@
 // Multi-tenant DP query service, driven over HTTP: start an in-process
 // updp-serve instance, provision two tenants with their own data and ε
 // budgets, release statistics concurrently from both, and watch the
-// per-tenant accountant refuse the release that would overdraw.
+// per-tenant ledger refuse the release that would overdraw. The second
+// act compares composition backends: a zCDP tenant survives a release
+// volume that exhausts its pure-ε twin holding the same nominal (ε, δ)
+// budget, because ρ-accounting charges each small ε-release only ε²/2.
 //
 //	go run ./examples/serve
 package main
@@ -106,6 +109,61 @@ func main() {
 		get(base, "/v1/tenants/"+tenant, &st)
 		fmt.Printf("%-9s budget: total %.1f, spent %.1f, remaining %.1f (refusals: %d)\n",
 			tenant, st.Total, st.Spent, st.Remaining, st.Refusals)
+	}
+
+	// Act two — composition backends. Twin tenants with the same nominal
+	// budget (ε = 0.2, δ = 1e-6): "pure-twin" composes basic (each
+	// release at ε₀ costs ε₀), "zcdp-twin" accounts in zCDP ρ (the same
+	// release costs ε₀²/2). Under a dashboard-style stream of small
+	// distinct releases, basic composition dies at ε/ε₀ = 100 releases;
+	// the zCDP twin is still answering when the stream ends.
+	fmt.Println("\n--- composition backends: pure-eps twin vs zCDP twin (same nominal budget) ---")
+	mustPost(base, "/v1/tenants", serve.CreateTenantRequest{ID: "pure-twin", Epsilon: 0.2})
+	mustPost(base, "/v1/tenants", serve.CreateTenantRequest{ID: "zcdp-twin", Epsilon: 0.2, Accounting: "zcdp"})
+	for _, tenant := range []string{"pure-twin", "zcdp-twin"} {
+		mustPost(base, "/v1/tenants/"+tenant+"/tables", serve.CreateTableRequest{
+			Name:       "records",
+			Columns:    []serve.ColumnSpec{{Name: "uid", Kind: "string"}, {Name: "value", Kind: "float"}},
+			UserColumn: "uid",
+		})
+		rows := make([][]any, 0, 1000)
+		for u := 0; u < 1000; u++ {
+			rows = append(rows, []any{fmt.Sprintf("u%04d", u), math.Exp(2 + 0.8*rng.Gaussian())})
+		}
+		mustPost(base, "/v1/tenants/"+tenant+"/tables/records/rows", serve.InsertRowsRequest{Rows: rows})
+	}
+	const (
+		releases   = 150   // volume that exhausts the pure twin at 100
+		releaseEps = 0.002 // small per-release budget, the zCDP sweet spot
+	)
+	for _, tenant := range []string{"pure-twin", "zcdp-twin"} {
+		survived, refusedAt := 0, -1
+		for i := 0; i < releases; i++ {
+			// Distinct quantile ranks: identical requests would be free
+			// cache replays and exhaust nothing.
+			p := 0.01 + 0.98*float64(i)/releases
+			code, _ := post(base, "/v1/tenants/"+tenant+"/estimate", serve.EstimateRequest{
+				Table: "records", Column: "value", Stat: "quantile", P: p, Epsilon: releaseEps,
+			})
+			switch code {
+			case http.StatusOK:
+				survived++
+			case http.StatusTooManyRequests:
+				if refusedAt < 0 {
+					refusedAt = i
+				}
+			}
+		}
+		var st serve.TenantStatus
+		get(base, "/v1/tenants/"+tenant, &st)
+		if refusedAt >= 0 {
+			fmt.Printf("%-9s (%s) exhausted after %d of %d releases — spent %.4g %s of %.4g\n",
+				tenant, st.Accounting, refusedAt, releases, st.Spent, st.Unit, st.Total)
+		} else {
+			fmt.Printf("%-9s (%s) survived all %d releases — spent %.4g %s of %.4g (≈ ε %.3f of %.1f at δ=%.0e)\n",
+				tenant, st.Accounting, releases, st.Spent, st.Unit, st.Total,
+				st.SpentEpsilon, st.TotalEpsilon, st.Delta)
+		}
 	}
 }
 

@@ -134,3 +134,12 @@ func (a *Accountant) Total() float64 {
 	defer a.mu.Unlock()
 	return a.total
 }
+
+// Reset refills the budget to Total. It is not free post-processing: only
+// a policy layer that deliberately renews budgets (WindowedLedger) should
+// call it.
+func (a *Accountant) Reset() {
+	a.mu.Lock()
+	a.spent = 0
+	a.mu.Unlock()
+}

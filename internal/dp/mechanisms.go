@@ -61,3 +61,18 @@ func ReportNoisyMax(rng *xrand.RNG, values []float64, sensitivity, eps float64) 
 func NoisyCount(rng *xrand.RNG, count int, eps float64) float64 {
 	return float64(count) + rng.Laplace(1/eps)
 }
+
+// GaussianSigma returns the noise standard deviation that makes the
+// Gaussian mechanism ρ-zCDP for a query with the given global
+// sensitivity: σ = Δ/sqrt(2ρ) (Bun & Steinke 2016, Proposition 1.6).
+func GaussianSigma(sensitivity, rho float64) float64 {
+	return sensitivity / math.Sqrt(2*rho)
+}
+
+// Gaussian releases value + N(0, σ²) with σ = GaussianSigma(sensitivity,
+// rho), a ρ-zCDP release. Unlike Laplace it satisfies no finite pure-ε
+// guarantee, so its cost must be charged natively (RhoCost) to a ledger
+// whose backend composes in ρ — a pure-ε ledger refuses it.
+func Gaussian(rng *xrand.RNG, value, sensitivity, rho float64) float64 {
+	return value + GaussianSigma(sensitivity, rho)*rng.Gaussian()
+}

@@ -39,39 +39,52 @@ type Result struct {
 }
 
 // SetBudget installs a total privacy budget enforced across Exec calls
-// (basic composition, Lemma 2.2). A nil-budget DB never refuses queries.
+// (basic composition of pure ε, Lemma 2.2). A nil-budget DB never refuses
+// queries. For a different composition backend use SetLedger.
 func (db *DB) SetBudget(totalEps float64) error {
-	acct, err := dp.NewAccountant(totalEps)
+	led, err := dp.NewBasicLedger(totalEps)
 	if err != nil {
 		return err
 	}
-	db.SetAccountant(acct)
+	db.SetLedger(led)
 	return nil
 }
 
-// SetAccountant installs a shared accountant, letting several release
-// paths (e.g. a tenant's SQL queries and its direct estimator calls in the
-// serve layer) draw from one budget under basic composition.
-func (db *DB) SetAccountant(acct *dp.Accountant) {
+// SetLedger installs a composition backend enforced across Exec calls,
+// letting several release paths (e.g. a tenant's SQL queries and its
+// direct estimator calls in the serve layer) draw from one budget. The
+// backend decides how ε costs compose: dp.BasicLedger adds them linearly,
+// dp.ZCDPLedger charges ε²/2 in ρ, dp.WindowedLedger renews any inner
+// budget on a wall-clock cadence.
+func (db *DB) SetLedger(led dp.Ledger) {
 	db.mu.Lock()
-	db.acct = acct
+	db.led = led
 	db.mu.Unlock()
 }
 
-// Accountant returns the installed accountant (nil when no budget is set).
-func (db *DB) Accountant() *dp.Accountant {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.acct
+// SetAccountant installs a pure-ε accountant as the ledger — the legacy
+// entry point, equivalent to SetLedger(acct.Ledger()); both views share
+// one budget.
+func (db *DB) SetAccountant(acct *dp.Accountant) {
+	db.SetLedger(acct.Ledger())
 }
 
-// Remaining reports the unspent budget; +Inf when no budget is set.
+// Ledger returns the installed composition backend (nil when no budget is
+// set).
+func (db *DB) Ledger() dp.Ledger {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.led
+}
+
+// Remaining reports the unspent budget in the ledger's native unit; +Inf
+// when no budget is set.
 func (db *DB) Remaining() float64 {
-	acct := db.Accountant()
-	if acct == nil {
+	led := db.Ledger()
+	if led == nil {
 		return math.Inf(1)
 	}
-	return acct.Remaining()
+	return led.Remaining()
 }
 
 // Exec parses and answers sql under user-level eps-DP.
@@ -125,8 +138,8 @@ func (db *DB) Exec(rng *xrand.RNG, sql string, eps float64) (*Result, error) {
 		}
 	}
 
-	if acct := db.Accountant(); acct != nil {
-		if err := acct.Spend(eps); err != nil {
+	if led := db.Ledger(); led != nil {
+		if err := led.Spend(dp.EpsCost(eps)); err != nil {
 			return nil, err
 		}
 	}

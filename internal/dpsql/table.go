@@ -43,12 +43,12 @@ type Table struct {
 }
 
 // DB is a collection of tables with an optional shared privacy budget.
-// The table registry and the accountant pointer are guarded by mu; a DB
-// is safe for concurrent Create/TableByName/Exec/Run use.
+// The table registry and the ledger pointer are guarded by mu; a DB is
+// safe for concurrent Create/TableByName/Exec/Run use.
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
-	acct   *dp.Accountant
+	led    dp.Ledger
 }
 
 // NewDB returns an empty database.
@@ -137,8 +137,10 @@ func (t *Table) Insert(vals ...Value) error {
 	return nil
 }
 
-// NumRows returns the (non-private) number of stored rows; intended for
-// tests and data loading, not for release.
+// NumRows returns the raw number of stored rows. It is not itself a DP
+// release: callers either keep it out of released output (tests, data
+// loading) or privatize it first (the serve layer's record-unit COUNT
+// feeds it through a sensitivity-1 noise mechanism).
 func (t *Table) NumRows() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -208,6 +210,59 @@ func (t *Table) UserMeans(col string) ([]float64, error) {
 	out := make([]float64, len(users))
 	for i, u := range users {
 		out[i] = u.sum / float64(u.count)
+	}
+	return out, nil
+}
+
+// NumUsers returns the number of distinct users in a consistent snapshot
+// — the unit count a user-level COUNT release privatizes (sensitivity 1
+// under a one-user change). Unlike the column readers it needs no column:
+// the user column alone determines it.
+func (t *Table) NumUsers() int {
+	seen := map[string]struct{}{}
+	for _, row := range t.snapshot() {
+		seen[row[t.userIx].String()] = struct{}{}
+	}
+	return len(seen)
+}
+
+// ColumnFloats returns the named numeric column's raw per-row values from
+// a consistent snapshot, in insertion order — the record-level-DP input
+// shape for datasets where a row IS a user (no per-user collapse). Feeding
+// it to a record-level ε-DP mechanism yields record-level ε-DP only; use
+// UserMeans when one user may own several rows.
+func (t *Table) ColumnFloats(col string) ([]float64, error) {
+	ix, err := t.ColumnIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	if t.Columns[ix].Kind == KindString {
+		return nil, fmt.Errorf("dpsql: column %q is %s, need numeric", col, KindString)
+	}
+	rows := t.snapshot()
+	out := make([]float64, len(rows))
+	for i, row := range rows {
+		out[i] = row[ix].F
+	}
+	return out, nil
+}
+
+// ColumnInts returns the named INT column's raw per-row values from a
+// consistent snapshot, in insertion order — the record-level input to the
+// paper's empirical-setting estimators (Section 3) when a row IS a user.
+func (t *Table) ColumnInts(col string) ([]int64, error) {
+	ix, err := t.ColumnIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	if t.Columns[ix].Kind != KindInt {
+		return nil, fmt.Errorf("dpsql: column %q is %s, need %s for an empirical release",
+			col, t.Columns[ix].Kind, KindInt)
+	}
+	rows := t.snapshot()
+	out := make([]int64, len(rows))
+	for i, row := range rows {
+		out[i] = int64(row[ix].F)
 	}
 	return out, nil
 }

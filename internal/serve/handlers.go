@@ -23,21 +23,46 @@ var (
 
 // ---------- wire types ----------
 
-// CreateTenantRequest creates a tenant with a total ε budget.
+// CreateTenantRequest creates a tenant with a nominal budget and a
+// composition backend. Accounting picks the backend: "pure" (default,
+// basic composition of pure ε) or "zcdp" (ρ-accounting at an (ε, δ)
+// target; Delta defaults to 1e-6 and every pure release is priced at
+// ε²/2). WindowSeconds > 0 additionally makes the budget renewable: it
+// refills to full every WindowSeconds of wall-clock time.
 type CreateTenantRequest struct {
-	ID      string  `json:"id"`
-	Epsilon float64 `json:"epsilon"`
+	ID            string  `json:"id"`
+	Epsilon       float64 `json:"epsilon"`
+	Accounting    string  `json:"accounting,omitempty"`
+	Delta         float64 `json:"delta,omitempty"`
+	WindowSeconds float64 `json:"window_seconds,omitempty"`
 }
 
-// TenantStatus is the budget and counter view of one tenant.
+// TenantStatus is the budget and counter view of one tenant. Total,
+// Spent, and Remaining are in the backend's native unit (Unit: "eps" for
+// pure tenants, "rho" for zcdp); the *_epsilon fields are the (ε, δ)-DP
+// view — for pure tenants they mirror the native numbers, for zcdp
+// tenants spent_epsilon is the ρ→(ε, δ) conversion of the spend at the
+// tenant's δ. For windowed tenants the spend is within the current
+// window.
 type TenantStatus struct {
-	ID        string  `json:"id"`
-	Total     float64 `json:"total_epsilon"`
-	Spent     float64 `json:"spent_epsilon"`
-	Remaining float64 `json:"remaining_epsilon"`
-	Queries   int64   `json:"queries"`
-	Estimates int64   `json:"estimates"`
-	Refusals  int64   `json:"refusals"`
+	ID         string  `json:"id"`
+	Accounting string  `json:"accounting"`
+	Unit       string  `json:"unit"`
+	Total      float64 `json:"total"`
+	Spent      float64 `json:"spent"`
+	Remaining  float64 `json:"remaining"`
+
+	TotalEpsilon     float64 `json:"total_epsilon"`
+	SpentEpsilon     float64 `json:"spent_epsilon"`
+	RemainingEpsilon float64 `json:"remaining_epsilon"`
+	Delta            float64 `json:"delta,omitempty"`
+	WindowSeconds    float64 `json:"window_seconds,omitempty"`
+
+	Queries     int64 `json:"queries"`
+	Estimates   int64 `json:"estimates"`
+	Refusals    int64 `json:"refusals"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
 }
 
 // ColumnSpec is one column in a CreateTableRequest: kind is "float",
@@ -78,29 +103,50 @@ type QueryResultRow struct {
 	Values []float64 `json:"values"`
 }
 
-// QueryResponse is a released SQL answer.
+// QueryResponse is a released SQL answer. Cached reports a replay of a
+// byte-identical earlier release (free — no budget was spent on it).
 type QueryResponse struct {
 	Rows     []QueryResultRow `json:"rows"`
 	EpsSpent float64          `json:"eps_spent"`
+	Cached   bool             `json:"cached,omitempty"`
 }
 
 // EstimateRequest runs one estimator release on a column. Stat is one of
-// mean, variance, stddev, iqr, median, quantile (with P), empirical_mean,
-// empirical_quantile (with Tau). Beta defaults to 0.1.
+// mean, variance, stddev, iqr, median, quantile (with P), count,
+// empirical_mean, empirical_quantile (with Tau). Beta defaults to 0.1.
+// Count privatizes the number of privacy units alone and ignores Column.
+//
+// Unit picks the privacy unit: "user" (default) collapses rows to one
+// contribution per user first; "record" skips the collapse for datasets
+// where a row IS a user (record-level DP — weaker when users own several
+// rows, exact when they don't).
+//
+// Rho, valid for stat "count" only, releases the count through the
+// Gaussian mechanism charged natively in zCDP ρ instead of ε — a zcdp
+// tenant's cheapest way to count; a pure tenant refuses it (the Gaussian
+// mechanism has no finite pure-ε guarantee). Set either Epsilon or Rho,
+// not both.
 type EstimateRequest struct {
 	Table   string  `json:"table"`
 	Column  string  `json:"column"`
 	Stat    string  `json:"stat"`
 	P       float64 `json:"p,omitempty"`
 	Tau     int     `json:"tau,omitempty"`
-	Epsilon float64 `json:"epsilon"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Rho     float64 `json:"rho,omitempty"`
 	Beta    float64 `json:"beta,omitempty"`
+	Unit    string  `json:"unit,omitempty"`
 }
 
-// EstimateResponse is a released estimate.
+// EstimateResponse is a released estimate; exactly one of EpsSpent and
+// RhoSpent is set, matching how the release was charged. Cached reports a
+// replay of a byte-identical earlier release (free post-processing — no
+// budget was spent on this response).
 type EstimateResponse struct {
 	Value    float64 `json:"value"`
-	EpsSpent float64 `json:"eps_spent"`
+	EpsSpent float64 `json:"eps_spent,omitempty"`
+	RhoSpent float64 `json:"rho_spent,omitempty"`
+	Cached   bool    `json:"cached,omitempty"`
 }
 
 // ServerStats is the server-wide counter view.
@@ -111,6 +157,8 @@ type ServerStats struct {
 	Estimates     int64   `json:"estimates"`
 	Refusals      int64   `json:"refusals"`
 	Shed          int64   `json:"shed"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
@@ -151,6 +199,8 @@ func writeReleaseErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, dp.ErrBudgetExhausted):
 		writeErr(w, http.StatusTooManyRequests, "budget_exhausted", err)
+	case errors.Is(err, dp.ErrUnsupportedCost):
+		writeErr(w, http.StatusBadRequest, "unsupported_cost", err)
 	case errors.Is(err, ErrOverloaded):
 		writeErr(w, http.StatusServiceUnavailable, "overloaded", err)
 	case errors.Is(err, dpsql.ErrNoTable), errors.Is(err, dpsql.ErrNoColumn):
@@ -194,13 +244,13 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("serve: tenant id %q must be non-empty without slashes or spaces", req.ID))
 		return
 	}
-	t, err := s.createTenant(req.ID, req.Epsilon)
+	t, err := s.createTenant(req)
 	if err != nil {
 		if errors.Is(err, errTenantExists) {
 			writeErr(w, http.StatusConflict, "tenant_exists", err)
 			return
 		}
-		writeErr(w, http.StatusBadRequest, "bad_epsilon", err)
+		writeErr(w, http.StatusBadRequest, "bad_tenant_config", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, s.status(t))
@@ -211,15 +261,36 @@ func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) status(t *Tenant) TenantStatus {
-	return TenantStatus{
-		ID:        t.id,
-		Total:     t.acct.Total(),
-		Spent:     t.acct.Spent(),
-		Remaining: t.acct.Remaining(),
-		Queries:   t.queries.Load(),
-		Estimates: t.estimates.Load(),
-		Refusals:  t.refusals.Load(),
+	st := TenantStatus{
+		ID:            t.id,
+		Accounting:    t.accounting,
+		Unit:          string(t.led.Unit()),
+		Total:         t.led.Total(),
+		Spent:         t.led.Spent(),
+		Remaining:     t.led.Remaining(),
+		WindowSeconds: t.windowSecs,
+		Queries:       t.queries.Load(),
+		Estimates:     t.estimates.Load(),
+		Refusals:      t.refusals.Load(),
+		CacheHits:     t.cacheHits.Load(),
+		CacheMisses:   t.cacheMisses.Load(),
 	}
+	// The (ε, δ) view: unwrap a windowed decorator to find the backend.
+	inner := t.led
+	if wl, ok := inner.(*dp.WindowedLedger); ok {
+		inner = wl.Inner()
+	}
+	if z, ok := inner.(*dp.ZCDPLedger); ok {
+		st.Delta = z.Delta()
+		st.TotalEpsilon = z.NominalEps()
+		st.SpentEpsilon = dp.ZCDPEpsilon(st.Spent, z.Delta())
+		if r := st.TotalEpsilon - st.SpentEpsilon; r > 0 {
+			st.RemainingEpsilon = r
+		}
+	} else {
+		st.TotalEpsilon, st.SpentEpsilon, st.RemainingEpsilon = st.Total, st.Spent, st.Remaining
+	}
+	return st
 }
 
 func (s *Server) handleTenantStatus(w http.ResponseWriter, r *http.Request) {
@@ -303,11 +374,17 @@ func (s *Server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
 		if err := tab.Insert(vals...); err != nil {
 			// Earlier rows of the batch are already stored; report the
 			// partial count so the client can resume precisely.
+			t.cache.clear()
 			writeJSON(w, http.StatusBadRequest, map[string]any{
 				"error": err.Error(), "code": "bad_row", "inserted": i,
 			})
 			return
 		}
+	}
+	if len(req.Rows) > 0 {
+		// The data version moved: a repeated release is now a genuinely new
+		// one and must be charged, so stored replays are stale.
+		t.cache.clear()
 	}
 	writeJSON(w, http.StatusOK, InsertRowsResponse{Inserted: len(req.Rows)})
 }
@@ -325,6 +402,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.queries.Add(1)
 	t.queries.Add(1)
+
+	// Byte-identical repeated query: replay the stored answer for free.
+	key := fmt.Sprintf("sql|%q|eps=%g", req.SQL, req.Epsilon)
+	if hit, ok := t.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		t.cacheHits.Add(1)
+		out := hit.(QueryResponse)
+		out.Cached = true
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	s.cacheMisses.Add(1)
+	t.cacheMisses.Add(1)
+
+	// Read the data version before Exec takes its snapshot: if an
+	// ingestion lands in between, the stale answer must not be cached.
+	ver := t.cache.version()
 	var (
 		res *dpsql.Result
 		err error
@@ -353,6 +447,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Rows = append(out.Rows, qr)
 	}
+	t.cache.putAt(key, out, ver)
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -365,11 +460,53 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	// Canonicalize before anything else so spelled-differently-but-equal
+	// requests share one cache entry and one validation path.
+	req.Stat = strings.ToLower(req.Stat)
+	req.Unit = strings.ToLower(req.Unit)
+	if req.Unit == "" {
+		req.Unit = "user"
+	}
 	if req.Beta == 0 {
 		req.Beta = 0.1
 	}
+	// Fields a stat ignores must not split the cache into separately-
+	// charged entries for semantically identical requests.
+	if req.Stat != "quantile" {
+		req.P = 0
+	}
+	if req.Stat != "empirical_quantile" {
+		req.Tau = 0
+	}
+	if req.Stat == "count" {
+		// Count privatizes the unit count alone: no column, no utility
+		// parameter.
+		req.Column = ""
+		req.Beta = 0
+	}
 	s.estimates.Add(1)
 	t.estimates.Add(1)
+
+	// Byte-identical repeated release: replay the stored answer for free.
+	// Names are %q-quoted so crafted table/column strings cannot collide
+	// across field boundaries.
+	key := fmt.Sprintf("est|%q|%q|%s|p=%g|tau=%d|eps=%g|rho=%g|beta=%g|unit=%s",
+		strings.ToLower(req.Table), strings.ToLower(req.Column), req.Stat,
+		req.P, req.Tau, req.Epsilon, req.Rho, req.Beta, req.Unit)
+	if hit, ok := t.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		t.cacheHits.Add(1)
+		out := hit.(EstimateResponse)
+		out.Cached = true
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	s.cacheMisses.Add(1)
+	t.cacheMisses.Add(1)
+
+	// Read the data version before the release takes its snapshot: if an
+	// ingestion lands in between, the stale answer must not be cached.
+	ver := t.cache.version()
 	value, err := s.estimate(t, req)
 	if err != nil {
 		if errors.Is(err, dp.ErrBudgetExhausted) {
@@ -379,23 +516,37 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeReleaseErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, EstimateResponse{Value: value, EpsSpent: req.Epsilon})
+	out := EstimateResponse{Value: value}
+	if req.Rho > 0 {
+		out.RhoSpent = req.Rho
+	} else {
+		out.EpsSpent = req.Epsilon
+	}
+	t.cache.putAt(key, out, ver)
+	writeJSON(w, http.StatusOK, out)
 }
 
-// estimate validates the request, then hands the whole release — per-user
+// estimate validates the request, then hands the whole release — unit
 // collapse, budget deduction, and mechanism — to a worker. Validation
 // happens on the handler goroutine so data-independent mistakes (bad stat
 // name, unknown table) cost nothing; the table scan and the Spend both
 // run inside the pool, so the Workers bound really caps the CPU cost per
 // release and a shed request (full queue) is never charged. Once the
 // budget is deducted the charge sticks even if the mechanism fails.
+// The request is already canonicalized (stat/unit lower-cased, defaults
+// applied) by the handler.
 func (s *Server) estimate(t *Tenant, req EstimateRequest) (float64, error) {
 	tab, err := t.db.TableByName(req.Table)
 	if err != nil {
 		return 0, err
 	}
-	switch strings.ToLower(req.Stat) {
-	case "mean", "variance", "stddev", "iqr", "median", "empirical_mean":
+	switch req.Unit {
+	case "user", "record":
+	default:
+		return 0, fmt.Errorf("serve: unknown privacy unit %q (want \"user\" or \"record\")", req.Unit)
+	}
+	switch req.Stat {
+	case "mean", "variance", "stddev", "iqr", "median", "empirical_mean", "count":
 	case "quantile":
 		if !(req.P > 0 && req.P < 1) {
 			return 0, fmt.Errorf("%w: got %v", updp.ErrInvalidQuantile, req.P)
@@ -406,6 +557,20 @@ func (s *Server) estimate(t *Tenant, req EstimateRequest) (float64, error) {
 		}
 	default:
 		return 0, fmt.Errorf("serve: unknown stat %q", req.Stat)
+	}
+	if req.Rho != 0 {
+		// Native zCDP charging exists exactly for the Gaussian mechanism,
+		// which serves the sensitivity-1 count; the universal estimators
+		// are pure-DP constructions and always charge ε.
+		if req.Stat != "count" {
+			return 0, fmt.Errorf("serve: rho charging supports stat \"count\" only, got %q", req.Stat)
+		}
+		if req.Epsilon != 0 {
+			return 0, fmt.Errorf("serve: set either epsilon or rho, not both")
+		}
+		if err := dp.CheckRho(req.Rho); err != nil {
+			return 0, err
+		}
 	}
 
 	var value float64
@@ -420,30 +585,58 @@ func (s *Server) estimate(t *Tenant, req EstimateRequest) (float64, error) {
 
 // runEstimate executes one estimator release on a worker goroutine.
 func (s *Server) runEstimate(t *Tenant, tab *dpsql.Table, req EstimateRequest) (float64, error) {
-	stat := strings.ToLower(req.Stat)
+	stat := req.Stat
+	empiricalStat := stat == "empirical_mean" || stat == "empirical_quantile"
 
-	// Pull the per-user contributions (a consistent snapshot).
+	// Pull the contributions (a consistent snapshot): one value per user
+	// (the shared replace-one-user reduction), or the raw rows when the
+	// request says a row IS a user. Count needs only the unit count — no
+	// column read, no per-user numeric collapse.
 	var (
+		n   int
 		xs  []float64
 		zs  []int64
 		err error
 	)
-	if stat == "empirical_mean" || stat == "empirical_quantile" {
+	switch {
+	case stat == "count" && req.Unit == "record":
+		n = tab.NumRows()
+	case stat == "count":
+		n = tab.NumUsers()
+	case empiricalStat && req.Unit == "record":
+		zs, err = tab.ColumnInts(req.Column)
+	case empiricalStat:
 		zs, err = tab.UserIntSums(req.Column)
-	} else {
+	case req.Unit == "record":
+		xs, err = tab.ColumnFloats(req.Column)
+	default:
 		xs, err = tab.UserMeans(req.Column)
 	}
 	if err != nil {
 		return 0, err
 	}
 
-	// Atomically reserve the budget, then release.
-	if err := t.acct.Spend(req.Epsilon); err != nil {
+	// Atomically reserve the budget in the cost's native unit, then
+	// release. The tenant's ledger decides whether the cost is affordable
+	// — or even representable (a pure-ε ledger refuses native-ρ costs).
+	cost := dp.EpsCost(req.Epsilon)
+	if req.Rho > 0 {
+		cost = dp.RhoCost(req.Rho)
+	}
+	if err := t.led.Spend(cost); err != nil {
 		return 0, err
 	}
 	o := []updp.Option{updp.WithBeta(req.Beta), updp.WithSeed(s.splitRNG().Uint64())}
 	var value float64
 	switch stat {
+	case "count":
+		// Unit count (sensitivity 1 under one-unit change): Laplace when
+		// charged in ε, Gaussian — the natively-zCDP mechanism — in ρ.
+		if req.Rho > 0 {
+			value = dp.Gaussian(s.splitRNG(), float64(n), 1, req.Rho)
+		} else {
+			value = dp.NoisyCount(s.splitRNG(), n, req.Epsilon)
+		}
 	case "mean":
 		value, err = updp.Mean(xs, req.Epsilon, o...)
 	case "variance":
@@ -495,6 +688,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Estimates:     s.estimates.Load(),
 		Refusals:      s.refusals.Load(),
 		Shed:          s.shed.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMisses.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	})
 }

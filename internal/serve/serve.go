@@ -1,41 +1,56 @@
 // Package serve is the multi-tenant DP query service: an HTTP+JSON layer
 // that hosts many isolated tenants, each owning a dpsql database and one
-// privacy-budget accountant, and executes estimator releases and SQL
-// queries concurrently through a bounded worker pool.
+// privacy ledger, and executes estimator releases and SQL queries
+// concurrently through a bounded worker pool.
 //
 // This is the system shape the paper's universal estimators need to be
 // useful at scale: many statistics served off one dataset under one
-// accounted ε budget (basic composition, Lemma 2.2), with ingestion
-// streaming in while queries run. Because the estimators need no range,
-// scale, or family hints, the service exposes them with no tuning knobs
-// beyond (statistic, ε) — a tenant cannot misconfigure a clipping bound,
-// because there is none.
+// accounted privacy budget, with ingestion streaming in while queries
+// run. Because the estimators need no range, scale, or family hints, the
+// service exposes them with no tuning knobs beyond (statistic, ε) — a
+// tenant cannot misconfigure a clipping bound, because there is none.
 //
-// Budget model: a tenant is created with a total ε. Every release — SQL
-// query or direct estimator call — names its own ε and is atomically
-// deducted from the tenant's single accountant before the mechanism runs;
-// a request that would overdraw is refused with HTTP 429 and releases
-// nothing. Failed releases after deduction stay charged (refunding on
-// data-dependent failures would leak through the budget itself). Schema
-// DDL and row ingestion touch stored data only and are free.
+// Budget model: a tenant is created with a nominal budget and a pluggable
+// composition backend (dp.Ledger) that decides how releases compose:
+//
+//   - "pure" (default): basic composition of pure ε (Lemma 2.2) — k
+//     releases at ε₀ cost k·ε₀.
+//   - "zcdp": zCDP accounting at a (ε, δ) target — each pure release
+//     costs only ε₀²/2 in ρ (Bun & Steinke 2016), so sustained
+//     many-small-releases traffic lasts quadratically longer; natively
+//     Gaussian releases are charged their ρ directly.
+//   - either backend may be wrapped with a renewable window
+//     (window_seconds): the budget refills to full on a fixed wall-clock
+//     cadence, turning a lifetime total into a rate.
+//
+// Every release — SQL query or direct estimator call — names its own cost
+// and is atomically deducted from the tenant's single ledger before the
+// mechanism runs; a request that would overdraw is refused with HTTP 429
+// and releases nothing. Failed releases after deduction stay charged
+// (refunding on data-dependent failures would leak through the budget
+// itself). Schema DDL and row ingestion touch stored data only and are
+// free, as are cache replays of byte-identical repeated releases
+// (post-processing of an already-released answer).
 //
 // Endpoints (all JSON; see handlers.go for wire types):
 //
-//	POST /v1/tenants                          create a tenant with a total ε
+//	POST /v1/tenants                          create a tenant (budget + accounting backend)
 //	GET  /v1/tenants                          list tenant ids
-//	GET  /v1/tenants/{t}                      budget + request counters
+//	GET  /v1/tenants/{t}                      budget (native units + (ε, δ) view) + counters
 //	POST /v1/tenants/{t}/tables               create a table (schema + user column)
 //	POST /v1/tenants/{t}/tables/{name}/rows   append rows (streaming ingestion)
 //	POST /v1/tenants/{t}/query                dpsql SELECT under user-level DP
 //	POST /v1/tenants/{t}/estimate             one estimator release on a column
-//	GET  /v1/stats                            server-wide counters
+//	GET  /v1/stats                            server-wide counters (incl. cache hits/misses)
 //	GET  /v1/healthz                          liveness
 package serve
 
 import (
+	"fmt"
 	"net/http"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +59,10 @@ import (
 	"repro/internal/dpsql"
 	"repro/internal/xrand"
 )
+
+// defaultDelta is the δ a zcdp tenant gets when the request leaves it
+// unset.
+const defaultDelta = 1e-6
 
 // Options configures a Server.
 type Options struct {
@@ -74,24 +93,32 @@ type Server struct {
 	rngMu sync.Mutex
 	rng   *xrand.RNG
 
-	start     time.Time
-	queries   atomic.Int64 // SQL releases attempted
-	estimates atomic.Int64 // estimator releases attempted
-	refusals  atomic.Int64 // releases refused for budget
-	shed      atomic.Int64 // requests shed by the full queue
+	start       time.Time
+	queries     atomic.Int64 // SQL releases attempted
+	estimates   atomic.Int64 // estimator releases attempted
+	refusals    atomic.Int64 // releases refused for budget
+	shed        atomic.Int64 // requests shed by the full queue
+	cacheHits   atomic.Int64 // releases replayed from a tenant cache (free)
+	cacheMisses atomic.Int64 // release attempts that missed the cache
 }
 
-// Tenant is one isolated customer: a database, one budget accountant
-// shared by every release path, and counters.
+// Tenant is one isolated customer: a database, one privacy ledger (the
+// composition backend) shared by every release path, a response cache,
+// and counters.
 type Tenant struct {
-	id      string
-	db      *dpsql.DB
-	acct    *dp.Accountant
-	created time.Time
+	id         string
+	db         *dpsql.DB
+	led        dp.Ledger
+	accounting string  // "pure" or "zcdp"
+	windowSecs float64 // > 0 when the ledger refills on a window
+	cache      *respCache
+	created    time.Time
 
-	queries   atomic.Int64
-	estimates atomic.Int64
-	refusals  atomic.Int64
+	queries     atomic.Int64
+	estimates   atomic.Int64
+	refusals    atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 }
 
 // New returns a ready-to-serve Server.
@@ -140,27 +167,78 @@ func (s *Server) splitRNG() *xrand.RNG {
 // data, benchmarks); its releases draw from the tenant's accountant.
 func (t *Tenant) DB() *dpsql.DB { return t.db }
 
-// CreateTenant registers a tenant with a total ε budget — the
-// programmatic twin of POST /v1/tenants.
+// CreateTenant registers a tenant with a total ε budget under pure-ε
+// basic composition — the programmatic twin of POST /v1/tenants with the
+// default backend.
 func (s *Server) CreateTenant(id string, totalEps float64) (*Tenant, error) {
-	return s.createTenant(id, totalEps)
+	return s.createTenant(CreateTenantRequest{ID: id, Epsilon: totalEps})
 }
 
-// createTenant registers a tenant with a total ε budget.
-func (s *Server) createTenant(id string, totalEps float64) (*Tenant, error) {
-	acct, err := dp.NewAccountant(totalEps)
+// CreateTenantWith registers a tenant from a full request (accounting
+// backend, δ, refill window) — the programmatic twin of POST /v1/tenants.
+func (s *Server) CreateTenantWith(req CreateTenantRequest) (*Tenant, error) {
+	return s.createTenant(req)
+}
+
+// Ledger exposes the tenant's composition backend (native-unit
+// inspection; benchmarks).
+func (t *Tenant) Ledger() dp.Ledger { return t.led }
+
+// createTenant builds the requested composition backend and registers the
+// tenant around it.
+func (s *Server) createTenant(req CreateTenantRequest) (*Tenant, error) {
+	accounting := strings.ToLower(req.Accounting)
+	if accounting == "" {
+		accounting = "pure"
+	}
+	delta := req.Delta
+	var (
+		led dp.Ledger
+		err error
+	)
+	switch accounting {
+	case "pure":
+		if req.Delta != 0 {
+			return nil, fmt.Errorf("serve: delta applies only to zcdp accounting")
+		}
+		led, err = dp.NewBasicLedger(req.Epsilon)
+	case "zcdp":
+		if delta == 0 {
+			delta = defaultDelta
+		}
+		led, err = dp.NewZCDPLedger(req.Epsilon, delta)
+	default:
+		return nil, fmt.Errorf("serve: unknown accounting backend %q (want \"pure\" or \"zcdp\")", req.Accounting)
+	}
 	if err != nil {
 		return nil, err
 	}
+	if req.WindowSeconds < 0 {
+		return nil, fmt.Errorf("serve: window_seconds must be >= 0, got %v", req.WindowSeconds)
+	}
+	if req.WindowSeconds > 0 {
+		led, err = dp.NewWindowedLedger(led, time.Duration(req.WindowSeconds*float64(time.Second)))
+		if err != nil {
+			return nil, err
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.tenants[id]; dup {
+	if _, dup := s.tenants[req.ID]; dup {
 		return nil, errTenantExists
 	}
 	db := dpsql.NewDB()
-	db.SetAccountant(acct)
-	t := &Tenant{id: id, db: db, acct: acct, created: time.Now()}
-	s.tenants[id] = t
+	db.SetLedger(led)
+	t := &Tenant{
+		id:         req.ID,
+		db:         db,
+		led:        led,
+		accounting: accounting,
+		windowSecs: req.WindowSeconds,
+		cache:      newRespCache(),
+		created:    time.Now(),
+	}
+	s.tenants[req.ID] = t
 	return t, nil
 }
 

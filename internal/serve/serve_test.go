@@ -232,15 +232,18 @@ func TestConcurrentMixedWorkloadBudgetEnforcement(t *testing.T) {
 			if i%2 == 1 {
 				tenant = "globex"
 			}
+			// Every request is distinct (per-client WHERE bound / quantile
+			// rank) so none is a free cache replay: the test measures the
+			// ledger, not the response cache.
 			var code int
 			if i%4 < 2 { // half SQL, half direct estimator calls
 				code = cl.do("POST", "/v1/tenants/"+tenant+"/query", QueryRequest{
-					SQL: "SELECT AVG(v) FROM metrics", Epsilon: 1,
+					SQL: fmt.Sprintf("SELECT AVG(v) FROM metrics WHERE v < %d", 10000+i), Epsilon: 1,
 				}, nil)
 			} else {
-				stats := []string{"mean", "iqr", "median", "variance"}
 				code = cl.do("POST", "/v1/tenants/"+tenant+"/estimate", EstimateRequest{
-					Table: "metrics", Column: "v", Stat: stats[i%len(stats)], Epsilon: 1,
+					Table: "metrics", Column: "v", Stat: "quantile",
+					P: float64(i+1) / (clients + 2), Epsilon: 1,
 				}, nil)
 			}
 			mu.Lock()
@@ -388,7 +391,7 @@ func TestShedEstimateCostsNoBudget(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	spentBefore := tn.acct.Spent()
+	spentBefore := tn.led.Spent()
 	code := c.do("POST", "/v1/tenants/acme/estimate", EstimateRequest{
 		Table: "metrics", Column: "v", Stat: "mean", Epsilon: 1,
 	}, nil)
@@ -397,7 +400,7 @@ func TestShedEstimateCostsNoBudget(t *testing.T) {
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("want 503 shed, got %d", code)
 	}
-	if spent := tn.acct.Spent(); spent != spentBefore {
+	if spent := tn.led.Spent(); spent != spentBefore {
 		t.Errorf("shed request was charged: spent %v -> %v", spentBefore, spent)
 	}
 }

@@ -6,10 +6,13 @@ import (
 )
 
 // Estimator answers multiple statistics about one dataset under a total
-// privacy budget, enforcing basic composition (Lemma 2.2): each call
-// deducts its ε and fails with ErrBudgetExhausted once the budget is
-// spent. This is the recommended way to release several statistics about
-// the same individuals.
+// privacy budget enforced by a composition backend (a dp.Ledger): each
+// call names its ε, the ledger prices and atomically deducts it, and the
+// call fails with ErrBudgetExhausted once the budget is spent. The default
+// backend is pure-ε basic composition (Lemma 2.2); WithLedger swaps in
+// zCDP accounting (many small releases become quadratically cheaper) or a
+// windowed, renewable budget. This is the recommended way to release
+// several statistics about the same individuals.
 //
 //	est, _ := updp.NewEstimator(data, 3.0)   // total ε = 3
 //	m, _ := est.Mean(1.0)
@@ -17,35 +20,51 @@ import (
 //	q, _ := est.IQR(1.0)
 //	_, err := est.Mean(0.5)                  // ErrBudgetExhausted
 //
-// An Estimator is not safe for concurrent use.
+//	led, _ := dp.NewZCDPLedger(3.0, 1e-6)    // same nominal ε, zCDP backend
+//	est, _ = updp.NewEstimator(data, 0, updp.WithLedger(led))
+//
+// An Estimator is not safe for concurrent use, though the ledger itself
+// is; sharing one ledger across goroutine-local Estimators is supported.
 type Estimator struct {
 	data []float64
-	acct *dp.Accountant
+	led  dp.Ledger
 	beta float64
 	rng  *xrand.RNG
 }
 
-// NewEstimator wraps data with a total ε budget. Options set the utility
-// failure probability and the RNG seed, as for the package-level functions.
+// NewEstimator wraps data with a total ε budget under basic composition.
+// Options set the utility failure probability and the RNG seed, as for the
+// package-level functions; WithLedger substitutes a different composition
+// backend, in which case totalEps is ignored (the ledger carries its own
+// budget).
 func NewEstimator(data []float64, totalEps float64, opts ...Option) (*Estimator, error) {
 	c, err := buildConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	acct, err := dp.NewAccountant(totalEps)
-	if err != nil {
-		return nil, err
+	led := c.ledger
+	if led == nil {
+		led, err = dp.NewBasicLedger(totalEps)
+		if err != nil {
+			return nil, err
+		}
 	}
 	cp := append([]float64(nil), data...)
-	return &Estimator{data: cp, acct: acct, beta: c.beta, rng: c.rng}, nil
+	return &Estimator{data: cp, led: led, beta: c.beta, rng: c.rng}, nil
 }
 
-// Remaining reports the unspent budget.
-func (e *Estimator) Remaining() float64 { return e.acct.Remaining() }
+// Remaining reports the unspent budget in the ledger's native unit (ε for
+// the default backend, ρ for a zCDP ledger — see Ledger.Unit).
+func (e *Estimator) Remaining() float64 { return e.led.Remaining() }
 
-// spendAndRun deducts eps and, on success, runs the release.
+// Ledger exposes the estimator's composition backend (native-unit
+// inspection, sharing with other release paths).
+func (e *Estimator) Ledger() dp.Ledger { return e.led }
+
+// spendAndRun deducts eps through the ledger and, on success, runs the
+// release. Budget errors come from the backend and carry its native units.
 func (e *Estimator) spendAndRun(eps float64, f func() (float64, error)) (float64, error) {
-	if err := e.acct.Spend(eps); err != nil {
+	if err := e.led.Spend(dp.EpsCost(eps)); err != nil {
 		return 0, err
 	}
 	return f()
@@ -100,7 +119,7 @@ func withRNG(rng *xrand.RNG) Option {
 // than separate Quantile calls at split budgets (the shared-range release,
 // see package-level Quantiles).
 func (e *Estimator) Quantiles(ps []float64, eps float64) ([]float64, error) {
-	if err := e.acct.Spend(eps); err != nil {
+	if err := e.led.Spend(dp.EpsCost(eps)); err != nil {
 		return nil, err
 	}
 	return Quantiles(e.data, ps, eps, WithBeta(e.beta), withRNG(e.rng))
@@ -116,7 +135,7 @@ func (e *Estimator) TrimmedMean(trim, eps float64) (float64, error) {
 // MeanInterval releases the mean with a confidence interval for the
 // truncated mean, spending eps (see package-level MeanInterval).
 func (e *Estimator) MeanInterval(eps float64) (MeanCI, error) {
-	if err := e.acct.Spend(eps); err != nil {
+	if err := e.led.Spend(dp.EpsCost(eps)); err != nil {
 		return MeanCI{}, err
 	}
 	return MeanInterval(e.data, eps, WithBeta(e.beta), withRNG(e.rng))
@@ -125,7 +144,7 @@ func (e *Estimator) MeanInterval(eps float64) (MeanCI, error) {
 // QuantileInterval releases a distribution-free confidence interval for
 // the population p-quantile, spending eps.
 func (e *Estimator) QuantileInterval(p, eps float64) (QuantileCI, error) {
-	if err := e.acct.Spend(eps); err != nil {
+	if err := e.led.Spend(dp.EpsCost(eps)); err != nil {
 		return QuantileCI{}, err
 	}
 	return QuantileInterval(e.data, p, eps, WithBeta(e.beta), withRNG(e.rng))
@@ -134,7 +153,7 @@ func (e *Estimator) QuantileInterval(p, eps float64) (QuantileCI, error) {
 // IQRInterval releases a distribution-free confidence interval for the
 // population IQR, spending eps.
 func (e *Estimator) IQRInterval(eps float64) (QuantileCI, error) {
-	if err := e.acct.Spend(eps); err != nil {
+	if err := e.led.Spend(dp.EpsCost(eps)); err != nil {
 		return QuantileCI{}, err
 	}
 	return IQRInterval(e.data, eps, WithBeta(e.beta), withRNG(e.rng))

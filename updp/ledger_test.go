@@ -1,0 +1,110 @@
+package updp
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dp"
+)
+
+// Budget exhaustion must surface as ErrBudgetExhausted via errors.Is on
+// every composition backend, with the error message and Remaining in the
+// backend's native unit.
+
+func TestEstimatorBudgetErrorsBasicBackend(t *testing.T) {
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	est, err := NewEstimator(data, 1.0, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Ledger().Unit() != dp.UnitEps {
+		t.Fatalf("default backend unit = %v, want eps", est.Ledger().Unit())
+	}
+	if _, err := est.Mean(0.6); err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Remaining(); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("Remaining() = %v, want 0.4 (eps units)", got)
+	}
+	_, err = est.Median(0.6)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "spent") || !strings.Contains(err.Error(), "total") {
+		t.Errorf("budget error lacks ledger detail: %q", err.Error())
+	}
+}
+
+func TestEstimatorBudgetErrorsZCDPBackend(t *testing.T) {
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	led, err := dp.NewZCDPLedger(0.1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// totalEps is ignored when a ledger is supplied — even an (otherwise
+	// invalid) zero.
+	est, err := NewEstimator(data, 0, WithLedger(led), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Ledger().Unit() != dp.UnitRho {
+		t.Fatalf("backend unit = %v, want rho", est.Ledger().Unit())
+	}
+	// rho_total = ZCDPRho(0.1, 1e-6) ~ 1.8e-4; each eps=0.01 release costs
+	// eps^2/2 = 5e-5, so exactly 3 releases fit.
+	var lastErr error
+	releases := 0
+	for i := 0; i < 10; i++ {
+		if _, lastErr = est.Mean(0.01); lastErr != nil {
+			break
+		}
+		releases++
+	}
+	if releases != 3 {
+		t.Errorf("zCDP backend afforded %d releases, want 3", releases)
+	}
+	if !errors.Is(lastErr, ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted, got %v", lastErr)
+	}
+	if !strings.Contains(lastErr.Error(), "rho=") {
+		t.Errorf("zCDP budget error lacks native units: %q", lastErr.Error())
+	}
+	// Remaining reports in rho and matches the ledger view exactly.
+	if got, want := est.Remaining(), led.Remaining(); got != want {
+		t.Errorf("Remaining() = %v, ledger says %v", got, want)
+	}
+	if got := est.Remaining(); math.Abs(got-(dp.ZCDPRho(0.1, 1e-6)-3*5e-5)) > 1e-12 {
+		t.Errorf("Remaining() = %v rho, want total-3*5e-5", got)
+	}
+}
+
+// A shared ledger lets two Estimators draw from one budget.
+func TestEstimatorsShareLedger(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	led, err := dp.NewBasicLedger(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewEstimator(data, 0, WithLedger(led), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEstimator(data, 0, WithLedger(led), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Mean(0.7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Mean(0.7); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("shared ledger not enforced: %v", err)
+	}
+}

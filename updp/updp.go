@@ -67,6 +67,7 @@ type config struct {
 	beta   float64
 	rng    *xrand.RNG
 	dither float64
+	ledger dp.Ledger
 }
 
 // Option customizes a release.
@@ -84,6 +85,18 @@ func WithBeta(beta float64) Option {
 // privacy guarantee needs fresh randomness per release.
 func WithSeed(seed uint64) Option {
 	return func(c *config) { c.rng = xrand.New(seed) }
+}
+
+// WithLedger makes an Estimator charge its releases to the given
+// composition backend instead of the default pure-ε accountant built from
+// totalEps (which is then ignored). A dp.ZCDPLedger makes many small
+// releases quadratically cheaper; a dp.WindowedLedger renews the budget on
+// a wall-clock cadence; a shared ledger lets several Estimators (or other
+// release paths) draw from one budget. Remaining and budget-exhausted
+// errors then report in the backend's native unit. The option only affects
+// NewEstimator; package-level one-shot releases ignore it.
+func WithLedger(led dp.Ledger) Option {
+	return func(c *config) { c.ledger = led }
 }
 
 // WithDither adds independent uniform noise U(-width/2, width/2) to every
