@@ -1,0 +1,169 @@
+// Command benchdiff compares two benchmark-smoke artifacts (`go test
+// -json -bench` output, as CI's bench-smoke job records) and prints a
+// markdown summary of per-benchmark ns/op deltas, flagging regressions
+// past a threshold. CI runs it non-blocking against the committed
+// baseline so the perf trajectory is visible on every run:
+//
+//	benchdiff -old BENCH_BASELINE.json -new BENCH_1.json
+//	benchdiff -old old.json -new new.json -threshold 0.5
+//
+// It always exits 0: the diff is a surface, not a gate (single-iteration
+// smoke numbers on shared CI hardware are too noisy to block on). Refresh
+// the baseline with:
+//
+//	go test -json -bench . -benchtime=1x -run '^$' ./... > BENCH_BASELINE.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches a full Go benchmark result line, capturing the name
+// (GOMAXPROCS suffix stripped so runs from different machines align) and
+// the ns/op figure.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op`)
+
+// resultOnly matches the result half alone: test2json often splits a
+// benchmark's echoed name and its result line into separate output
+// events, leaving the name only in the event's Test field.
+var resultOnly = regexp.MustCompile(`^\s*\d+\s+([0-9.eE+]+) ns/op`)
+
+// testEvent is the subset of test2json's event schema benchdiff reads.
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// stripProcs drops a -N GOMAXPROCS suffix from a benchmark name.
+var stripProcs = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts name -> ns/op from a test2json stream (or, as a
+// fallback, plain `go test -bench` text output).
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		text := string(line)
+		testName := ""
+		var ev testEvent
+		if err := json.Unmarshal(line, &ev); err == nil && ev.Action != "" {
+			if ev.Action != "output" {
+				continue
+			}
+			text = ev.Output
+			testName = ev.Test
+		}
+		name, nsText := "", ""
+		if m := benchLine.FindStringSubmatch(text); m != nil {
+			name, nsText = m[1], m[2]
+		} else if m := resultOnly.FindStringSubmatch(text); m != nil && strings.HasPrefix(testName, "Benchmark") {
+			name, nsText = stripProcs.ReplaceAllString(testName, ""), m[1]
+		} else {
+			continue
+		}
+		ns, err := strconv.ParseFloat(nsText, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = ns
+	}
+	return out, sc.Err()
+}
+
+func loadBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+func human(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline artifact (test2json or plain bench output)")
+		newPath   = flag.String("new", "", "fresh artifact to compare")
+		threshold = flag.Float64("threshold", 0.25, "relative ns/op increase flagged as a regression")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: need -old and -new")
+		os.Exit(2)
+	}
+	oldB, err := loadBench(*oldPath)
+	if err != nil {
+		// Non-blocking by design: a missing baseline is a note, not a failure.
+		fmt.Printf("benchdiff: no usable baseline (%v) — nothing to compare\n", err)
+		return
+	}
+	newB, err := loadBench(*newPath)
+	if err != nil {
+		fmt.Printf("benchdiff: no usable fresh artifact (%v) — nothing to compare\n", err)
+		return
+	}
+
+	names := make([]string, 0, len(newB))
+	for n := range newB {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("### Benchmark diff vs committed baseline (threshold +%.0f%%)\n\n", *threshold*100)
+	fmt.Println("| benchmark | baseline | current | delta | |")
+	fmt.Println("|---|---:|---:|---:|---|")
+	regressions, improved, added := 0, 0, 0
+	for _, n := range names {
+		cur := newB[n]
+		base, ok := oldB[n]
+		if !ok {
+			fmt.Printf("| %s | — | %s | new | |\n", n, human(cur))
+			added++
+			continue
+		}
+		delta := (cur - base) / base
+		flag := ""
+		switch {
+		case delta > *threshold:
+			flag = "⚠ regression"
+			regressions++
+		case delta < -*threshold:
+			flag = "✓ faster"
+			improved++
+		}
+		fmt.Printf("| %s | %s | %s | %+.1f%% | %s |\n", n, human(base), human(cur), delta*100, flag)
+	}
+	removed := 0
+	for n := range oldB {
+		if _, ok := newB[n]; !ok {
+			removed++
+		}
+	}
+	fmt.Printf("\n%d benchmarks; %d flagged ⚠ (> +%.0f%%), %d faster, %d new, %d removed. ",
+		len(names), regressions, *threshold*100, improved, added, removed)
+	fmt.Println("Single-iteration smoke numbers are noisy; treat flags as pointers, not verdicts.")
+}

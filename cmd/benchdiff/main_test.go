@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchTest2JSON(t *testing.T) {
+	// Mix of the two shapes test2json emits: name+result merged in one
+	// output event, and the split form where the name is echoed in one
+	// event and the result line arrives in another (name only in Test).
+	in := `{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Test":"BenchmarkMean","Output":"BenchmarkMean-8   \t     100\t  12345.0 ns/op\n"}
+{"Action":"output","Package":"repro","Output":"some unrelated output\n"}
+{"Action":"output","Package":"repro","Test":"BenchmarkIQR","Output":"BenchmarkIQR \t 1\t 9.87e+06 ns/op\n"}
+{"Action":"output","Package":"repro","Test":"BenchmarkSplit","Output":"BenchmarkSplit\n"}
+{"Action":"output","Package":"repro","Test":"BenchmarkSplit","Output":"       1\t   3572365 ns/op\n"}
+{"Action":"output","Package":"repro","Test":"BenchmarkSplitProcs-4","Output":"       2\t   99 ns/op\n"}
+{"Action":"pass","Package":"repro"}
+`
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks: %v", len(got), got)
+	}
+	if got["BenchmarkMean"] != 12345 {
+		t.Fatalf("BenchmarkMean = %v", got["BenchmarkMean"])
+	}
+	if got["BenchmarkIQR"] != 9.87e6 {
+		t.Fatalf("BenchmarkIQR = %v", got["BenchmarkIQR"])
+	}
+	if got["BenchmarkSplit"] != 3572365 {
+		t.Fatalf("BenchmarkSplit = %v", got["BenchmarkSplit"])
+	}
+	if got["BenchmarkSplitProcs"] != 99 {
+		t.Fatalf("BenchmarkSplitProcs = %v (suffix not stripped?)", got["BenchmarkSplitProcs"])
+	}
+}
+
+func TestParseBenchPlainText(t *testing.T) {
+	// Fallback: raw `go test -bench` output (no JSON wrapper), and the
+	// GOMAXPROCS suffix must be stripped so artifacts from machines with
+	// different core counts align.
+	in := "goos: linux\nBenchmarkQuantile-16   \t      50\t  2000 ns/op\t  12 B/op\nPASS\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkQuantile"] != 2000 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestHuman(t *testing.T) {
+	for _, tc := range []struct {
+		ns   float64
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.50µs"},
+		{3.2e6, "3.20ms"},
+		{1.5e9, "1.50s"},
+	} {
+		if got := human(tc.ns); got != tc.want {
+			t.Errorf("human(%v) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}

@@ -264,6 +264,158 @@ func runLoadgen(cfg loadgenConfig) error {
 	return nil
 }
 
+// runRestart is the durability recovery scenario: a durable server is
+// provisioned and spent against over HTTP, compacted once mid-stream (so
+// recovery exercises snapshot + WAL tail, not just one of them), then
+// abandoned WITHOUT a flush — simulating a crash. A second server opened
+// on the same data dir must answer queries from the recovered data and
+// report spend at least the pre-crash spend (never refilled); the report
+// includes the recovery wall-time.
+func runRestart(cfg loadgenConfig) error {
+	if cfg.target != "self" {
+		return fmt.Errorf("loadgen: -restart needs -serve self (it owns the data dir and the crash)")
+	}
+	if cfg.window > 0 {
+		// A windowed ledger's Spent legitimately drops to zero when a
+		// refill boundary passes during the drill, so "recovered spend >=
+		// pre-crash spend" is not the invariant to assert for it.
+		return fmt.Errorf("loadgen: -restart asserts lifetime-spend carry-over; drop -window")
+	}
+	dir, err := os.MkdirTemp("", "updp-restart-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	openOn := func(seed uint64) (*serve.Server, string, func(), error) {
+		srv, err := serve.Open(serve.Options{Seed: seed, DataDir: dir})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return nil, "", nil, err
+		}
+		hs := &http.Server{Handler: srv}
+		go func() { _ = hs.Serve(ln) }()
+		return srv, "http://" + ln.Addr().String(), func() { hs.Close() }, nil
+	}
+
+	// Phase 1: provision, spend, compact once, spend more, crash.
+	srvA, base, stopA, err := openOn(cfg.seed)
+	if err != nil {
+		return err
+	}
+	hc := &http.Client{Timeout: 30 * time.Second}
+	const tenant = "restart"
+	if err := provisionBench(cfg, hc, base, serve.CreateTenantRequest{
+		ID:            tenant,
+		Epsilon:       1e6,
+		Accounting:    cfg.accounting,
+		Delta:         cfg.delta,
+		WindowSeconds: cfg.window,
+	}); err != nil {
+		stopA()
+		return err
+	}
+	const releases = 120
+	release := func(i int) error {
+		p := 0.001 + 0.998*float64(i%9973)/9973
+		code, err := jsonPost(hc, base, "/v1/tenants/"+tenant+"/estimate", serve.EstimateRequest{
+			Table: "metrics", Column: "v", Stat: "quantile", P: p, Epsilon: cfg.eps,
+		}, nil)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("loadgen: release %d: HTTP %d", i, code)
+		}
+		return nil
+	}
+	for i := 0; i < releases/2; i++ {
+		if err := release(i); err != nil {
+			stopA()
+			return err
+		}
+	}
+	if err := srvA.Flush(); err != nil { // compacted snapshot mid-stream
+		stopA()
+		return err
+	}
+	for i := releases / 2; i < releases; i++ {
+		if err := release(i); err != nil {
+			stopA()
+			return err
+		}
+	}
+	before, err := fetchTenantStatus(hc, base, tenant)
+	if err != nil {
+		stopA()
+		return err
+	}
+	if before.Spent <= 0 {
+		stopA()
+		return fmt.Errorf("loadgen: pre-crash spend is %v — the drill did not actually spend", before.Spent)
+	}
+	// Crash: stop the listener, never call srv.Close() — no final flush,
+	// the WAL tail past the snapshot is all the second boot gets.
+	stopA()
+
+	// Phase 2: recover and verify.
+	t0 := time.Now()
+	srvB, base2, stopB, err := openOn(cfg.seed + 1)
+	if err != nil {
+		return fmt.Errorf("loadgen: recovery failed: %w", err)
+	}
+	recovery := time.Since(t0)
+	defer stopB()
+	defer srvB.Close()
+	after, err := fetchTenantStatus(hc, base2, tenant)
+	if err != nil {
+		return err
+	}
+	if after.Spent < before.Spent {
+		return fmt.Errorf("loadgen: RECOVERY BUG: spend regressed %v -> %v (%s) — budget partially refilled",
+			before.Spent, after.Spent, after.Unit)
+	}
+	// ε=2 keeps the COUNT's noise at scale 1/2 so the report visibly shows
+	// the recovered rows (the throughput releases use cfg.eps).
+	var q serve.QueryResponse
+	code, err := jsonPost(hc, base2, "/v1/tenants/"+tenant+"/query", serve.QueryRequest{
+		SQL: "SELECT COUNT(*) FROM metrics", Epsilon: 2,
+	}, &q)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("loadgen: post-recovery query: code=%d err=%v", code, err)
+	}
+
+	fmt.Printf("=== restart recovery: %d users, %d releases (snapshot after %d), accounting=%s ===\n",
+		cfg.users, releases, releases/2, cfg.accounting)
+	fmt.Printf("spend        pre-crash %.6g %s -> recovered %.6g %s (eps view %.4g -> %.4g)\n",
+		before.Spent, before.Unit, after.Spent, after.Unit, before.SpentEpsilon, after.SpentEpsilon)
+	fmt.Printf("data         post-recovery COUNT(*) ~ %.0f (true %d users, %d rows)\n",
+		q.Rows[0].Values[0], cfg.users, 2*cfg.users)
+	fmt.Printf("recovery     %v wall-time (snapshot + WAL tail replay)\n", recovery.Round(time.Microsecond))
+	fmt.Printf("invariant    recovered spend >= pre-crash spend: OK (never refilled)\n")
+	return nil
+}
+
+// fetchTenantStatus pulls one tenant's status, refusing a non-200 so an
+// error body can never decode into a zero status and vacuously satisfy
+// the drill's spend assertions.
+func fetchTenantStatus(hc *http.Client, base, tenant string) (serve.TenantStatus, error) {
+	var st serve.TenantStatus
+	resp, err := hc.Get(base + "/v1/tenants/" + tenant)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("loadgen: tenant status for %s: HTTP %d", tenant, resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
 // fetchStats pulls /v1/stats.
 func fetchStats(hc *http.Client, base string) (serve.ServerStats, error) {
 	var st serve.ServerStats

@@ -16,12 +16,16 @@
 //	updp-bench -serve http://localhost:8500 -clients 64 -duration 30s -users 20000
 //	updp-bench -serve self -accounting zcdp -window 60
 //	updp-bench -serve self -compare -budget 0.1
+//	updp-bench -serve self -restart
 //
 // -accounting/-delta/-window pick the bench tenant's composition backend;
 // -compare runs the backend exhaustion duel instead of the throughput
 // run: twin tenants with the same nominal (ε, δ) budget — one pure-ε, one
 // zCDP — receive identical small releases until each hits 429, showing
-// how many more releases ρ-accounting sustains.
+// how many more releases ρ-accounting sustains. -restart runs the
+// durability recovery scenario: a durable server is spent against,
+// compacted once, crashed without a flush, and re-opened — spend must
+// carry over (never refill) and the recovery wall-time is reported.
 package main
 
 import (
@@ -54,6 +58,7 @@ func main() {
 		window      = flag.Float64("window", 0, "loadgen: bench tenant refill window in seconds (0 = lifetime)")
 		compare     = flag.Bool("compare", false, "loadgen: run the pure-vs-zcdp exhaustion duel instead of the throughput run")
 		budget      = flag.Float64("budget", 0.1, "compare: nominal total epsilon per twin tenant")
+		restart     = flag.Bool("restart", false, "loadgen: run the durability recovery scenario (ingest+spend, snapshot, crash, re-open) instead of the throughput run")
 	)
 	flag.Parse()
 
@@ -70,10 +75,17 @@ func main() {
 			window:     *window,
 			budget:     *budget,
 		}
+		if *compare && *restart {
+			fmt.Fprintln(os.Stderr, "updp-bench: -compare and -restart are mutually exclusive scenarios; pick one")
+			os.Exit(2)
+		}
 		var err error
-		if *compare {
+		switch {
+		case *compare:
 			err = runCompare(cfg)
-		} else {
+		case *restart:
+			err = runRestart(cfg)
+		default:
 			err = runLoadgen(cfg)
 		}
 		if err != nil {

@@ -45,6 +45,7 @@ func main() {
 		addr       = flag.String("addr", ":8500", "listen address")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		seed       = flag.Uint64("seed", 0, "RNG seed; 0 uses OS entropy (required for real privacy)")
+		dataDir    = flag.String("data-dir", "", "durable tenant state directory (WAL + snapshots); empty = in-memory only")
 		demo       = flag.Bool("demo", false, "preload a demo tenant with synthetic salaries")
 		accounting = flag.String("accounting", "pure", `demo tenant composition backend: "pure" or "zcdp"`)
 		delta      = flag.Float64("delta", 0, "demo tenant delta for zcdp accounting (0 = server default 1e-6)")
@@ -52,14 +53,60 @@ func main() {
 	)
 	flag.Parse()
 
-	srv := serve.New(serve.Options{Workers: *workers, Seed: *seed})
-	defer srv.Close()
-	if *demo {
-		if err := loadDemo(srv, *accounting, *delta, *window); err != nil {
-			log.Fatalf("updp-serve: demo data: %v", err)
+	srv, err := serve.Open(serve.Options{Workers: *workers, Seed: *seed, DataDir: *dataDir})
+	if err != nil {
+		log.Fatalf("updp-serve: %v", err)
+	}
+	defer func() {
+		// Close compacts every durable tenant into a final snapshot, so
+		// the next boot replays a snapshot instead of a long WAL.
+		if err := srv.Close(); err != nil {
+			log.Printf("updp-serve: close: %v", err)
 		}
-		log.Printf("demo tenant ready: tenant=demo table=salaries budget eps=16 accounting=%s window=%gs",
-			*accounting, *window)
+	}()
+	if *dataDir != "" {
+		log.Printf("durable store at %s", *dataDir)
+	}
+	if *demo {
+		tn, recovered := srv.Tenant("demo")
+		if !recovered {
+			tn, err = srv.CreateTenantWith(serve.CreateTenantRequest{
+				ID:            "demo",
+				Epsilon:       16,
+				Accounting:    *accounting,
+				Delta:         *delta,
+				WindowSeconds: *window,
+			})
+			if err != nil {
+				log.Fatalf("updp-serve: demo tenant: %v", err)
+			}
+		}
+		switch _, tabErr := tn.DB().TableByName("salaries"); {
+		case recovered && tabErr == nil:
+			// Fully recovered — reloading would double the data and a
+			// fresh ledger would void the recovered spend.
+			log.Print("demo tenant recovered from data dir (spend preserved)")
+		default:
+			// Fresh tenant, or one recovered config-only (a crash landed
+			// between the durable creation and the data snapshot): load
+			// the data; the recovered ledger keeps whatever it spent.
+			if err := loadDemoData(tn); err != nil {
+				log.Fatalf("updp-serve: demo data: %v", err)
+			}
+			// Programmatic provisioning bypasses the WAL hooks; compact a
+			// snapshot now so the demo data is durable from the start.
+			if err := srv.Flush(); err != nil {
+				log.Fatalf("updp-serve: snapshotting demo data: %v", err)
+			}
+			if recovered {
+				// Config-only recovery: the durable config wins over the
+				// flags, so report it instead of what was typed.
+				log.Print("demo tenant data reloaded (recovered config and spend preserved; -accounting/-delta/-window flags ignored)")
+			} else {
+				log.Printf("demo tenant ready: tenant=demo table=salaries budget eps=16 accounting=%s window=%gs",
+					*accounting, *window)
+			}
+		}
 	}
 
 	hs := &http.Server{
@@ -85,20 +132,10 @@ func main() {
 	}
 }
 
-// loadDemo provisions tenant "demo" with a lognormal salaries table —
+// loadDemoData fills the demo tenant with a lognormal salaries table —
 // heavy-tailed data with no natural clipping bound, i.e. exactly the
 // regime the universal estimators exist for.
-func loadDemo(srv *serve.Server, accounting string, delta, windowSecs float64) error {
-	tn, err := srv.CreateTenantWith(serve.CreateTenantRequest{
-		ID:            "demo",
-		Epsilon:       16,
-		Accounting:    accounting,
-		Delta:         delta,
-		WindowSeconds: windowSecs,
-	})
-	if err != nil {
-		return err
-	}
+func loadDemoData(tn *serve.Tenant) error {
 	db := tn.DB()
 	if err := db.Run(`CREATE TABLE salaries (
 		user_id STRING USER,

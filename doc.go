@@ -38,6 +38,22 @@
 // either backend with a wall-clock refill window, turning a lifetime
 // budget into a renewable rate. The serve layer also replays
 // byte-identical repeated releases from a per-tenant response cache
-// (free post-processing) and supports record-level privacy units for
-// tables where a row is a user.
+// (LRU-evicted, free post-processing) and supports record-level privacy
+// units for tables where a row is a user.
+//
+// # Durable tenant state
+//
+// A DP budget is a lifetime total, so a process restart must not refill
+// it. internal/store is the per-tenant durability engine: an append-only
+// write-ahead log (tenant creation, table DDL, row batches, and — synced
+// before any answer is released — every ledger deduction) plus periodic
+// compacted snapshots of full tenant state, with replay-on-boot recovery.
+// Run the service with updp-serve -data-dir to enable it; recovery is
+// conservative — a torn WAL tail can drop trailing data rows but never a
+// recorded deduction, so post-restart spend is always >= pre-crash
+// acknowledged spend. The building blocks are reusable: every dp ledger
+// implements Snapshot/Restore/ForceSpend (dp.StatefulLedger) and dpsql
+// tables export/import their full state. updp-bench -serve -restart is
+// the recovery drill: ingest + spend, snapshot, crash without flushing,
+// re-open, and report the carried-over spend and recovery wall-time.
 package repro

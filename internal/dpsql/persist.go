@@ -1,0 +1,66 @@
+package dpsql
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the persistence face of the schema layer: a table can be
+// exported as a serializable TableState (what the durable store's
+// snapshots hold) and a database rebuilt from one on boot. Export hands
+// out the live row slice — safe because rows are append-only and stored
+// rows are never mutated — so snapshotting is O(1) in the row count until
+// the state is actually serialized.
+
+// TableState is the serializable snapshot of one table: full schema plus
+// every stored row. Rows use Value's compact JSON encoding.
+type TableState struct {
+	Name    string    `json:"name"`
+	Columns []Column  `json:"columns"`
+	UserCol string    `json:"user_col"`
+	Rows    [][]Value `json:"rows,omitempty"`
+}
+
+// Export captures the table's schema and a consistent point-in-time row
+// snapshot. The returned Rows share the table's backing array and must be
+// treated as immutable.
+func (t *Table) Export() TableState {
+	return TableState{
+		Name:    t.Name,
+		Columns: append([]Column(nil), t.Columns...),
+		UserCol: t.UserCol,
+		Rows:    t.snapshot(),
+	}
+}
+
+// Export captures every table in the database, sorted by name — the
+// database half of a durable snapshot.
+func (db *DB) Export() []TableState {
+	db.mu.RLock()
+	tabs := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		tabs = append(tabs, t)
+	}
+	db.mu.RUnlock()
+	sort.Slice(tabs, func(i, j int) bool { return tabs[i].Name < tabs[j].Name })
+	out := make([]TableState, len(tabs))
+	for i, t := range tabs {
+		out[i] = t.Export()
+	}
+	return out
+}
+
+// Import rebuilds one table from a snapshot state: schema validation runs
+// through the same Create path a live DDL request uses, and every row is
+// re-validated on append, so a hand-edited or corrupted snapshot cannot
+// smuggle in rows the schema would have refused.
+func (db *DB) Import(st TableState) (*Table, error) {
+	t, err := db.Create(st.Name, st.Columns, st.UserCol)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.AppendRows(st.Rows); err != nil {
+		return nil, fmt.Errorf("dpsql: importing table %q: %w", st.Name, err)
+	}
+	return t, nil
+}

@@ -20,10 +20,12 @@ var (
 	ErrSchema = errors.New("dpsql: schema error")
 )
 
-// Column describes one table column.
+// Column describes one table column. The JSON tags are the durable
+// store's snapshot encoding (Kind values are stable: 0 float, 1 int,
+// 2 string).
 type Column struct {
-	Name string
-	Kind Kind
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
 }
 
 // Table is an in-memory relation with a designated user column (the unit
@@ -90,6 +92,15 @@ func (db *DB) Create(name string, cols []Column, userCol string) (*Table, error)
 	return t, nil
 }
 
+// Drop removes a table from the registry, if present. The serve layer's
+// durable path uses it to roll back a created table whose DDL could not
+// be persisted, keeping the in-memory and durable views consistent.
+func (db *DB) Drop(name string) {
+	db.mu.Lock()
+	delete(db.tables, strings.ToLower(name))
+	db.mu.Unlock()
+}
+
 // TableByName looks a table up case-insensitively.
 func (db *DB) TableByName(name string) (*Table, error) {
 	db.mu.RLock()
@@ -110,11 +121,13 @@ func (t *Table) ColumnIndex(name string) (int, error) {
 	return i, nil
 }
 
-// Insert appends one row; values must match the schema's kinds (ints are
-// accepted into float columns).
-func (t *Table) Insert(vals ...Value) error {
+// convertRow validates one row against the schema and returns the
+// kind-coerced copy (ints are accepted into float columns; integral
+// floats into int columns). It is deterministic, so replaying the same
+// raw row from a WAL converges on the same stored row.
+func (t *Table) convertRow(vals []Value) ([]Value, error) {
 	if len(vals) != len(t.Columns) {
-		return fmt.Errorf("%w: got %d values for %d columns", ErrSchema, len(vals), len(t.Columns))
+		return nil, fmt.Errorf("%w: got %d values for %d columns", ErrSchema, len(vals), len(t.Columns))
 	}
 	row := make([]Value, len(vals))
 	for i, v := range vals {
@@ -126,13 +139,41 @@ func (t *Table) Insert(vals ...Value) error {
 		case want == KindInt && v.Kind == KindFloat && v.F == float64(int64(v.F)):
 			v = Int(int64(v.F))
 		default:
-			return fmt.Errorf("%w: column %q wants %s, got %s",
+			return nil, fmt.Errorf("%w: column %q wants %s, got %s",
 				ErrSchema, t.Columns[i].Name, want, v.Kind)
 		}
 		row[i] = v
 	}
+	return row, nil
+}
+
+// Insert appends one row; values must match the schema's kinds (ints are
+// accepted into float columns).
+func (t *Table) Insert(vals ...Value) error {
+	row, err := t.convertRow(vals)
+	if err != nil {
+		return err
+	}
 	t.mu.Lock()
 	t.rows = append(t.rows, row)
+	t.mu.Unlock()
+	return nil
+}
+
+// AppendRows validates and appends a batch of rows under one lock — the
+// bulk path snapshot import and WAL replay use. The batch is validated in
+// full before any row is stored, so a bad row rejects the whole batch.
+func (t *Table) AppendRows(rows [][]Value) error {
+	conv := make([][]Value, len(rows))
+	for i, r := range rows {
+		row, err := t.convertRow(r)
+		if err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+		conv[i] = row
+	}
+	t.mu.Lock()
+	t.rows = append(t.rows, conv...)
 	t.mu.Unlock()
 	return nil
 }

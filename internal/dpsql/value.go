@@ -50,11 +50,13 @@ func (k Kind) String() string {
 	}
 }
 
-// Value is a dynamically typed cell.
+// Value is a dynamically typed cell. The JSON encoding is compact (short
+// keys, zero fields omitted) because the durable store serializes every
+// stored row through it — see TableState.
 type Value struct {
-	Kind Kind
-	F    float64 // numeric payload (KindFloat and KindInt)
-	S    string  // string payload (KindString)
+	Kind Kind    `json:"k,omitempty"`
+	F    float64 `json:"f,omitempty"` // numeric payload (KindFloat and KindInt)
+	S    string  `json:"s,omitempty"` // string payload (KindString)
 }
 
 // Float wraps a float64.

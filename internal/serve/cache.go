@@ -1,6 +1,10 @@
 package serve
 
-import "sync"
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
 
 // respCache replays byte-identical repeated releases. Replaying a stored
 // DP answer is free post-processing: the mechanism already ran once, and
@@ -11,6 +15,13 @@ import "sync"
 // requests that differ only in spelling share an entry and crafted names
 // cannot collide across field boundaries.
 //
+// Eviction is LRU: when the cache is full the least-recently-replayed
+// entry makes room, so a dashboard's hot repeated queries survive a scan
+// of one-off requests (the old drop-on-full wiped the hot set with the
+// cold). Evictions are counted and surfaced in /v1/stats — a high rate
+// means the working set outgrew the cache, each evicted-then-repeated
+// release costing real budget.
+//
 // Entries are invalidated wholesale when the tenant ingests rows: a new
 // data version means a repeated request is a genuinely new release and
 // must be charged again. The cache is versioned so a release that raced
@@ -19,24 +30,45 @@ import "sync"
 type respCache struct {
 	mu      sync.Mutex
 	ver     int64 // bumped on every invalidation (data version)
-	entries map[string]any
+	cap     int
+	ll      *list.List // front = most recently used
+	index   map[string]*list.Element
+	evicted int64
+	// global, when set, is the server-wide eviction counter bumped
+	// alongside the local one — /v1/stats reads one atomic instead of
+	// sweeping every tenant's cache mutex under the registry lock.
+	global *atomic.Int64
 }
 
-// cacheMaxEntries bounds a tenant's cache; when full the cache is dropped
-// wholesale (entries are tiny and rebuild for free on the next releases,
-// so a simple bound beats LRU bookkeeping here).
+// cacheEntry is one LRU node's payload.
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// cacheMaxEntries bounds a tenant's cache.
 const cacheMaxEntries = 4096
 
-func newRespCache() *respCache {
-	return &respCache{entries: map[string]any{}}
+func newRespCache(global *atomic.Int64) *respCache {
+	return &respCache{
+		cap:    cacheMaxEntries,
+		ll:     list.New(),
+		index:  map[string]*list.Element{},
+		global: global,
+	}
 }
 
-// get returns the stored response for key, if any.
+// get returns the stored response for key, if any, marking it
+// most-recently-used.
 func (c *respCache) get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	v, ok := c.entries[key]
-	return v, ok
+	el, ok := c.index[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
 }
 
 // version returns the current data version. Read it before taking the
@@ -49,32 +81,53 @@ func (c *respCache) version() int64 {
 
 // putAt stores a successful release's response under key, unless the data
 // version moved since ver was read (an ingestion raced the release — the
-// answer may predate it and must not be replayed as current). Stored
-// values are treated as immutable.
+// answer may predate it and must not be replayed as current). A full
+// cache evicts its least-recently-used entry. Stored values are treated
+// as immutable.
 func (c *respCache) putAt(key string, v any, ver int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.ver != ver {
 		return
 	}
-	if len(c.entries) >= cacheMaxEntries {
-		c.entries = map[string]any{}
+	if el, ok := c.index[key]; ok {
+		el.Value.(*cacheEntry).val = v
+		c.ll.MoveToFront(el)
+		return
 	}
-	c.entries[key] = v
+	c.index[key] = c.ll.PushFront(&cacheEntry{key: key, val: v})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.index, oldest.Value.(*cacheEntry).key)
+		c.evicted++
+		if c.global != nil {
+			c.global.Add(1)
+		}
+	}
 }
 
 // clear drops every entry and bumps the data version (called on
-// ingestion).
+// ingestion). Invalidations are not evictions: the entries are stale,
+// not crowded out.
 func (c *respCache) clear() {
 	c.mu.Lock()
 	c.ver++
-	c.entries = map[string]any{}
+	c.ll.Init()
+	c.index = map[string]*list.Element{}
 	c.mu.Unlock()
+}
+
+// evictions reports how many entries LRU pressure has pushed out.
+func (c *respCache) evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
 }
 
 // size reports the current entry count (tests).
 func (c *respCache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return c.ll.Len()
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dp"
 	"repro/internal/dpsql"
+	"repro/internal/store"
 	"repro/updp"
 )
 
@@ -58,11 +59,12 @@ type TenantStatus struct {
 	Delta            float64 `json:"delta,omitempty"`
 	WindowSeconds    float64 `json:"window_seconds,omitempty"`
 
-	Queries     int64 `json:"queries"`
-	Estimates   int64 `json:"estimates"`
-	Refusals    int64 `json:"refusals"`
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
+	Queries        int64 `json:"queries"`
+	Estimates      int64 `json:"estimates"`
+	Refusals       int64 `json:"refusals"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
 }
 
 // ColumnSpec is one column in a CreateTableRequest: kind is "float",
@@ -149,17 +151,21 @@ type EstimateResponse struct {
 	Cached   bool    `json:"cached,omitempty"`
 }
 
-// ServerStats is the server-wide counter view.
+// ServerStats is the server-wide counter view. CacheEvictions counts LRU
+// evictions across every tenant's response cache; DataDir names the
+// durable store's directory (empty for in-memory servers).
 type ServerStats struct {
-	Tenants       int     `json:"tenants"`
-	Workers       int     `json:"workers"`
-	Queries       int64   `json:"queries"`
-	Estimates     int64   `json:"estimates"`
-	Refusals      int64   `json:"refusals"`
-	Shed          int64   `json:"shed"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Tenants        int     `json:"tenants"`
+	Workers        int     `json:"workers"`
+	Queries        int64   `json:"queries"`
+	Estimates      int64   `json:"estimates"`
+	Refusals       int64   `json:"refusals"`
+	Shed           int64   `json:"shed"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	DataDir        string  `json:"data_dir,omitempty"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
 }
 
 // apiError is the uniform error body.
@@ -199,6 +205,8 @@ func writeReleaseErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, dp.ErrBudgetExhausted):
 		writeErr(w, http.StatusTooManyRequests, "budget_exhausted", err)
+	case errors.Is(err, errPersist):
+		writeErr(w, http.StatusInternalServerError, "persist_failed", err)
 	case errors.Is(err, dp.ErrUnsupportedCost):
 		writeErr(w, http.StatusBadRequest, "unsupported_cost", err)
 	case errors.Is(err, ErrOverloaded):
@@ -246,11 +254,14 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := s.createTenant(req)
 	if err != nil {
-		if errors.Is(err, errTenantExists) {
+		switch {
+		case errors.Is(err, errTenantExists) || errors.Is(err, store.ErrTenantExists):
 			writeErr(w, http.StatusConflict, "tenant_exists", err)
-			return
+		case errors.Is(err, errPersist):
+			writeErr(w, http.StatusInternalServerError, "persist_failed", err)
+		default:
+			writeErr(w, http.StatusBadRequest, "bad_tenant_config", err)
 		}
-		writeErr(w, http.StatusBadRequest, "bad_tenant_config", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, s.status(t))
@@ -262,18 +273,19 @@ func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) status(t *Tenant) TenantStatus {
 	st := TenantStatus{
-		ID:            t.id,
-		Accounting:    t.accounting,
-		Unit:          string(t.led.Unit()),
-		Total:         t.led.Total(),
-		Spent:         t.led.Spent(),
-		Remaining:     t.led.Remaining(),
-		WindowSeconds: t.windowSecs,
-		Queries:       t.queries.Load(),
-		Estimates:     t.estimates.Load(),
-		Refusals:      t.refusals.Load(),
-		CacheHits:     t.cacheHits.Load(),
-		CacheMisses:   t.cacheMisses.Load(),
+		ID:             t.id,
+		Accounting:     t.accounting,
+		Unit:           string(t.led.Unit()),
+		Total:          t.led.Total(),
+		Spent:          t.led.Spent(),
+		Remaining:      t.led.Remaining(),
+		WindowSeconds:  t.windowSecs,
+		Queries:        t.queries.Load(),
+		Estimates:      t.estimates.Load(),
+		Refusals:       t.refusals.Load(),
+		CacheHits:      t.cacheHits.Load(),
+		CacheMisses:    t.cacheMisses.Load(),
+		CacheEvictions: t.cache.evictions(),
 	}
 	// The (ε, δ) view: unwrap a windowed decorator to find the backend.
 	inner := t.led
@@ -329,9 +341,31 @@ func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		}
 		cols[i] = dpsql.Column{Name: c.Name, Kind: kind}
 	}
-	if _, err := t.db.Create(req.Name, cols, req.UserColumn); err != nil {
+	// DDL takes the EXCLUSIVE persist lock (ingest and releases take the
+	// read side): registering the table makes it instantly visible to
+	// concurrent inserts, and without exclusion one could log its rows
+	// record at a lower seq than this table's DDL record — rows replay
+	// would then run before the table exists and silently drop them.
+	if t.log != nil {
+		t.persistMu.Lock()
+		defer t.persistMu.Unlock()
+	}
+	tab, err := t.db.Create(req.Name, cols, req.UserColumn)
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad_schema", err)
 		return
+	}
+	if t.log != nil {
+		// DDL is synced before the table is acknowledged: an acknowledged
+		// schema always recovers. On a persist failure the in-memory table
+		// is rolled back too — a ghost that exists in memory but not on
+		// disk would 400 every retry and silently drop its replayed rows
+		// (no insert can have landed in between: the lock is exclusive).
+		if err := t.log.AppendTable(dpsql.TableState{Name: tab.Name, Columns: cols, UserCol: req.UserColumn}); err != nil {
+			t.db.Drop(tab.Name)
+			writeErr(w, http.StatusInternalServerError, "persist_failed", err)
+			return
+		}
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"table": req.Name})
 }
@@ -350,7 +384,54 @@ func (s *Server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	for i, row := range req.Rows {
+	inserted, failure, persistErr := insertBatch(t, tab, req.Rows)
+	if inserted > 0 {
+		// The data version moved: a repeated release is now a genuinely new
+		// one and must be charged, so stored replays are stale. This holds
+		// even when the batch failed partway or could not be logged — the
+		// prefix is in the table either way.
+		t.cache.clear()
+	}
+	// A malformed-batch 400 outranks a persist 500: its body carries the
+	// stored-prefix count the client needs to resume precisely, and the
+	// fail-stop log guarantees the very next durable operation surfaces
+	// the persistence failure anyway.
+	if failure != nil {
+		writeJSON(w, http.StatusBadRequest, failure)
+		return
+	}
+	if persistErr != nil {
+		writeReleaseErr(w, persistErr)
+		return
+	}
+	s.maybeSnapshot(t)
+	writeJSON(w, http.StatusOK, InsertRowsResponse{Inserted: inserted})
+}
+
+// insertBatch converts and stores a batch of wire rows, logging the
+// successfully-inserted prefix — including on partial failure — before
+// returning. The persist read lock is held (and released by defer) for
+// the whole insert+log pair so it cannot straddle a snapshot capture.
+// Row records are buffered, not fsynced: a crash may lose trailing
+// ingestion, never recorded spend. An append ERROR is a different class
+// from that tolerated loss — the log is fail-stop after it, so
+// acknowledging the batch would keep returning 200 for rows that will
+// never be durable; it is surfaced as persistErr instead. On a malformed
+// row, failure carries the 400 body with the stored-prefix count so the
+// client can resume precisely.
+func insertBatch(t *Tenant, tab *dpsql.Table, rows [][]any) (inserted int, failure map[string]any, persistErr error) {
+	var stored [][]dpsql.Value
+	if t.log != nil {
+		t.persistMu.RLock()
+		defer t.persistMu.RUnlock()
+		stored = make([][]dpsql.Value, 0, len(rows))
+		defer func() {
+			if err := t.log.AppendRows(tab.Name, stored); err != nil {
+				persistErr = fmt.Errorf("%w: recording ingested rows (stored in memory, not durable): %v", errPersist, err)
+			}
+		}()
+	}
+	for i, row := range rows {
 		vals := make([]dpsql.Value, len(row))
 		for j, cell := range row {
 			switch c := cell.(type) {
@@ -361,32 +442,23 @@ func (s *Server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
 			case string:
 				vals[j] = dpsql.Str(c)
 			default:
-				// Rows before this one are already stored; report the
-				// partial count so the client can resume precisely.
-				writeJSON(w, http.StatusBadRequest, map[string]any{
+				return i, map[string]any{
 					"error":    fmt.Sprintf("serve: row %d cell %d: unsupported JSON type %T", i, j, cell),
 					"code":     "bad_cell",
 					"inserted": i,
-				})
-				return
+				}, nil
 			}
 		}
 		if err := tab.Insert(vals...); err != nil {
-			// Earlier rows of the batch are already stored; report the
-			// partial count so the client can resume precisely.
-			t.cache.clear()
-			writeJSON(w, http.StatusBadRequest, map[string]any{
+			return i, map[string]any{
 				"error": err.Error(), "code": "bad_row", "inserted": i,
-			})
-			return
+			}, nil
+		}
+		if t.log != nil {
+			stored = append(stored, vals)
 		}
 	}
-	if len(req.Rows) > 0 {
-		// The data version moved: a repeated release is now a genuinely new
-		// one and must be charged, so stored replays are stale.
-		t.cache.clear()
-	}
-	writeJSON(w, http.StatusOK, InsertRowsResponse{Inserted: len(req.Rows)})
+	return len(rows), nil, nil
 }
 
 // ---------- releases ----------
@@ -448,6 +520,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		out.Rows = append(out.Rows, qr)
 	}
 	t.cache.putAt(key, out, ver)
+	s.maybeSnapshot(t)
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -523,6 +596,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		out.EpsSpent = req.Epsilon
 	}
 	t.cache.putAt(key, out, ver)
+	s.maybeSnapshot(t)
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -623,7 +697,9 @@ func (s *Server) runEstimate(t *Tenant, tab *dpsql.Table, req EstimateRequest) (
 	if req.Rho > 0 {
 		cost = dp.RhoCost(req.Rho)
 	}
-	if err := t.led.Spend(cost); err != nil {
+	// t.spender is the WAL-interposed view on a durable server: the
+	// deduction is on disk before the mechanism may run.
+	if err := t.spender.Spend(cost); err != nil {
 		return 0, err
 	}
 	o := []updp.Option{updp.WithBeta(req.Beta), updp.WithSeed(s.splitRNG().Uint64())}
@@ -682,14 +758,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	n := len(s.tenants)
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, ServerStats{
-		Tenants:       n,
-		Workers:       s.Workers(),
-		Queries:       s.queries.Load(),
-		Estimates:     s.estimates.Load(),
-		Refusals:      s.refusals.Load(),
-		Shed:          s.shed.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		CacheMisses:   s.cacheMisses.Load(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		Tenants:        n,
+		Workers:        s.Workers(),
+		Queries:        s.queries.Load(),
+		Estimates:      s.estimates.Load(),
+		Refusals:       s.refusals.Load(),
+		Shed:           s.shed.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		CacheMisses:    s.cacheMisses.Load(),
+		CacheEvictions: s.cacheEvictions.Load(),
+		DataDir:        s.DataDir(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
 	})
 }

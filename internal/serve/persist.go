@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/dpsql"
+	"repro/internal/store"
+)
+
+// errPersist marks a durability failure on a release path: the in-memory
+// charge stands (conservative) but the answer is withheld, because an
+// answer whose deduction is not on disk could be refunded by a crash.
+var errPersist = errors.New("serve: persistence failure")
+
+// walLedger interposes the durable store between a tenant's release paths
+// and its composition backend: a deduction is recorded in the write-ahead
+// log — flushed and fsynced — after the in-memory check-and-deduct
+// succeeds and before Spend returns, so no mechanism ever runs (and no
+// answer is ever released) on a deduction a crash could forget. Both
+// release paths charge through it: the estimate endpoint directly, the
+// SQL endpoint via dpsql.DB.SetLedger.
+//
+// If the log write fails, Spend fails with errPersist while the in-memory
+// charge stands: over-counting is the conservative direction, and the
+// log is fail-stop anyway (ErrLogBroken) so the tenant degrades to 500s
+// rather than silently un-durable releases.
+type walLedger struct{ t *Tenant }
+
+// Spend charges the real ledger, then durably records the deduction. The
+// tenant's persist lock (read side) excludes the pair from racing a
+// snapshot capture, so a deduction is never both inside a snapshot and
+// replayed from the WAL after it (double-counting).
+func (w *walLedger) Spend(c dp.Cost) error {
+	w.t.persistMu.RLock()
+	defer w.t.persistMu.RUnlock()
+	if err := w.t.led.Spend(c); err != nil {
+		return err
+	}
+	if err := w.t.log.AppendDeduct(c); err != nil {
+		return fmt.Errorf("%w: recording deduction (budget charged, release withheld): %v", errPersist, err)
+	}
+	return nil
+}
+
+func (w *walLedger) Remaining() float64 { return w.t.led.Remaining() }
+func (w *walLedger) Spent() float64     { return w.t.led.Spent() }
+func (w *walLedger) Total() float64     { return w.t.led.Total() }
+func (w *walLedger) Unit() dp.Unit      { return w.t.led.Unit() }
+func (w *walLedger) Reset()             { w.t.led.Reset() }
+
+// restoreTenant rebuilds one live tenant from recovered durable state:
+// the ledger from the snapshot state (or fresh from the creation config
+// when the tenant never compacted), with every WAL-tail deduction
+// force-replayed on top — replay never refuses a deduction that was
+// already answered, even past the ceiling — and the tables imported
+// through the same validation a live request passes.
+func (s *Server) restoreTenant(rec *store.RecoveredTenant) (*Tenant, error) {
+	var (
+		led dp.Ledger
+		err error
+	)
+	accounting := rec.Config.Accounting
+	if rec.Ledger != nil {
+		led, err = dp.RestoreLedger(*rec.Ledger)
+	} else {
+		led, accounting, _, err = buildLedger(rec.Config)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: restoring tenant %q: %w", rec.ID, err)
+	}
+	sl, ok := led.(dp.StatefulLedger)
+	if !ok {
+		return nil, fmt.Errorf("serve: restoring tenant %q: ledger %T is not replayable", rec.ID, led)
+	}
+	for _, c := range rec.Deducts {
+		if err := sl.ForceSpend(c); err != nil {
+			return nil, fmt.Errorf("serve: replaying deduction for tenant %q: %w", rec.ID, err)
+		}
+	}
+	db := dpsql.NewDB()
+	for _, ts := range rec.Tables {
+		if _, err := db.Import(ts); err != nil {
+			return nil, fmt.Errorf("serve: restoring tenant %q: %w", rec.ID, err)
+		}
+	}
+	t := &Tenant{
+		id:         rec.ID,
+		db:         db,
+		led:        led,
+		accounting: accounting,
+		windowSecs: rec.Config.WindowSeconds,
+		cache:      newRespCache(&s.cacheEvictions),
+		created:    time.Now(),
+		cfg:        rec.Config,
+		log:        rec.Log,
+	}
+	t.spender = &walLedger{t: t}
+	db.SetLedger(t.spender)
+	return t, nil
+}
+
+// flushTenant compacts one tenant's full state into a snapshot and
+// rotates its WAL. The persist lock (write side) excludes every mutation
+// — ingest, DDL, deduct+log — for the duration, so the snapshot and the
+// post-rotation WAL partition the record stream exactly. That exclusivity
+// is also the cost: releases and ingests on THIS tenant stall while the
+// snapshot serializes and fsyncs (other tenants are unaffected), which
+// bounds how large a tenant can get before compaction pauses hurt —
+// off-path compaction over immutable WAL segments is the ROADMAP
+// follow-up if that ceiling is reached.
+func (s *Server) flushTenant(t *Tenant) error {
+	if t.log == nil {
+		return nil
+	}
+	t.persistMu.Lock()
+	defer t.persistMu.Unlock()
+	sl, ok := t.led.(dp.StatefulLedger)
+	if !ok {
+		return fmt.Errorf("serve: tenant %q ledger %T is not snapshottable", t.id, t.led)
+	}
+	ls, err := sl.Snapshot()
+	if err != nil {
+		return fmt.Errorf("serve: snapshotting tenant %q: %w", t.id, err)
+	}
+	return t.log.WriteSnapshot(store.TenantSnapshot{
+		Config: t.cfg,
+		Ledger: ls,
+		Tables: t.db.Export(),
+	})
+}
+
+// maybeSnapshot compacts a tenant whose WAL outgrew the threshold, on a
+// background goroutine: the triggering request's answer is already
+// computed and charged, so it must not wait out a full-state serialize
+// and fsync. The single-flight guard keeps bursts from piling up
+// goroutines behind the persist lock. Best-effort: a failed compaction
+// leaves the WAL authoritative, costing replay time, never recorded
+// spend.
+func (s *Server) maybeSnapshot(t *Tenant) {
+	if t.log == nil || t.log.RecordsSinceSnapshot() < s.snapEvery {
+		return
+	}
+	if !t.compacting.CompareAndSwap(false, true) {
+		return // a compaction is already in flight
+	}
+	go func() {
+		defer t.compacting.Store(false)
+		_ = s.flushTenant(t)
+	}()
+}
+
+// Flush compacts every tenant into a fresh snapshot (durable servers
+// only) — the graceful-shutdown path, also exposed for benchmarks and
+// operational checkpoints.
+func (s *Server) Flush() error {
+	if s.st == nil {
+		return nil
+	}
+	s.mu.RLock()
+	tenants := make([]*Tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.RUnlock()
+	var firstErr error
+	for _, t := range tenants {
+		if err := s.flushTenant(t); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// DataDir reports the durable data directory ("" for in-memory servers).
+func (s *Server) DataDir() string {
+	if s.st == nil {
+		return ""
+	}
+	return s.st.Dir()
+}

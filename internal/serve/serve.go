@@ -32,6 +32,29 @@
 // free, as are cache replays of byte-identical repeated releases
 // (post-processing of an already-released answer).
 //
+// Durability (Options.DataDir, internal/store): a budget is a *lifetime*
+// total, so an in-memory ledger that refills on restart voids the
+// guarantee — crash the process, get a fresh budget. With a data
+// directory every tenant carries a write-ahead log plus compacted
+// snapshots. What is logged when:
+//
+//   - tenant creation and table DDL: logged and fsynced before the
+//     request is acknowledged;
+//   - every ledger deduction: logged and fsynced after the in-memory
+//     check-and-deduct succeeds and before the mechanism runs — no
+//     answer ever leaves the process on a deduction a crash could
+//     forget;
+//   - row ingestion batches: logged without fsync (hardened by the next
+//     deduction's fsync, a snapshot, or Close).
+//
+// The invariant, "spend is never under-counted": after any crash,
+// recovered spend >= the spend of every answered release. The converse
+// loss is tolerated asymmetrically — a torn WAL tail may drop trailing
+// data rows (utility) but replay never drops a recorded deduction
+// (privacy), and replaying the same log twice converges on the same
+// state. Close compacts a final snapshot; kill -9 merely means the next
+// Open replays a longer WAL tail.
+//
 // Endpoints (all JSON; see handlers.go for wire types):
 //
 //	POST /v1/tenants                          create a tenant (budget + accounting backend)
@@ -46,6 +69,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -57,6 +81,7 @@ import (
 
 	"repro/internal/dp"
 	"repro/internal/dpsql"
+	"repro/internal/store"
 	"repro/internal/xrand"
 )
 
@@ -77,6 +102,19 @@ type Options struct {
 	// only; production must leave it 0 (OS entropy) or the privacy
 	// guarantee is void.
 	Seed uint64
+	// DataDir enables durable tenant state (internal/store): every tenant
+	// gets a write-ahead log plus compacted snapshots under this
+	// directory, deductions are recorded durably before any answer leaves
+	// the process, and Open replays the directory back into the tenant
+	// registry on boot — so budget spend survives restarts instead of
+	// silently refilling. Empty means in-memory only (tests, ephemeral
+	// experiments).
+	DataDir string
+	// SnapshotEvery bounds WAL growth for durable servers: once a
+	// tenant's log holds this many records past its snapshot, the
+	// tenant's state is compacted after the next ingest or release.
+	// 0 means 1024.
+	SnapshotEvery int
 }
 
 // Server hosts tenants and serves the HTTP API. Create with New; it is
@@ -85,21 +123,28 @@ type Server struct {
 	mux  *http.ServeMux
 	pool *pool
 
-	mu      sync.RWMutex
-	tenants map[string]*Tenant
+	// st is the durability engine (nil for in-memory servers); snapEvery
+	// is the per-tenant WAL compaction threshold.
+	st        *store.Store
+	snapEvery int
+
+	mu       sync.RWMutex
+	tenants  map[string]*Tenant
+	creating map[string]struct{} // ids reserved by in-flight creations
 
 	// rng is the root generator; per-release generators are split off
 	// under rngMu because xrand.RNG itself is single-threaded.
 	rngMu sync.Mutex
 	rng   *xrand.RNG
 
-	start       time.Time
-	queries     atomic.Int64 // SQL releases attempted
-	estimates   atomic.Int64 // estimator releases attempted
-	refusals    atomic.Int64 // releases refused for budget
-	shed        atomic.Int64 // requests shed by the full queue
-	cacheHits   atomic.Int64 // releases replayed from a tenant cache (free)
-	cacheMisses atomic.Int64 // release attempts that missed the cache
+	start          time.Time
+	queries        atomic.Int64 // SQL releases attempted
+	estimates      atomic.Int64 // estimator releases attempted
+	refusals       atomic.Int64 // releases refused for budget
+	shed           atomic.Int64 // requests shed by the full queue
+	cacheHits      atomic.Int64 // releases replayed from a tenant cache (free)
+	cacheMisses    atomic.Int64 // release attempts that missed the cache
+	cacheEvictions atomic.Int64 // LRU evictions across every tenant cache
 }
 
 // Tenant is one isolated customer: a database, one privacy ledger (the
@@ -108,11 +153,23 @@ type Server struct {
 type Tenant struct {
 	id         string
 	db         *dpsql.DB
-	led        dp.Ledger
-	accounting string  // "pure" or "zcdp"
-	windowSecs float64 // > 0 when the ledger refills on a window
+	led        dp.Ledger // the real composition backend (status, snapshots)
+	accounting string    // "pure" or "zcdp"
+	windowSecs float64   // > 0 when the ledger refills on a window
 	cache      *respCache
 	created    time.Time
+
+	// Durability (zero-valued for in-memory tenants): spender is the
+	// ledger every release path charges — t.led directly, or a walLedger
+	// that records each deduction durably before Spend returns. persistMu
+	// excludes state mutation (ingest, DDL, deduct+log) during snapshot
+	// capture, so a compacted snapshot plus the rotated WAL never loses a
+	// record between them.
+	spender    dp.Ledger
+	log        *store.TenantLog
+	cfg        store.TenantConfig
+	persistMu  sync.RWMutex
+	compacting atomic.Bool // single-flight guard for background snapshots
 
 	queries     atomic.Int64
 	estimates   atomic.Int64
@@ -121,8 +178,22 @@ type Tenant struct {
 	cacheMisses atomic.Int64
 }
 
-// New returns a ready-to-serve Server.
+// New returns a ready-to-serve in-memory Server. It panics if Open would
+// fail, which only a durable configuration (Options.DataDir) can cause —
+// durable servers should call Open and handle the error.
 func New(opts Options) *Server {
+	s, err := Open(opts)
+	if err != nil {
+		panic(fmt.Sprintf("serve.New: %v (use serve.Open for durable servers)", err))
+	}
+	return s
+}
+
+// Open returns a ready-to-serve Server. With Options.DataDir set it opens
+// the durable store and replays every persisted tenant — snapshot plus
+// WAL tail — back into the registry before serving, so recovered spend is
+// at least the spend of every release answered before the restart.
+func Open(opts Options) (*Server, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -135,23 +206,64 @@ func New(opts Options) *Server {
 	if opts.Seed != 0 {
 		rng = xrand.New(opts.Seed)
 	}
+	snapEvery := opts.SnapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = 1024
+	}
 	s := &Server{
-		mux:     http.NewServeMux(),
-		pool:    newPool(workers, depth),
-		tenants: map[string]*Tenant{},
-		rng:     rng,
-		start:   time.Now(),
+		mux:       http.NewServeMux(),
+		pool:      newPool(workers, depth),
+		snapEvery: snapEvery,
+		tenants:   map[string]*Tenant{},
+		creating:  map[string]struct{}{},
+		rng:       rng,
+		start:     time.Now(),
+	}
+	if opts.DataDir != "" {
+		st, err := store.Open(opts.DataDir)
+		if err != nil {
+			s.pool.close()
+			return nil, err
+		}
+		s.st = st
+		recs, err := st.Recover()
+		if err == nil {
+			for _, rec := range recs {
+				var t *Tenant
+				if t, err = s.restoreTenant(rec); err != nil {
+					break
+				}
+				s.tenants[rec.ID] = t
+			}
+		}
+		if err != nil {
+			_ = st.Close()
+			s.pool.close()
+			return nil, err
+		}
 	}
 	s.routes()
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the worker pool after draining queued releases. The HTTP
-// listener's lifecycle belongs to the caller.
-func (s *Server) Close() { s.pool.close() }
+// Close stops the worker pool after draining queued releases, then — for
+// durable servers — compacts every tenant into a final snapshot and
+// closes the store. The HTTP listener's lifecycle belongs to the caller.
+func (s *Server) Close() error {
+	s.pool.close()
+	if s.st == nil {
+		return nil
+	}
+	flushErr := s.Flush()
+	closeErr := s.st.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
 
 // Workers reports the worker-pool size (for status output).
 func (s *Server) Workers() int { return s.pool.workers }
@@ -184,63 +296,125 @@ func (s *Server) CreateTenantWith(req CreateTenantRequest) (*Tenant, error) {
 // inspection; benchmarks).
 func (t *Tenant) Ledger() dp.Ledger { return t.led }
 
-// createTenant builds the requested composition backend and registers the
-// tenant around it.
-func (s *Server) createTenant(req CreateTenantRequest) (*Tenant, error) {
-	accounting := strings.ToLower(req.Accounting)
+// buildLedger constructs the composition backend a tenant config names,
+// returning the normalized accounting name and the δ actually in force —
+// shared by tenant creation and snapshot-less recovery.
+func buildLedger(cfg store.TenantConfig) (dp.Ledger, string, float64, error) {
+	accounting := strings.ToLower(cfg.Accounting)
 	if accounting == "" {
 		accounting = "pure"
 	}
-	delta := req.Delta
+	delta := cfg.Delta
 	var (
 		led dp.Ledger
 		err error
 	)
 	switch accounting {
 	case "pure":
-		if req.Delta != 0 {
-			return nil, fmt.Errorf("serve: delta applies only to zcdp accounting")
+		if cfg.Delta != 0 {
+			return nil, "", 0, fmt.Errorf("serve: delta applies only to zcdp accounting")
 		}
-		led, err = dp.NewBasicLedger(req.Epsilon)
+		led, err = dp.NewBasicLedger(cfg.Epsilon)
 	case "zcdp":
 		if delta == 0 {
 			delta = defaultDelta
 		}
-		led, err = dp.NewZCDPLedger(req.Epsilon, delta)
+		led, err = dp.NewZCDPLedger(cfg.Epsilon, delta)
 	default:
-		return nil, fmt.Errorf("serve: unknown accounting backend %q (want \"pure\" or \"zcdp\")", req.Accounting)
+		return nil, "", 0, fmt.Errorf("serve: unknown accounting backend %q (want \"pure\" or \"zcdp\")", cfg.Accounting)
 	}
+	if err != nil {
+		return nil, "", 0, err
+	}
+	if cfg.WindowSeconds < 0 {
+		return nil, "", 0, fmt.Errorf("serve: window_seconds must be >= 0, got %v", cfg.WindowSeconds)
+	}
+	if cfg.WindowSeconds > 0 {
+		led, err = dp.NewWindowedLedger(led, time.Duration(cfg.WindowSeconds*float64(time.Second)))
+		if err != nil {
+			return nil, "", 0, err
+		}
+	}
+	return led, accounting, delta, nil
+}
+
+// createTenant builds the requested composition backend and registers the
+// tenant around it. On a durable server the creation record is fsynced
+// before the tenant is acknowledged.
+func (s *Server) createTenant(req CreateTenantRequest) (*Tenant, error) {
+	cfg := store.TenantConfig{
+		Epsilon:       req.Epsilon,
+		Accounting:    req.Accounting,
+		Delta:         req.Delta,
+		WindowSeconds: req.WindowSeconds,
+	}
+	led, accounting, delta, err := buildLedger(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if req.WindowSeconds < 0 {
-		return nil, fmt.Errorf("serve: window_seconds must be >= 0, got %v", req.WindowSeconds)
-	}
-	if req.WindowSeconds > 0 {
-		led, err = dp.NewWindowedLedger(led, time.Duration(req.WindowSeconds*float64(time.Second)))
-		if err != nil {
+	cfg.Accounting, cfg.Delta = accounting, delta
+	if s.st != nil {
+		// Tenant ids become directory names; refuse traversal early.
+		if err := store.CheckTenantID(req.ID); err != nil {
 			return nil, err
 		}
 	}
+	// Reserve the id first, then do the store's fsyncs OUTSIDE s.mu: a
+	// durable creation writes and syncs files, and holding the server-wide
+	// lock across that would stall every request on every tenant.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.tenants[req.ID]; dup {
+		s.mu.Unlock()
 		return nil, errTenantExists
 	}
+	if _, busy := s.creating[req.ID]; busy {
+		s.mu.Unlock()
+		return nil, errTenantExists
+	}
+	s.creating[req.ID] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.creating, req.ID)
+		s.mu.Unlock()
+	}()
+
 	db := dpsql.NewDB()
-	db.SetLedger(led)
 	t := &Tenant{
 		id:         req.ID,
 		db:         db,
 		led:        led,
 		accounting: accounting,
 		windowSecs: req.WindowSeconds,
-		cache:      newRespCache(),
+		cache:      newRespCache(&s.cacheEvictions),
 		created:    time.Now(),
+		cfg:        cfg,
+		spender:    led,
 	}
+	if s.st != nil {
+		tl, err := s.st.CreateTenant(req.ID, cfg)
+		if err != nil {
+			// Id conflicts and bad ids are the client's; everything else
+			// (mkdir, open, fsync) is a server-side persistence failure and
+			// must not masquerade as a config error.
+			if errors.Is(err, store.ErrTenantExists) || errors.Is(err, store.ErrBadTenantID) {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%w: creating durable tenant: %v", errPersist, err)
+		}
+		t.log = tl
+		t.spender = &walLedger{t: t}
+	}
+	db.SetLedger(t.spender)
+	s.mu.Lock()
 	s.tenants[req.ID] = t
+	s.mu.Unlock()
 	return t, nil
 }
+
+// Tenant looks a tenant up by id — programmatic twin of GET
+// /v1/tenants/{t} for embedders (demo loaders, benchmarks).
+func (s *Server) Tenant(id string) (*Tenant, bool) { return s.tenantByID(id) }
 
 // tenantByID looks a tenant up.
 func (s *Server) tenantByID(id string) (*Tenant, bool) {

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// flockExclusive is a no-op where flock(2) is unavailable: the build
+// still works, but cross-process data-dir exclusion is not enforced —
+// run one process per data dir. (The same-process registry in store.go
+// still guards in-process double-opens.)
+func flockExclusive(f *os.File) error { return nil }

@@ -1,0 +1,15 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive flock on f. The lock is
+// owned by the open file description, so it evaporates when the holder
+// process dies — exactly the semantics the data-dir claim needs.
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
