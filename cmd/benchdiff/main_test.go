@@ -53,6 +53,46 @@ func TestParseBenchPlainText(t *testing.T) {
 	}
 }
 
+func TestWriteDiffThreshold(t *testing.T) {
+	oldB := map[string]float64{
+		"BenchmarkStable":   1000,
+		"BenchmarkSlower":   1000, // +50% in newB
+		"BenchmarkBoundary": 1000, // exactly +25%: not past the threshold
+		"BenchmarkFaster":   1000, // -50% in newB
+		"BenchmarkRemoved":  1000,
+	}
+	newB := map[string]float64{
+		"BenchmarkStable":   1010,
+		"BenchmarkSlower":   1500,
+		"BenchmarkBoundary": 1250,
+		"BenchmarkFaster":   500,
+		"BenchmarkAdded":    42,
+	}
+	var buf strings.Builder
+	if got := writeDiff(&buf, oldB, newB, 0.25); got != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", got, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| BenchmarkSlower | 1.00µs | 1.50µs | +50.0% | ⚠ regression |") {
+		t.Fatalf("regression row missing:\n%s", out)
+	}
+	if strings.Count(out, "⚠ regression") != 1 {
+		t.Fatalf("boundary delta must not be flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "✓ faster") {
+		t.Fatalf("improvement not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "1 new, 1 removed") {
+		t.Fatalf("added/removed counts missing:\n%s", out)
+	}
+
+	// A tighter threshold flags the boundary case too.
+	buf.Reset()
+	if got := writeDiff(&buf, oldB, newB, 0.10); got != 2 {
+		t.Fatalf("threshold 0.10: regressions = %d, want 2\n%s", got, buf.String())
+	}
+}
+
 func TestHuman(t *testing.T) {
 	for _, tc := range []struct {
 		ns   float64

@@ -29,6 +29,7 @@ type loadgenConfig struct {
 	delta      float64 // zcdp delta (0 = server default)
 	window     float64 // refill window seconds (0 = lifetime budget)
 	budget     float64 // compare mode: nominal total eps per twin
+	shards     int     // bench tenant table shard count (0 = server default)
 }
 
 // selfServe starts an in-process server on a loopback port when target is
@@ -71,8 +72,12 @@ func jsonPost(hc *http.Client, base, path string, body, out any) (int, error) {
 }
 
 // provisionBench creates a tenant and fills its metrics table with
-// cfg.users synthetic users (two rows each).
+// cfg.users synthetic users (two rows each). The tenant inherits
+// cfg.shards unless the request names its own topology.
 func provisionBench(cfg loadgenConfig, hc *http.Client, base string, req serve.CreateTenantRequest) error {
+	if req.Shards == 0 {
+		req.Shards = cfg.shards
+	}
 	if code, err := jsonPost(hc, base, "/v1/tenants", req, nil); err != nil || code != http.StatusCreated {
 		return fmt.Errorf("loadgen: creating tenant %s: code=%d err=%v", req.ID, code, err)
 	}

@@ -17,6 +17,8 @@
 //	updp-bench -serve self -accounting zcdp -window 60
 //	updp-bench -serve self -compare -budget 0.1
 //	updp-bench -serve self -restart
+//	updp-bench -serve self -shards 8          # bench tenant on 8-way sharded tables
+//	updp-bench -serve self -shards sweep      # shard-scaling sweep at N=1,4,16
 //
 // -accounting/-delta/-window pick the bench tenant's composition backend;
 // -compare runs the backend exhaustion duel instead of the throughput
@@ -32,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -59,6 +62,7 @@ func main() {
 		compare     = flag.Bool("compare", false, "loadgen: run the pure-vs-zcdp exhaustion duel instead of the throughput run")
 		budget      = flag.Float64("budget", 0.1, "compare: nominal total epsilon per twin tenant")
 		restart     = flag.Bool("restart", false, "loadgen: run the durability recovery scenario (ingest+spend, snapshot, crash, re-open) instead of the throughput run")
+		shardsFlag  = flag.String("shards", "", `loadgen: bench tenant table shard count (an integer), or "sweep" to run the shard-scaling sweep (N=1,4,16: ingest rows/sec + release latency)`)
 	)
 	flag.Parse()
 
@@ -75,8 +79,27 @@ func main() {
 			window:     *window,
 			budget:     *budget,
 		}
-		if *compare && *restart {
-			fmt.Fprintln(os.Stderr, "updp-bench: -compare and -restart are mutually exclusive scenarios; pick one")
+		sweep := false
+		switch *shardsFlag {
+		case "", "0":
+		case "sweep":
+			sweep = true
+		default:
+			n, err := strconv.Atoi(*shardsFlag)
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "updp-bench: -shards wants a positive integer or \"sweep\", got %q\n", *shardsFlag)
+				os.Exit(2)
+			}
+			cfg.shards = n
+		}
+		modes := 0
+		for _, on := range []bool{*compare, *restart, sweep} {
+			if on {
+				modes++
+			}
+		}
+		if modes > 1 {
+			fmt.Fprintln(os.Stderr, "updp-bench: -compare, -restart, and -shards sweep are mutually exclusive scenarios; pick one")
 			os.Exit(2)
 		}
 		var err error
@@ -85,6 +108,8 @@ func main() {
 			err = runCompare(cfg)
 		case *restart:
 			err = runRestart(cfg)
+		case sweep:
+			err = runShardSweep(cfg)
 		default:
 			err = runLoadgen(cfg)
 		}

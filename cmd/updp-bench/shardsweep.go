@@ -1,0 +1,172 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dpsql"
+	"repro/internal/serve"
+)
+
+// runShardSweep is the shard-scaling benchmark: for each shard count in
+// {1, 4, 16} it provisions a sharded tenant on an in-process server,
+// hammers the table with concurrent ingesters (measuring storage-level
+// rows/sec — the number the per-shard lock striping moves), then issues a
+// fixed series of distinct releases over HTTP (measuring end-to-end
+// release latency with the scan fanned across the worker pool). Shard
+// count is a pure storage topology, so the answers and budget mechanics
+// are identical across rows of the report — only the clock changes.
+func runShardSweep(cfg loadgenConfig) error {
+	if cfg.target != "self" {
+		return fmt.Errorf("loadgen: -shards sweep needs -serve self (it measures in-process ingest)")
+	}
+	counts := []int{1, 4, 16}
+	// At least 4 writers even on small machines: the sweep measures lock
+	// striping, which needs concurrent offered load to measure at all.
+	ingesters := runtime.GOMAXPROCS(0)
+	if ingesters > 16 {
+		ingesters = 16
+	}
+	if ingesters < 4 {
+		ingesters = 4
+	}
+	rowsPerIngester := 2 * cfg.users / ingesters
+	const releases = 48
+
+	// Warm-up pass (discarded): page in the allocator and the HTTP stack
+	// so the first measured row is not charged for process warm-up.
+	if _, err := sweepOne(cfg, 1, ingesters, rowsPerIngester/10+1, 4); err != nil {
+		return err
+	}
+
+	type sweepRow struct {
+		shards   int
+		rowsPerS float64
+		p50, p95 time.Duration
+	}
+	var rows []sweepRow
+	for _, n := range counts {
+		r, err := sweepOne(cfg, n, ingesters, rowsPerIngester, releases)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, sweepRow{shards: n, rowsPerS: r.rowsPerS, p50: r.p50, p95: r.p95})
+	}
+
+	fmt.Printf("=== shard sweep: %d ingesters x %d rows, %d releases, %d users, workers=GOMAXPROCS ===\n",
+		ingesters, rowsPerIngester, releases, cfg.users)
+	fmt.Printf("%-8s %14s %9s %12s %12s\n", "shards", "ingest rows/s", "speedup", "release p50", "release p95")
+	base := rows[0].rowsPerS
+	for _, r := range rows {
+		fmt.Printf("%-8d %14.0f %8.2fx %12v %12v\n",
+			r.shards, r.rowsPerS, r.rowsPerS/base,
+			r.p50.Round(time.Microsecond), r.p95.Round(time.Microsecond))
+	}
+	fmt.Println("ingest rows/s is the storage path (concurrent Insert striping across per-shard locks);")
+	fmt.Println("release latency is the HTTP estimate path with the scan fanned over the worker pool.")
+	return nil
+}
+
+type sweepResult struct {
+	rowsPerS float64
+	p50, p95 time.Duration
+}
+
+// sweepOne measures one shard count on a fresh in-process server.
+func sweepOne(cfg loadgenConfig, shards, ingesters, rowsPerIngester, releases int) (sweepResult, error) {
+	var res sweepResult
+	srv := serve.New(serve.Options{Seed: cfg.seed, QueueDepth: 4 * ingesters})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	hc := &http.Client{Timeout: 30 * time.Second}
+
+	tenant := fmt.Sprintf("sweep-%d", shards)
+	if code, err := jsonPost(hc, base, "/v1/tenants", serve.CreateTenantRequest{
+		ID: tenant, Epsilon: 1e9, Shards: shards,
+	}, nil); err != nil || code != http.StatusCreated {
+		return res, fmt.Errorf("loadgen: creating sweep tenant: code=%d err=%v", code, err)
+	}
+	if code, err := jsonPost(hc, base, "/v1/tenants/"+tenant+"/tables", serve.CreateTableRequest{
+		Name: "metrics",
+		Columns: []serve.ColumnSpec{
+			{Name: "uid", Kind: "string"},
+			{Name: "v", Kind: "float"},
+		},
+		UserColumn: "uid",
+	}, nil); err != nil || code != http.StatusCreated {
+		return res, fmt.Errorf("loadgen: creating sweep table: code=%d err=%v", code, err)
+	}
+
+	// Storage-level ingest: concurrent writers inserting distinct users
+	// directly into the table. With one shard they serialize on a single
+	// lock; with N they stripe.
+	tn, ok := srv.Tenant(tenant)
+	if !ok {
+		return res, fmt.Errorf("loadgen: sweep tenant vanished")
+	}
+	tab, err := tn.DB().TableByName("metrics")
+	if err != nil {
+		return res, err
+	}
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rowsPerIngester; i++ {
+				uid := fmt.Sprintf("u%02d-%06d", g, i/2) // two rows per user
+				if err := tab.Insert(dpsql.Str(uid), dpsql.Float(float64(100+i%41))); err != nil {
+					fmt.Fprintf(os.Stderr, "loadgen: sweep insert: %v\n", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	total := ingesters * rowsPerIngester
+	res.rowsPerS = float64(total) / elapsed.Seconds()
+
+	// Release latency over HTTP: distinct quantile ranks defeat the
+	// replay cache, so every release runs a real fanned scan + mechanism.
+	lats := make([]time.Duration, 0, releases)
+	for i := 0; i < releases; i++ {
+		p := 0.01 + 0.98*float64(i)/float64(releases)
+		r0 := time.Now()
+		code, err := jsonPost(hc, base, "/v1/tenants/"+tenant+"/estimate", serve.EstimateRequest{
+			Table: "metrics", Column: "v", Stat: "quantile", P: p, Epsilon: cfg.eps,
+		}, nil)
+		if err != nil {
+			return res, err
+		}
+		if code != http.StatusOK {
+			return res, fmt.Errorf("loadgen: sweep release %d: HTTP %d", i, code)
+		}
+		lats = append(lats, time.Since(r0))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pick := func(p float64) time.Duration {
+		ix := int(math.Ceil(p*float64(len(lats)))) - 1
+		if ix < 0 {
+			ix = 0
+		}
+		return lats[ix]
+	}
+	res.p50, res.p95 = pick(0.50), pick(0.95)
+	return res, nil
+}

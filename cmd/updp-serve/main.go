@@ -6,6 +6,13 @@
 //	updp-serve -addr :8500 -workers 8 -demo
 //	updp-serve -demo -accounting zcdp -delta 1e-6
 //	updp-serve -demo -window 3600           # budget refills hourly
+//	updp-serve -shards 8                    # tenants default to 8-way sharded tables
+//
+// -shards sets the default table shard count for new tenants: tables are
+// hash-partitioned by user id so ingestion stripes across per-shard locks
+// and release scans fan out over the worker pool — a pure storage
+// topology, invisible to answers, noise, and budget (a request may still
+// name its own "shards" at tenant creation).
 //
 // With -demo a tenant "demo" (ε = 16) is preloaded with a synthetic
 // salaries table so the API can be explored immediately; -accounting,
@@ -46,6 +53,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		seed       = flag.Uint64("seed", 0, "RNG seed; 0 uses OS entropy (required for real privacy)")
 		dataDir    = flag.String("data-dir", "", "durable tenant state directory (WAL + snapshots); empty = in-memory only")
+		shards     = flag.Int("shards", 0, "default table shard count for new tenants (hash-partitioned by user id; 0 = 1, monolithic)")
 		demo       = flag.Bool("demo", false, "preload a demo tenant with synthetic salaries")
 		accounting = flag.String("accounting", "pure", `demo tenant composition backend: "pure" or "zcdp"`)
 		delta      = flag.Float64("delta", 0, "demo tenant delta for zcdp accounting (0 = server default 1e-6)")
@@ -53,7 +61,7 @@ func main() {
 	)
 	flag.Parse()
 
-	srv, err := serve.Open(serve.Options{Workers: *workers, Seed: *seed, DataDir: *dataDir})
+	srv, err := serve.Open(serve.Options{Workers: *workers, Seed: *seed, DataDir: *dataDir, DefaultShards: *shards})
 	if err != nil {
 		log.Fatalf("updp-serve: %v", err)
 	}

@@ -56,4 +56,22 @@
 // tables export/import their full state. updp-bench -serve -restart is
 // the recovery drill: ingest + spend, snapshot, crash without flushing,
 // re-open, and report the carried-over spend and recovery wall-time.
+//
+// # Sharded tenant tables
+//
+// A tenant's tables are hash-partitioned by user id into N shards
+// ("shards" at tenant creation, updp-serve -shards for the default):
+// ingestion stripes across per-shard locks instead of serializing on one
+// table-wide mutex, and release scans fan out over the shards on the
+// serve layer's worker pool, merging partial per-user aggregates before
+// the mechanism runs. The merge is the decomposition view of the paper's
+// per-user collapse — partial (sum, count) accumulators combine by
+// addition into exactly the collapse a monolithic scan produces — so a
+// release still makes exactly one ledger deduction and the noise
+// semantics are unchanged: for a fixed seed, a sharded tenant and an
+// unsharded twin release bit-for-bit identical answers. WAL row records
+// carry a shard tag and snapshots carry per-row placement, so recovery
+// rebuilds the same partitioning; pre-shard data directories boot as
+// single-shard tenants with spend preserved. updp-bench -serve -shards
+// sweep reports ingest rows/sec and release latency at N=1,4,16.
 package repro

@@ -261,7 +261,7 @@ func TestExecSum(t *testing.T) {
 	tbl, _ := db.TableByName("salaries")
 	// True total over all rows.
 	var trueSum float64
-	for _, row := range tbl.rows {
+	for _, row := range tbl.snapshot() {
 		trueSum += row[2].F
 	}
 	res, err := db.Exec(rng, "SELECT SUM(salary) FROM salaries", 1.0)

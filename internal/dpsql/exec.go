@@ -144,37 +144,70 @@ func (db *DB) Exec(rng *xrand.RNG, sql string, eps float64) (*Result, error) {
 		}
 	}
 
-	// Filter and group a point-in-time snapshot: concurrent Inserts do not
-	// tear the row set a query aggregates over.
+	// Filter and group point-in-time per-shard snapshots. The scan fans
+	// out over the table's shards (parallel under an installed Fanout —
+	// the serve layer backs it with its worker pool), each shard filtering
+	// and partitioning its own rows; the per-shard group fragments are
+	// then concatenated in shard order. Users are hash-routed to shards,
+	// so a user's rows stay contiguous and in arrival order within one
+	// fragment and the per-user collapse below accumulates exactly as a
+	// monolithic scan would — fan-out changes wall-clock, not answers.
 	type groupData struct {
 		key  Value
 		rows [][]Value
 	}
+	type shardScan struct {
+		groups map[string]*groupData
+		order  []string // first-seen group keys, shard-local
+		err    error
+	}
+	snaps := t.shardSnapshots()
+	scans := make([]shardScan, len(snaps))
+	t.runFan(len(snaps), func(si int) {
+		sc := shardScan{groups: map[string]*groupData{}}
+		for _, row := range snaps[si].rows {
+			if q.Where != nil {
+				ok, err := q.Where.Eval(t, row)
+				if err != nil {
+					sc.err = err
+					break
+				}
+				if !ok {
+					continue
+				}
+			}
+			key := ""
+			var kv Value
+			if groupIx >= 0 {
+				kv = row[groupIx]
+				key = kv.String()
+			}
+			g, ok := sc.groups[key]
+			if !ok {
+				g = &groupData{key: kv}
+				sc.groups[key] = g
+				sc.order = append(sc.order, key)
+			}
+			g.rows = append(g.rows, row)
+		}
+		scans[si] = sc
+	})
 	groups := map[string]*groupData{}
 	var order []string
-	for _, row := range t.snapshot() {
-		if q.Where != nil {
-			ok, err := q.Where.Eval(t, row)
-			if err != nil {
-				return nil, err
-			}
+	for _, sc := range scans {
+		if sc.err != nil {
+			return nil, sc.err
+		}
+		for _, key := range sc.order {
+			sg := sc.groups[key]
+			g, ok := groups[key]
 			if !ok {
-				continue
+				g = &groupData{key: sg.key}
+				groups[key] = g
+				order = append(order, key)
 			}
+			g.rows = append(g.rows, sg.rows...)
 		}
-		key := ""
-		var kv Value
-		if groupIx >= 0 {
-			kv = row[groupIx]
-			key = kv.String()
-		}
-		g, ok := groups[key]
-		if !ok {
-			g = &groupData{key: kv}
-			groups[key] = g
-			order = append(order, key)
-		}
-		g.rows = append(g.rows, row)
 	}
 	sort.Strings(order)
 	if len(order) == 0 {

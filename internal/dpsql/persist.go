@@ -7,30 +7,47 @@ import (
 
 // This file is the persistence face of the schema layer: a table can be
 // exported as a serializable TableState (what the durable store's
-// snapshots hold) and a database rebuilt from one on boot. Export hands
-// out the live row slice — safe because rows are append-only and stored
-// rows are never mutated — so snapshotting is O(1) in the row count until
-// the state is actually serialized.
+// snapshots hold) and a database rebuilt from one on boot. Rows are
+// flattened into global insertion order (merged across shards by sequence
+// number) with a parallel shard index per row, so a snapshot both
+// round-trips the exact row order a deterministic release consumes and
+// carries the partition topology; importing under a different shard count
+// simply ignores the recorded placement and reshards by hash.
 
-// TableState is the serializable snapshot of one table: full schema plus
-// every stored row. Rows use Value's compact JSON encoding.
+// TableState is the serializable snapshot of one table: full schema,
+// shard topology, and every stored row in global insertion order. Rows
+// use Value's compact JSON encoding. Shards is the partition count
+// (0 means 1 — the pre-shard encoding, which this struct remains
+// byte-compatible with for single-shard tables); ShardOf, parallel to
+// Rows, records each row's shard so Import rebuilds the same
+// partitioning. A missing or mismatched ShardOf reshards by user-id hash.
 type TableState struct {
 	Name    string    `json:"name"`
 	Columns []Column  `json:"columns"`
 	UserCol string    `json:"user_col"`
+	Shards  int       `json:"shards,omitempty"`
 	Rows    [][]Value `json:"rows,omitempty"`
+	ShardOf []int     `json:"shard_of,omitempty"`
 }
 
-// Export captures the table's schema and a consistent point-in-time row
-// snapshot. The returned Rows share the table's backing array and must be
-// treated as immutable.
+// Export captures the table's schema, shard topology, and a consistent
+// point-in-time row snapshot in global insertion order. The returned Rows
+// share the table's backing row storage and must be treated as immutable.
+// Single-shard tables omit the topology fields, so their snapshots are
+// byte-identical to the pre-shard encoding.
 func (t *Table) Export() TableState {
-	return TableState{
+	st := TableState{
 		Name:    t.Name,
 		Columns: append([]Column(nil), t.Columns...),
 		UserCol: t.UserCol,
-		Rows:    t.snapshot(),
 	}
+	if t.nshards == 1 {
+		st.Rows = t.snapshot()
+		return st
+	}
+	st.Shards = t.nshards
+	st.Rows = mergeBySeq(t.shardSnapshots(), &st.ShardOf)
+	return st
 }
 
 // Export captures every table in the database, sorted by name — the
@@ -54,12 +71,33 @@ func (db *DB) Export() []TableState {
 // through the same Create path a live DDL request uses, and every row is
 // re-validated on append, so a hand-edited or corrupted snapshot cannot
 // smuggle in rows the schema would have refused.
+//
+// Topology: the rebuilt table gets the DB's default shard count when one
+// is configured (the tenant's topology is authoritative), falling back to
+// the state's own. When the recorded placement matches the target count,
+// rows land in exactly the shards they came from — replay rebuilds the
+// same partitioning, including pre-shard rows recorded in shard 0. When
+// the counts differ (or the state predates sharding) the rows reshard by
+// user-id hash: resizing a topology is a pure storage reorganization,
+// invisible to releases because every reader merges shards anyway.
 func (db *DB) Import(st TableState) (*Table, error) {
-	t, err := db.Create(st.Name, st.Columns, st.UserCol)
+	target := db.DefaultShards()
+	if target == 0 {
+		target = st.Shards
+	}
+	t, err := db.CreateSharded(st.Name, st.Columns, st.UserCol, target)
 	if err != nil {
 		return nil, err
 	}
-	if err := t.AppendRows(st.Rows); err != nil {
+	stShards := st.Shards
+	if stShards < 1 {
+		stShards = 1
+	}
+	shardOf := st.ShardOf
+	if stShards != t.NumShards() || len(shardOf) != len(st.Rows) {
+		shardOf = nil // topology changed (or pre-shard state): reshard by hash
+	}
+	if err := t.appendRouted(st.Rows, shardOf); err != nil {
 		return nil, fmt.Errorf("dpsql: importing table %q: %w", st.Name, err)
 	}
 	return t, nil

@@ -1,0 +1,271 @@
+package dpsql
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// This file is the partitioned row store under Table: a table's rows live
+// in N shards keyed by a hash of the user id, each shard guarded by its
+// own RWMutex. Ingestion stripes across the per-shard locks instead of
+// serializing on one table-wide lock, and release scans fan out over the
+// shards and merge their partial per-user aggregates before the mechanism
+// runs.
+//
+// Why merging is free (privacy): the universal estimators consume one
+// contribution per user. Per-shard scans produce partial per-user
+// aggregates (sum, count) that combine by addition, and the combined
+// collapse is exactly the collapse a monolithic scan would have produced —
+// the partition-then-merge view of decomposable statistics. The merge
+// happens before the single mechanism invocation and the single ledger
+// deduction, so shard count changes throughput, never noise semantics or
+// privacy cost.
+//
+// Determinism: because users are routed by hash, all of one user's rows
+// colocate in one shard in arrival order, so per-user aggregates are
+// accumulated in exactly the order a single-shard table would use and the
+// merged, id-sorted output is bit-for-bit identical across shard counts.
+// Record-order readers (ColumnFloats/ColumnInts) recover global insertion
+// order from per-row sequence numbers assigned at insert.
+
+// MaxShards bounds a table's shard count; beyond this the per-shard
+// bookkeeping costs more than the striping wins. The serve layer
+// validates tenant configuration against the same limit, so a recorded
+// topology is always the topology the table actually has.
+const MaxShards = 1024
+
+// tableShard is one partition of a table's row store. rows and seqs are
+// parallel: seqs[i] is the table-global insertion sequence of rows[i],
+// strictly increasing within a shard (sequence numbers are assigned under
+// the shard lock). Stored rows are never mutated, so a slice-header copy
+// taken under the read lock is a consistent point-in-time view.
+type tableShard struct {
+	mu   sync.RWMutex
+	rows [][]Value
+	seqs []uint64
+}
+
+// shardSnap is a point-in-time view of one shard.
+type shardSnap struct {
+	rows [][]Value
+	seqs []uint64
+}
+
+// Fanout runs n independent jobs run(0..n-1), returning when all have
+// completed. The serve layer installs a worker-pool-backed implementation
+// via DB.SetFanout so release scans spread across cores; nil means
+// sequential execution.
+type Fanout func(n int, run func(i int))
+
+// shardFor routes a user id to its shard: FNV-1a over the id, mod the
+// shard count. The hash is stable across processes and restarts — WAL
+// replay and snapshot import rebuild the same partitioning — and keyed on
+// the user id so all of one user's rows colocate.
+func (t *Table) shardFor(uid string) int {
+	if t.nshards == 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(uid))
+	return int(h.Sum64() % uint64(t.nshards))
+}
+
+// NumShards reports the table's shard count (fixed at creation).
+func (t *Table) NumShards() int { return t.nshards }
+
+// fanout returns the installed Fanout, if any.
+func (t *Table) fanout() Fanout {
+	if f := t.fan.Load(); f != nil {
+		return f.(Fanout)
+	}
+	return nil
+}
+
+// runFan executes run(0..n-1) through the installed fan-out (sequentially
+// when none is installed or there is nothing to parallelize).
+func (t *Table) runFan(n int, run func(int)) {
+	if f := t.fanout(); f != nil && n > 1 {
+		f(n, run)
+		return
+	}
+	for i := 0; i < n; i++ {
+		run(i)
+	}
+}
+
+// shardSnapshots captures a point-in-time view of every shard. Views are
+// taken shard by shard, so the cut is per-shard consistent (a row is
+// either wholly in or out) but not a global barrier against concurrent
+// ingestion — the same semantics concurrent Insert vs Exec always had.
+func (t *Table) shardSnapshots() []shardSnap {
+	out := make([]shardSnap, len(t.shards))
+	for i, sh := range t.shards {
+		sh.mu.RLock()
+		out[i] = shardSnap{rows: sh.rows, seqs: sh.seqs}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// mergeBySeq restores global insertion order across per-shard snapshots
+// with a k-way merge on the per-row sequence numbers (each shard's seqs
+// are already sorted). shardOf, when non-nil, receives the shard index of
+// each merged row — the topology carrier Export serializes. Small shard
+// counts use a linear minimum scan (cache-friendly, no bookkeeping);
+// large ones a binary min-heap over the shard cursors, so the merge is
+// O(rows·k) only while k is small and O(rows·log k) past that.
+func mergeBySeq(snaps []shardSnap, shardOf *[]int) [][]Value {
+	if len(snaps) == 1 && shardOf == nil {
+		return snaps[0].rows
+	}
+	total := 0
+	for _, sn := range snaps {
+		total += len(sn.rows)
+	}
+	out := make([][]Value, 0, total)
+	if shardOf != nil {
+		*shardOf = make([]int, 0, total)
+	}
+	emit := func(s int, sn shardSnap, i int) {
+		out = append(out, sn.rows[i])
+		if shardOf != nil {
+			*shardOf = append(*shardOf, s)
+		}
+	}
+	if len(snaps) <= 8 {
+		idx := make([]int, len(snaps))
+		for len(out) < total {
+			best, bestSeq := -1, uint64(0)
+			for s, sn := range snaps {
+				if idx[s] >= len(sn.rows) {
+					continue
+				}
+				if seq := sn.seqs[idx[s]]; best < 0 || seq < bestSeq {
+					best, bestSeq = s, seq
+				}
+			}
+			emit(best, snaps[best], idx[best])
+			idx[best]++
+		}
+		return out
+	}
+	// Heap of (next seq, shard, cursor), keyed on seq.
+	type cursor struct {
+		seq   uint64
+		shard int
+		i     int
+	}
+	h := make([]cursor, 0, len(snaps))
+	push := func(c cursor) {
+		h = append(h, c)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if h[p].seq <= h[i].seq {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+	}
+	pop := func() cursor {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && h[l].seq < h[m].seq {
+				m = l
+			}
+			if r < len(h) && h[r].seq < h[m].seq {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+		return top
+	}
+	for s, sn := range snaps {
+		if len(sn.rows) > 0 {
+			push(cursor{seq: sn.seqs[0], shard: s, i: 0})
+		}
+	}
+	for len(h) > 0 {
+		c := pop()
+		sn := snaps[c.shard]
+		emit(c.shard, sn, c.i)
+		if next := c.i + 1; next < len(sn.rows) {
+			push(cursor{seq: sn.seqs[next], shard: c.shard, i: next})
+		}
+	}
+	return out
+}
+
+// shardUserAggs folds one shard's rows into partial per-user accumulators
+// (sum over colIx, row count), in row order — all of a hash-routed user's
+// rows live in this shard in arrival order, so the partial IS that user's
+// full accumulator, built in the same order a monolithic scan would use.
+// colIx < 0 accumulates row counts only.
+func shardUserAggs(sn shardSnap, userIx, colIx int) map[string]*userAgg {
+	users := make(map[string]*userAgg, 64)
+	for _, row := range sn.rows {
+		uid := row[userIx].String()
+		u, ok := users[uid]
+		if !ok {
+			u = &userAgg{}
+			users[uid] = u
+		}
+		if colIx >= 0 {
+			u.sum += row[colIx].F
+		}
+		u.count++
+	}
+	return users
+}
+
+// mergeUserAggs combines per-shard partial accumulators under one id
+// space, adding partials in shard order (deterministic even for a user
+// whose rows span shards — possible only for pre-shard data replayed into
+// shard 0), and returns the ids sorted. This is the replace-one-user
+// reduction's sharded form: the merged collapse still changes in exactly
+// one position between neighboring databases.
+func mergeUserAggs(parts []map[string]*userAgg) (ids []string, users map[string]*userAgg) {
+	if len(parts) == 1 {
+		users = parts[0]
+	} else {
+		users = make(map[string]*userAgg, 64)
+		for _, part := range parts {
+			for uid, p := range part {
+				u, ok := users[uid]
+				if !ok {
+					u = &userAgg{}
+					users[uid] = u
+				}
+				u.sum += p.sum
+				u.count += p.count
+			}
+		}
+	}
+	ids = make([]string, 0, len(users))
+	for uid := range users {
+		ids = append(ids, uid)
+	}
+	sort.Strings(ids)
+	return ids, users
+}
+
+// fanUserAggs scans every shard (in parallel under the installed fan-out)
+// into partial per-user accumulators for colIx.
+func (t *Table) fanUserAggs(colIx int) []map[string]*userAgg {
+	snaps := t.shardSnapshots()
+	parts := make([]map[string]*userAgg, len(snaps))
+	t.runFan(len(snaps), func(i int) {
+		parts[i] = shardUserAggs(snaps[i], t.userIx, colIx)
+	})
+	return parts
+}

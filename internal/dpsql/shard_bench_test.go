@@ -1,0 +1,102 @@
+package dpsql
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The shard benchmarks feed the CI bench-smoke artifact: ingest measures
+// concurrent Insert striping across per-shard locks, the scan benchmarks
+// measure the fan-out release readers. Run them alone with:
+//
+//	go test -bench BenchmarkShard -run '^$' ./internal/dpsql/
+
+func benchSchema() []Column {
+	return []Column{{Name: "uid", Kind: KindString}, {Name: "v", Kind: KindFloat}}
+}
+
+func BenchmarkShardIngest(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			db := NewDB()
+			tab, err := db.CreateSharded("m", benchSchema(), "uid", n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			uids := make([]Value, 4096)
+			for i := range uids {
+				uids[i] = Str(fmt.Sprintf("u%04d", i))
+			}
+			var ctr atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := ctr.Add(1)
+					if err := tab.Insert(uids[i&4095], Float(float64(i))); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// goFanout is a goroutine-per-shard Fanout, standing in for the serve
+// layer's worker-pool fan.
+func goFanout(n int, run func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); run(i) }(i)
+	}
+	wg.Wait()
+}
+
+func benchFilled(b *testing.B, shards, rows int) *Table {
+	b.Helper()
+	db := NewDB()
+	tab, err := db.CreateSharded("m", benchSchema(), "uid", shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([][]Value, rows)
+	for i := range batch {
+		batch[i] = []Value{Str(fmt.Sprintf("u%05d", i%5000)), Float(float64(i % 997))}
+	}
+	if err := tab.AppendRows(batch); err != nil {
+		b.Fatal(err)
+	}
+	db.SetFanout(goFanout)
+	return tab
+}
+
+func BenchmarkShardUserMeans(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			tab := benchFilled(b, n, 20000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tab.UserMeans("v"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkShardColumnFloats(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			tab := benchFilled(b, n, 20000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tab.ColumnFloats("v"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dp"
 )
@@ -29,36 +30,98 @@ type Column struct {
 }
 
 // Table is an in-memory relation with a designated user column (the unit
-// of privacy). Schema fields (Name, Columns, UserCol, byName, userIx) are
-// immutable after Create; the row store is guarded by mu, so concurrent
-// Insert and Exec calls are safe — ingestion can stream in while queries
-// run against a consistent snapshot.
+// of privacy). Schema fields (Name, Columns, UserCol, byName, userIx) and
+// the shard topology are immutable after Create; the row store is
+// partitioned into nshards shards by a hash of the user id, each guarded
+// by its own lock (see shard.go), so concurrent Inserts stripe across
+// shards instead of serializing, and release scans fan out over shards
+// and merge per-user partials over consistent per-shard snapshots.
 type Table struct {
 	Name    string
 	Columns []Column
 	UserCol string
 
-	mu     sync.RWMutex
-	rows   [][]Value
 	byName map[string]int
 	userIx int
+
+	nshards int
+	shards  []*tableShard
+	nextSeq atomic.Uint64 // next global insertion sequence number
+	fan     atomic.Value  // Fanout installed by the owning DB (may be nil)
 }
 
 // DB is a collection of tables with an optional shared privacy budget.
 // The table registry and the ledger pointer are guarded by mu; a DB is
 // safe for concurrent Create/TableByName/Exec/Run use.
 type DB struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	led    dp.Ledger
+	mu        sync.RWMutex
+	tables    map[string]*Table
+	led       dp.Ledger
+	defShards int    // shard count new tables get (0 means 1)
+	fan       Fanout // shard fan-out installed on every table
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
 
-// Create registers a new table. userCol must name one of the columns; it
-// identifies the privacy unit.
+// SetDefaultShards sets the shard count tables created afterwards get
+// (clamped to [1, MaxShards]; 0 means 1). The serve layer calls it with
+// the tenant's configured topology before creating or importing tables.
+func (db *DB) SetDefaultShards(n int) {
+	db.mu.Lock()
+	db.defShards = n
+	db.mu.Unlock()
+}
+
+// DefaultShards reports the configured default shard count (0 means 1).
+func (db *DB) DefaultShards() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.defShards
+}
+
+// SetFanout installs the shard fan-out used by release scans on every
+// table, existing and future. The serve layer installs a worker-pool
+// backed implementation; nil (the default) scans shards sequentially.
+func (db *DB) SetFanout(f Fanout) {
+	db.mu.Lock()
+	db.fan = f
+	tabs := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		tabs = append(tabs, t)
+	}
+	db.mu.Unlock()
+	for _, t := range tabs {
+		t.setFanout(f)
+	}
+}
+
+// setFanout installs (or clears) the table's shard fan-out.
+func (t *Table) setFanout(f Fanout) {
+	// atomic.Value refuses nil; store a typed nil Fanout instead.
+	t.fan.Store(f)
+}
+
+// clampShards normalizes a requested shard count.
+func clampShards(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > MaxShards {
+		return MaxShards
+	}
+	return n
+}
+
+// Create registers a new table with the DB's default shard count. userCol
+// must name one of the columns; it identifies the privacy unit.
 func (db *DB) Create(name string, cols []Column, userCol string) (*Table, error) {
+	return db.CreateSharded(name, cols, userCol, 0)
+}
+
+// CreateSharded registers a new table partitioned into shards (0 means
+// the DB default, itself defaulting to 1; clamped to [1, MaxShards]).
+func (db *DB) CreateSharded(name string, cols []Column, userCol string, shards int) (*Table, error) {
 	lname := strings.ToLower(name)
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -68,13 +131,23 @@ func (db *DB) Create(name string, cols []Column, userCol string) (*Table, error)
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("%w: table %q needs at least one column", ErrSchema, name)
 	}
+	if shards == 0 {
+		shards = db.defShards
+	}
+	shards = clampShards(shards)
 	t := &Table{
 		Name:    name,
 		Columns: append([]Column(nil), cols...),
 		UserCol: userCol,
 		byName:  make(map[string]int, len(cols)),
 		userIx:  -1,
+		nshards: shards,
+		shards:  make([]*tableShard, shards),
 	}
+	for i := range t.shards {
+		t.shards[i] = &tableShard{}
+	}
+	t.setFanout(db.fan)
 	for i, c := range cols {
 		lc := strings.ToLower(c.Name)
 		if _, dup := t.byName[lc]; dup {
@@ -150,20 +223,45 @@ func (t *Table) convertRow(vals []Value) ([]Value, error) {
 // Insert appends one row; values must match the schema's kinds (ints are
 // accepted into float columns).
 func (t *Table) Insert(vals ...Value) error {
-	row, err := t.convertRow(vals)
-	if err != nil {
-		return err
-	}
-	t.mu.Lock()
-	t.rows = append(t.rows, row)
-	t.mu.Unlock()
-	return nil
+	_, err := t.InsertShard(vals...)
+	return err
 }
 
-// AppendRows validates and appends a batch of rows under one lock — the
-// bulk path snapshot import and WAL replay use. The batch is validated in
-// full before any row is stored, so a bad row rejects the whole batch.
+// InsertShard appends one row and reports the shard it was routed to (by
+// user-id hash) — the ingest handler needs the destination to tag the
+// row's WAL record. Only the destination shard's lock is taken, so
+// concurrent inserts to different shards do not contend.
+func (t *Table) InsertShard(vals ...Value) (int, error) {
+	row, err := t.convertRow(vals)
+	if err != nil {
+		return 0, err
+	}
+	si := t.shardFor(row[t.userIx].String())
+	sh := t.shards[si]
+	sh.mu.Lock()
+	// The sequence number is assigned under the shard lock so each
+	// shard's seqs stay strictly increasing (the k-way merge invariant).
+	sh.rows = append(sh.rows, row)
+	sh.seqs = append(sh.seqs, t.nextSeq.Add(1)-1)
+	sh.mu.Unlock()
+	return si, nil
+}
+
+// AppendRows validates and appends a batch of rows — the bulk path
+// snapshot import and WAL replay use. The batch is validated in full
+// before any row is stored, so a bad row rejects the whole batch; every
+// shard lock is held while the batch lands, so the batch becomes visible
+// atomically and in its original order. Rows are routed by user-id hash.
 func (t *Table) AppendRows(rows [][]Value) error {
+	return t.appendRouted(rows, nil)
+}
+
+// appendRouted stores a validated batch. shardOf, when non-nil, overrides
+// hash routing with an explicit destination per row (snapshot import
+// preserving recorded topology); entries out of range fall back to the
+// hash. All shard locks are taken (in index order) so sequence numbers
+// follow batch order exactly.
+func (t *Table) appendRouted(rows [][]Value, shardOf []int) error {
 	conv := make([][]Value, len(rows))
 	for i, r := range rows {
 		row, err := t.convertRow(r)
@@ -172,9 +270,24 @@ func (t *Table) AppendRows(rows [][]Value) error {
 		}
 		conv[i] = row
 	}
-	t.mu.Lock()
-	t.rows = append(t.rows, conv...)
-	t.mu.Unlock()
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+	}
+	for i, row := range conv {
+		si := -1
+		if shardOf != nil && i < len(shardOf) && shardOf[i] >= 0 && shardOf[i] < t.nshards {
+			si = shardOf[i]
+		}
+		if si < 0 {
+			si = t.shardFor(row[t.userIx].String())
+		}
+		sh := t.shards[si]
+		sh.rows = append(sh.rows, row)
+		sh.seqs = append(sh.seqs, t.nextSeq.Add(1)-1)
+	}
+	for _, sh := range t.shards {
+		sh.mu.Unlock()
+	}
 	return nil
 }
 
@@ -183,19 +296,22 @@ func (t *Table) AppendRows(rows [][]Value) error {
 // loading) or privatize it first (the serve layer's record-unit COUNT
 // feeds it through a sensitivity-1 noise mechanism).
 func (t *Table) NumRows() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.rows)
+	n := 0
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		n += len(sh.rows)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// snapshot returns the current row set. Rows are append-only and a stored
-// row is never mutated, so handing out the slice header taken under the
-// read lock yields a consistent point-in-time view even while concurrent
-// Inserts grow (and possibly reallocate) the backing array.
+// snapshot returns a point-in-time view of the full row set in global
+// insertion order, merged across shards by sequence number. Rows are
+// append-only and a stored row is never mutated, so the per-shard slice
+// headers taken under read locks stay consistent while concurrent
+// Inserts grow (and possibly reallocate) the backing arrays.
 func (t *Table) snapshot() [][]Value {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.rows
+	return mergeBySeq(t.shardSnapshots(), nil)
 }
 
 // userAgg is one user's accumulated contribution to a numeric column.
@@ -211,7 +327,8 @@ type userAgg struct {
 // eps-DP mechanism yields a user-level eps-DP release. colIx < 0
 // accumulates row counts only (COUNT). The deterministic order matters
 // beyond reproducibility: the estimators' pairing/subsampling consume the
-// seeded RNG in input order.
+// seeded RNG in input order. (The full-table readers below reach the same
+// collapse by merging per-shard partials instead — see shard.go.)
 func (t *Table) collapseByUser(rows [][]Value, colIx int) []userAgg {
 	users := map[string]*userAgg{}
 	ids := make([]string, 0, 64)
@@ -236,49 +353,58 @@ func (t *Table) collapseByUser(rows [][]Value, colIx int) []userAgg {
 	return out
 }
 
-// UserMeans collapses the named numeric column to one contribution per
-// user — the mean of that user's rows — via collapseByUser over a
-// consistent snapshot. This is the estimate endpoint's input.
-func (t *Table) UserMeans(col string) ([]float64, error) {
+// numericIndex resolves col and refuses string columns.
+func (t *Table) numericIndex(col string) (int, error) {
 	ix, err := t.ColumnIndex(col)
+	if err != nil {
+		return 0, err
+	}
+	if t.Columns[ix].Kind == KindString {
+		return 0, fmt.Errorf("dpsql: column %q is %s, need numeric", col, KindString)
+	}
+	return ix, nil
+}
+
+// UserMeans collapses the named numeric column to one contribution per
+// user — the mean of that user's rows. The scan fans out over the shards
+// (parallel under an installed Fanout), producing partial per-user
+// accumulators that merge by addition; because users are hash-routed the
+// merged collapse is bit-for-bit the monolithic one. This is the estimate
+// endpoint's input.
+func (t *Table) UserMeans(col string) ([]float64, error) {
+	ix, err := t.numericIndex(col)
 	if err != nil {
 		return nil, err
 	}
-	if t.Columns[ix].Kind == KindString {
-		return nil, fmt.Errorf("dpsql: column %q is %s, need numeric", col, KindString)
-	}
-	users := t.collapseByUser(t.snapshot(), ix)
-	out := make([]float64, len(users))
-	for i, u := range users {
+	ids, users := mergeUserAggs(t.fanUserAggs(ix))
+	out := make([]float64, len(ids))
+	for i, uid := range ids {
+		u := users[uid]
 		out[i] = u.sum / float64(u.count)
 	}
 	return out, nil
 }
 
-// NumUsers returns the number of distinct users in a consistent snapshot
-// — the unit count a user-level COUNT release privatizes (sensitivity 1
-// under a one-user change). Unlike the column readers it needs no column:
-// the user column alone determines it.
+// NumUsers returns the number of distinct users across every shard — the
+// unit count a user-level COUNT release privatizes (sensitivity 1 under a
+// one-user change). Per-shard counts cannot simply be summed while legacy
+// data replayed into shard 0 may share users with hash-routed rows, so
+// the ids are unioned.
 func (t *Table) NumUsers() int {
-	seen := map[string]struct{}{}
-	for _, row := range t.snapshot() {
-		seen[row[t.userIx].String()] = struct{}{}
-	}
-	return len(seen)
+	ids, _ := mergeUserAggs(t.fanUserAggs(-1))
+	return len(ids)
 }
 
-// ColumnFloats returns the named numeric column's raw per-row values from
-// a consistent snapshot, in insertion order — the record-level-DP input
-// shape for datasets where a row IS a user (no per-user collapse). Feeding
-// it to a record-level ε-DP mechanism yields record-level ε-DP only; use
-// UserMeans when one user may own several rows.
+// ColumnFloats returns the named numeric column's raw per-row values in
+// global insertion order (merged across shards by sequence number) — the
+// record-level-DP input shape for datasets where a row IS a user (no
+// per-user collapse). Feeding it to a record-level ε-DP mechanism yields
+// record-level ε-DP only; use UserMeans when one user may own several
+// rows.
 func (t *Table) ColumnFloats(col string) ([]float64, error) {
-	ix, err := t.ColumnIndex(col)
+	ix, err := t.numericIndex(col)
 	if err != nil {
 		return nil, err
-	}
-	if t.Columns[ix].Kind == KindString {
-		return nil, fmt.Errorf("dpsql: column %q is %s, need numeric", col, KindString)
 	}
 	rows := t.snapshot()
 	out := make([]float64, len(rows))
@@ -288,9 +414,9 @@ func (t *Table) ColumnFloats(col string) ([]float64, error) {
 	return out, nil
 }
 
-// ColumnInts returns the named INT column's raw per-row values from a
-// consistent snapshot, in insertion order — the record-level input to the
-// paper's empirical-setting estimators (Section 3) when a row IS a user.
+// ColumnInts returns the named INT column's raw per-row values in global
+// insertion order — the record-level input to the paper's
+// empirical-setting estimators (Section 3) when a row IS a user.
 func (t *Table) ColumnInts(col string) ([]int64, error) {
 	ix, err := t.ColumnIndex(col)
 	if err != nil {
@@ -311,8 +437,8 @@ func (t *Table) ColumnInts(col string) ([]int64, error) {
 // UserIntSums collapses the named INT column to one integer contribution
 // per user (the sum of that user's rows) in deterministic order — the
 // input shape the paper's empirical-setting estimators (Section 3) take.
-// It accumulates in int64 rather than through collapseByUser's float64
-// sums so integer totals stay exact.
+// The scan fans out over shards into partial int64 sums (exact, unlike
+// float accumulation) that merge by addition.
 func (t *Table) UserIntSums(col string) ([]int64, error) {
 	ix, err := t.ColumnIndex(col)
 	if err != nil {
@@ -322,9 +448,23 @@ func (t *Table) UserIntSums(col string) ([]int64, error) {
 		return nil, fmt.Errorf("dpsql: column %q is %s, need %s for an empirical release",
 			col, t.Columns[ix].Kind, KindInt)
 	}
-	users := map[string]int64{}
-	for _, row := range t.snapshot() {
-		users[row[t.userIx].String()] += int64(row[ix].F)
+	snaps := t.shardSnapshots()
+	parts := make([]map[string]int64, len(snaps))
+	t.runFan(len(snaps), func(i int) {
+		part := make(map[string]int64, 64)
+		for _, row := range snaps[i].rows {
+			part[row[t.userIx].String()] += int64(row[ix].F)
+		}
+		parts[i] = part
+	})
+	users := parts[0]
+	if len(parts) > 1 {
+		users = map[string]int64{}
+		for _, part := range parts {
+			for uid, s := range part {
+				users[uid] += s
+			}
+		}
 	}
 	ids := make([]string, 0, len(users))
 	for uid := range users {

@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/dp"
+	"repro/internal/dpsql"
+	"repro/updp"
+)
+
+// This file is the HTTP wire surface: request/response types, JSON
+// encoding helpers, the error-to-status mapping, and request decoding,
+// canonicalization, and validation. Handlers (handlers.go) orchestrate;
+// the estimator dispatch lives in estimate.go. Nothing here touches a
+// ledger or a mechanism — everything in this file is budget-free by
+// construction.
+
+// ---------- wire types ----------
+
+// CreateTenantRequest creates a tenant with a nominal budget and a
+// composition backend. Accounting picks the backend: "pure" (default,
+// basic composition of pure ε) or "zcdp" (ρ-accounting at an (ε, δ)
+// target; Delta defaults to 1e-6 and every pure release is priced at
+// ε²/2). WindowSeconds > 0 additionally makes the budget renewable: it
+// refills to full every WindowSeconds of wall-clock time. Shards picks
+// the tenant's table partition count (0 = server default): tables are
+// hash-partitioned by user id into this many shards, striping ingestion
+// across per-shard locks and fanning release scans over the worker pool —
+// a pure storage topology, invisible to answers, noise, and budget.
+type CreateTenantRequest struct {
+	ID            string  `json:"id"`
+	Epsilon       float64 `json:"epsilon"`
+	Accounting    string  `json:"accounting,omitempty"`
+	Delta         float64 `json:"delta,omitempty"`
+	WindowSeconds float64 `json:"window_seconds,omitempty"`
+	Shards        int     `json:"shards,omitempty"`
+}
+
+// TenantStatus is the budget and counter view of one tenant. Total,
+// Spent, and Remaining are in the backend's native unit (Unit: "eps" for
+// pure tenants, "rho" for zcdp); the *_epsilon fields are the (ε, δ)-DP
+// view — for pure tenants they mirror the native numbers, for zcdp
+// tenants spent_epsilon is the ρ→(ε, δ) conversion of the spend at the
+// tenant's δ. For windowed tenants the spend is within the current
+// window. Shards is the tenant's table partition count.
+type TenantStatus struct {
+	ID         string  `json:"id"`
+	Accounting string  `json:"accounting"`
+	Unit       string  `json:"unit"`
+	Total      float64 `json:"total"`
+	Spent      float64 `json:"spent"`
+	Remaining  float64 `json:"remaining"`
+
+	TotalEpsilon     float64 `json:"total_epsilon"`
+	SpentEpsilon     float64 `json:"spent_epsilon"`
+	RemainingEpsilon float64 `json:"remaining_epsilon"`
+	Delta            float64 `json:"delta,omitempty"`
+	WindowSeconds    float64 `json:"window_seconds,omitempty"`
+	Shards           int     `json:"shards,omitempty"`
+
+	Queries        int64 `json:"queries"`
+	Estimates      int64 `json:"estimates"`
+	Refusals       int64 `json:"refusals"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+}
+
+// ColumnSpec is one column in a CreateTableRequest: kind is "float",
+// "int", or "string".
+type ColumnSpec struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// CreateTableRequest creates a table; UserColumn designates the privacy
+// unit.
+type CreateTableRequest struct {
+	Name       string       `json:"name"`
+	Columns    []ColumnSpec `json:"columns"`
+	UserColumn string       `json:"user_column"`
+}
+
+// InsertRowsRequest appends rows; each row is positional, parallel to the
+// table's columns. Numeric cells are JSON numbers, string cells strings.
+type InsertRowsRequest struct {
+	Rows [][]any `json:"rows"`
+}
+
+// InsertRowsResponse reports how many rows were stored.
+type InsertRowsResponse struct {
+	Inserted int `json:"inserted"`
+}
+
+// QueryRequest runs one dpsql SELECT with budget ε.
+type QueryRequest struct {
+	SQL     string  `json:"sql"`
+	Epsilon float64 `json:"epsilon"`
+}
+
+// QueryResultRow is one released row.
+type QueryResultRow struct {
+	Group  string    `json:"group,omitempty"`
+	Values []float64 `json:"values"`
+}
+
+// QueryResponse is a released SQL answer. Cached reports a replay of a
+// byte-identical earlier release (free — no budget was spent on it).
+type QueryResponse struct {
+	Rows     []QueryResultRow `json:"rows"`
+	EpsSpent float64          `json:"eps_spent"`
+	Cached   bool             `json:"cached,omitempty"`
+}
+
+// EstimateRequest runs one estimator release on a column. Stat is one of
+// mean, variance, stddev, iqr, median, quantile (with P), count,
+// empirical_mean, empirical_quantile (with Tau). Beta defaults to 0.1.
+// Count privatizes the number of privacy units alone and ignores Column.
+//
+// Unit picks the privacy unit: "user" (default) collapses rows to one
+// contribution per user first; "record" skips the collapse for datasets
+// where a row IS a user (record-level DP — weaker when users own several
+// rows, exact when they don't).
+//
+// Rho, valid for stat "count" only, releases the count through the
+// Gaussian mechanism charged natively in zCDP ρ instead of ε — a zcdp
+// tenant's cheapest way to count; a pure tenant refuses it (the Gaussian
+// mechanism has no finite pure-ε guarantee). Set either Epsilon or Rho,
+// not both.
+type EstimateRequest struct {
+	Table   string  `json:"table"`
+	Column  string  `json:"column"`
+	Stat    string  `json:"stat"`
+	P       float64 `json:"p,omitempty"`
+	Tau     int     `json:"tau,omitempty"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Rho     float64 `json:"rho,omitempty"`
+	Beta    float64 `json:"beta,omitempty"`
+	Unit    string  `json:"unit,omitempty"`
+}
+
+// EstimateResponse is a released estimate; exactly one of EpsSpent and
+// RhoSpent is set, matching how the release was charged. Cached reports a
+// replay of a byte-identical earlier release (free post-processing — no
+// budget was spent on this response).
+type EstimateResponse struct {
+	Value    float64 `json:"value"`
+	EpsSpent float64 `json:"eps_spent,omitempty"`
+	RhoSpent float64 `json:"rho_spent,omitempty"`
+	Cached   bool    `json:"cached,omitempty"`
+}
+
+// ServerStats is the server-wide counter view. CacheEvictions counts LRU
+// evictions across every tenant's response cache; DataDir names the
+// durable store's directory (empty for in-memory servers).
+type ServerStats struct {
+	Tenants        int     `json:"tenants"`
+	Workers        int     `json:"workers"`
+	Queries        int64   `json:"queries"`
+	Estimates      int64   `json:"estimates"`
+	Refusals       int64   `json:"refusals"`
+	Shed           int64   `json:"shed"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	DataDir        string  `json:"data_dir,omitempty"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// ---------- encoding and error mapping ----------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, apiError{Error: err.Error(), Code: code})
+}
+
+// writeReleaseErr maps a release error onto the HTTP surface.
+func writeReleaseErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, dp.ErrBudgetExhausted):
+		writeErr(w, http.StatusTooManyRequests, "budget_exhausted", err)
+	case errors.Is(err, errPersist):
+		writeErr(w, http.StatusInternalServerError, "persist_failed", err)
+	case errors.Is(err, dp.ErrUnsupportedCost):
+		writeErr(w, http.StatusBadRequest, "unsupported_cost", err)
+	case errors.Is(err, ErrOverloaded):
+		writeErr(w, http.StatusServiceUnavailable, "overloaded", err)
+	case errors.Is(err, dpsql.ErrNoTable), errors.Is(err, dpsql.ErrNoColumn):
+		writeErr(w, http.StatusNotFound, "not_found", err)
+	case errors.Is(err, dpsql.ErrTooFewUsers), errors.Is(err, updp.ErrTooFewSamples):
+		writeErr(w, http.StatusUnprocessableEntity, "too_few_users", err)
+	default:
+		writeErr(w, http.StatusBadRequest, "bad_request", err)
+	}
+}
+
+// ---------- decoding and validation ----------
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_json", fmt.Errorf("serve: decoding body: %w", err))
+		return false
+	}
+	return true
+}
+
+// pathTenant resolves the {tenant} path segment, writing 404 on a miss.
+func (s *Server) pathTenant(w http.ResponseWriter, r *http.Request) (*Tenant, bool) {
+	id := r.PathValue("tenant")
+	t, ok := s.tenantByID(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no_tenant", fmt.Errorf("serve: no tenant %q", id))
+	}
+	return t, ok
+}
+
+// decodeColumnKind maps a wire column kind onto the schema layer's.
+func decodeColumnKind(kind string) (dpsql.Kind, error) {
+	switch strings.ToLower(kind) {
+	case "float", "double", "real":
+		return dpsql.KindFloat, nil
+	case "int", "integer", "bigint":
+		return dpsql.KindInt, nil
+	case "string", "text", "varchar":
+		return dpsql.KindString, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown column kind %q", kind)
+	}
+}
+
+// decodeCell maps one wire row cell onto a dpsql Value. JSON numbers
+// decode as float64; Table.Insert converts integral floats into INT
+// columns.
+func decodeCell(cell any) (dpsql.Value, error) {
+	switch c := cell.(type) {
+	case float64:
+		return dpsql.Float(c), nil
+	case string:
+		return dpsql.Str(c), nil
+	default:
+		return dpsql.Value{}, fmt.Errorf("unsupported JSON type %T", cell)
+	}
+}
+
+// canonicalizeEstimate normalizes an estimate request in place so
+// spelled-differently-but-equal requests share one cache entry and one
+// validation path: names and modes are lower-cased, defaults applied, and
+// fields the stat ignores zeroed (they must not split the cache into
+// separately-charged entries for semantically identical requests).
+func canonicalizeEstimate(req *EstimateRequest) {
+	req.Stat = strings.ToLower(req.Stat)
+	req.Unit = strings.ToLower(req.Unit)
+	if req.Unit == "" {
+		req.Unit = "user"
+	}
+	if req.Beta == 0 {
+		req.Beta = 0.1
+	}
+	if req.Stat != "quantile" {
+		req.P = 0
+	}
+	if req.Stat != "empirical_quantile" {
+		req.Tau = 0
+	}
+	if req.Stat == "count" {
+		// Count privatizes the unit count alone: no column, no utility
+		// parameter.
+		req.Column = ""
+		req.Beta = 0
+	}
+}
+
+// estimateCacheKey fingerprints a canonicalized estimate request. Names
+// are %q-quoted so crafted table/column strings cannot collide across
+// field boundaries.
+func estimateCacheKey(req EstimateRequest) string {
+	return fmt.Sprintf("est|%q|%q|%s|p=%g|tau=%d|eps=%g|rho=%g|beta=%g|unit=%s",
+		strings.ToLower(req.Table), strings.ToLower(req.Column), req.Stat,
+		req.P, req.Tau, req.Epsilon, req.Rho, req.Beta, req.Unit)
+}
+
+// validateEstimate checks the data-independent parts of a canonicalized
+// estimate request — stat name, unit, quantile parameters, the ρ-charging
+// rules. It runs on the handler goroutine before any budget is touched,
+// so a malformed request costs nothing.
+func validateEstimate(req EstimateRequest) error {
+	switch req.Unit {
+	case "user", "record":
+	default:
+		return fmt.Errorf("serve: unknown privacy unit %q (want \"user\" or \"record\")", req.Unit)
+	}
+	switch req.Stat {
+	case "mean", "variance", "stddev", "iqr", "median", "empirical_mean", "count":
+	case "quantile":
+		if !(req.P > 0 && req.P < 1) {
+			return fmt.Errorf("%w: got %v", updp.ErrInvalidQuantile, req.P)
+		}
+	case "empirical_quantile":
+		if req.Tau < 1 {
+			return fmt.Errorf("serve: empirical_quantile needs tau >= 1, got %d", req.Tau)
+		}
+	default:
+		return fmt.Errorf("serve: unknown stat %q", req.Stat)
+	}
+	if req.Rho != 0 {
+		// Native zCDP charging exists exactly for the Gaussian mechanism,
+		// which serves the sensitivity-1 count; the universal estimators
+		// are pure-DP constructions and always charge ε.
+		if req.Stat != "count" {
+			return fmt.Errorf("serve: rho charging supports stat \"count\" only, got %q", req.Stat)
+		}
+		if req.Epsilon != 0 {
+			return fmt.Errorf("serve: set either epsilon or rho, not both")
+		}
+		if err := dp.CheckRho(req.Rho); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,10 +1,8 @@
 package serve
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"strings"
 	"time"
@@ -12,167 +10,15 @@ import (
 	"repro/internal/dp"
 	"repro/internal/dpsql"
 	"repro/internal/store"
-	"repro/updp"
 )
 
-// Handler-level errors.
+// Handler-level errors. (Wire types, decoding, and validation live in
+// decode.go; the estimator dispatch lives in estimate.go.)
 var (
 	errTenantExists = errors.New("serve: tenant already exists")
 	// ErrOverloaded reports a full worker queue (the request was shed).
 	ErrOverloaded = errors.New("serve: overloaded, retry later")
 )
-
-// ---------- wire types ----------
-
-// CreateTenantRequest creates a tenant with a nominal budget and a
-// composition backend. Accounting picks the backend: "pure" (default,
-// basic composition of pure ε) or "zcdp" (ρ-accounting at an (ε, δ)
-// target; Delta defaults to 1e-6 and every pure release is priced at
-// ε²/2). WindowSeconds > 0 additionally makes the budget renewable: it
-// refills to full every WindowSeconds of wall-clock time.
-type CreateTenantRequest struct {
-	ID            string  `json:"id"`
-	Epsilon       float64 `json:"epsilon"`
-	Accounting    string  `json:"accounting,omitempty"`
-	Delta         float64 `json:"delta,omitempty"`
-	WindowSeconds float64 `json:"window_seconds,omitempty"`
-}
-
-// TenantStatus is the budget and counter view of one tenant. Total,
-// Spent, and Remaining are in the backend's native unit (Unit: "eps" for
-// pure tenants, "rho" for zcdp); the *_epsilon fields are the (ε, δ)-DP
-// view — for pure tenants they mirror the native numbers, for zcdp
-// tenants spent_epsilon is the ρ→(ε, δ) conversion of the spend at the
-// tenant's δ. For windowed tenants the spend is within the current
-// window.
-type TenantStatus struct {
-	ID         string  `json:"id"`
-	Accounting string  `json:"accounting"`
-	Unit       string  `json:"unit"`
-	Total      float64 `json:"total"`
-	Spent      float64 `json:"spent"`
-	Remaining  float64 `json:"remaining"`
-
-	TotalEpsilon     float64 `json:"total_epsilon"`
-	SpentEpsilon     float64 `json:"spent_epsilon"`
-	RemainingEpsilon float64 `json:"remaining_epsilon"`
-	Delta            float64 `json:"delta,omitempty"`
-	WindowSeconds    float64 `json:"window_seconds,omitempty"`
-
-	Queries        int64 `json:"queries"`
-	Estimates      int64 `json:"estimates"`
-	Refusals       int64 `json:"refusals"`
-	CacheHits      int64 `json:"cache_hits"`
-	CacheMisses    int64 `json:"cache_misses"`
-	CacheEvictions int64 `json:"cache_evictions"`
-}
-
-// ColumnSpec is one column in a CreateTableRequest: kind is "float",
-// "int", or "string".
-type ColumnSpec struct {
-	Name string `json:"name"`
-	Kind string `json:"kind"`
-}
-
-// CreateTableRequest creates a table; UserColumn designates the privacy
-// unit.
-type CreateTableRequest struct {
-	Name       string       `json:"name"`
-	Columns    []ColumnSpec `json:"columns"`
-	UserColumn string       `json:"user_column"`
-}
-
-// InsertRowsRequest appends rows; each row is positional, parallel to the
-// table's columns. Numeric cells are JSON numbers, string cells strings.
-type InsertRowsRequest struct {
-	Rows [][]any `json:"rows"`
-}
-
-// InsertRowsResponse reports how many rows were stored.
-type InsertRowsResponse struct {
-	Inserted int `json:"inserted"`
-}
-
-// QueryRequest runs one dpsql SELECT with budget ε.
-type QueryRequest struct {
-	SQL     string  `json:"sql"`
-	Epsilon float64 `json:"epsilon"`
-}
-
-// QueryResultRow is one released row.
-type QueryResultRow struct {
-	Group  string    `json:"group,omitempty"`
-	Values []float64 `json:"values"`
-}
-
-// QueryResponse is a released SQL answer. Cached reports a replay of a
-// byte-identical earlier release (free — no budget was spent on it).
-type QueryResponse struct {
-	Rows     []QueryResultRow `json:"rows"`
-	EpsSpent float64          `json:"eps_spent"`
-	Cached   bool             `json:"cached,omitempty"`
-}
-
-// EstimateRequest runs one estimator release on a column. Stat is one of
-// mean, variance, stddev, iqr, median, quantile (with P), count,
-// empirical_mean, empirical_quantile (with Tau). Beta defaults to 0.1.
-// Count privatizes the number of privacy units alone and ignores Column.
-//
-// Unit picks the privacy unit: "user" (default) collapses rows to one
-// contribution per user first; "record" skips the collapse for datasets
-// where a row IS a user (record-level DP — weaker when users own several
-// rows, exact when they don't).
-//
-// Rho, valid for stat "count" only, releases the count through the
-// Gaussian mechanism charged natively in zCDP ρ instead of ε — a zcdp
-// tenant's cheapest way to count; a pure tenant refuses it (the Gaussian
-// mechanism has no finite pure-ε guarantee). Set either Epsilon or Rho,
-// not both.
-type EstimateRequest struct {
-	Table   string  `json:"table"`
-	Column  string  `json:"column"`
-	Stat    string  `json:"stat"`
-	P       float64 `json:"p,omitempty"`
-	Tau     int     `json:"tau,omitempty"`
-	Epsilon float64 `json:"epsilon,omitempty"`
-	Rho     float64 `json:"rho,omitempty"`
-	Beta    float64 `json:"beta,omitempty"`
-	Unit    string  `json:"unit,omitempty"`
-}
-
-// EstimateResponse is a released estimate; exactly one of EpsSpent and
-// RhoSpent is set, matching how the release was charged. Cached reports a
-// replay of a byte-identical earlier release (free post-processing — no
-// budget was spent on this response).
-type EstimateResponse struct {
-	Value    float64 `json:"value"`
-	EpsSpent float64 `json:"eps_spent,omitempty"`
-	RhoSpent float64 `json:"rho_spent,omitempty"`
-	Cached   bool    `json:"cached,omitempty"`
-}
-
-// ServerStats is the server-wide counter view. CacheEvictions counts LRU
-// evictions across every tenant's response cache; DataDir names the
-// durable store's directory (empty for in-memory servers).
-type ServerStats struct {
-	Tenants        int     `json:"tenants"`
-	Workers        int     `json:"workers"`
-	Queries        int64   `json:"queries"`
-	Estimates      int64   `json:"estimates"`
-	Refusals       int64   `json:"refusals"`
-	Shed           int64   `json:"shed"`
-	CacheHits      int64   `json:"cache_hits"`
-	CacheMisses    int64   `json:"cache_misses"`
-	CacheEvictions int64   `json:"cache_evictions"`
-	DataDir        string  `json:"data_dir,omitempty"`
-	UptimeSeconds  float64 `json:"uptime_seconds"`
-}
-
-// apiError is the uniform error body.
-type apiError struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
-}
 
 // ---------- routing ----------
 
@@ -188,56 +34,6 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, status int, code string, err error) {
-	writeJSON(w, status, apiError{Error: err.Error(), Code: code})
-}
-
-// writeReleaseErr maps a release error onto the HTTP surface.
-func writeReleaseErr(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, dp.ErrBudgetExhausted):
-		writeErr(w, http.StatusTooManyRequests, "budget_exhausted", err)
-	case errors.Is(err, errPersist):
-		writeErr(w, http.StatusInternalServerError, "persist_failed", err)
-	case errors.Is(err, dp.ErrUnsupportedCost):
-		writeErr(w, http.StatusBadRequest, "unsupported_cost", err)
-	case errors.Is(err, ErrOverloaded):
-		writeErr(w, http.StatusServiceUnavailable, "overloaded", err)
-	case errors.Is(err, dpsql.ErrNoTable), errors.Is(err, dpsql.ErrNoColumn):
-		writeErr(w, http.StatusNotFound, "not_found", err)
-	case errors.Is(err, dpsql.ErrTooFewUsers), errors.Is(err, updp.ErrTooFewSamples):
-		writeErr(w, http.StatusUnprocessableEntity, "too_few_users", err)
-	default:
-		writeErr(w, http.StatusBadRequest, "bad_request", err)
-	}
-}
-
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad_json", fmt.Errorf("serve: decoding body: %w", err))
-		return false
-	}
-	return true
-}
-
-// pathTenant resolves the {tenant} path segment, writing 404 on a miss.
-func (s *Server) pathTenant(w http.ResponseWriter, r *http.Request) (*Tenant, bool) {
-	id := r.PathValue("tenant")
-	t, ok := s.tenantByID(id)
-	if !ok {
-		writeErr(w, http.StatusNotFound, "no_tenant", fmt.Errorf("serve: no tenant %q", id))
-	}
-	return t, ok
 }
 
 // ---------- tenant lifecycle ----------
@@ -280,6 +76,7 @@ func (s *Server) status(t *Tenant) TenantStatus {
 		Spent:          t.led.Spent(),
 		Remaining:      t.led.Remaining(),
 		WindowSeconds:  t.windowSecs,
+		Shards:         t.shards,
 		Queries:        t.queries.Load(),
 		Estimates:      t.estimates.Load(),
 		Refusals:       t.refusals.Load(),
@@ -326,17 +123,9 @@ func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 	}
 	cols := make([]dpsql.Column, len(req.Columns))
 	for i, c := range req.Columns {
-		var kind dpsql.Kind
-		switch strings.ToLower(c.Kind) {
-		case "float", "double", "real":
-			kind = dpsql.KindFloat
-		case "int", "integer", "bigint":
-			kind = dpsql.KindInt
-		case "string", "text", "varchar":
-			kind = dpsql.KindString
-		default:
-			writeErr(w, http.StatusBadRequest, "bad_kind",
-				fmt.Errorf("serve: unknown column kind %q", c.Kind))
+		kind, err := decodeColumnKind(c.Kind)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad_kind", err)
 			return
 		}
 		cols[i] = dpsql.Column{Name: c.Name, Kind: kind}
@@ -361,7 +150,13 @@ func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		// is rolled back too — a ghost that exists in memory but not on
 		// disk would 400 every retry and silently drop its replayed rows
 		// (no insert can have landed in between: the lock is exclusive).
-		if err := t.log.AppendTable(dpsql.TableState{Name: tab.Name, Columns: cols, UserCol: req.UserColumn}); err != nil {
+		// The record carries the table's shard topology for observability;
+		// recovery re-derives it from the tenant config.
+		st := dpsql.TableState{Name: tab.Name, Columns: cols, UserCol: req.UserColumn}
+		if tab.NumShards() > 1 {
+			st.Shards = tab.NumShards()
+		}
+		if err := t.log.AppendTable(st); err != nil {
 			t.db.Drop(tab.Name)
 			writeErr(w, http.StatusInternalServerError, "persist_failed", err)
 			return
@@ -408,54 +203,72 @@ func (s *Server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, InsertRowsResponse{Inserted: inserted})
 }
 
+// shardRun is a contiguous run of same-shard rows within one wire batch
+// — the unit insertBatch logs. Splitting a batch into runs (rather than
+// one record per shard) keeps the WAL's record order equal to arrival
+// order: replaying the records back to back reproduces both the
+// partitioning AND the global insertion interleaving, so a WAL-tail
+// recovery is order-identical to the pre-crash table (record-unit
+// releases included), not just user-identical.
+type shardRun struct {
+	shard int
+	rows  [][]dpsql.Value
+}
+
 // insertBatch converts and stores a batch of wire rows, logging the
 // successfully-inserted prefix — including on partial failure — before
-// returning. The persist read lock is held (and released by defer) for
-// the whole insert+log pair so it cannot straddle a snapshot capture.
-// Row records are buffered, not fsynced: a crash may lose trailing
+// returning. Rows route to the table's shards by user-id hash (each
+// insert takes only its destination shard's lock, so concurrent batches
+// for different users stripe instead of serializing), and the log gets
+// one shard-tagged record per contiguous same-shard run, in arrival
+// order. The persist read lock is held (and released by defer) for the
+// whole insert+log pair so it cannot straddle a snapshot capture. Row
+// records are buffered, not fsynced: a crash may lose trailing
 // ingestion, never recorded spend. An append ERROR is a different class
 // from that tolerated loss — the log is fail-stop after it, so
 // acknowledging the batch would keep returning 200 for rows that will
-// never be durable; it is surfaced as persistErr instead. On a malformed
-// row, failure carries the 400 body with the stored-prefix count so the
-// client can resume precisely.
+// never be durable; it is surfaced as persistErr instead. On a
+// malformed row, failure carries the 400 body with the stored-prefix
+// count so the client can resume precisely.
 func insertBatch(t *Tenant, tab *dpsql.Table, rows [][]any) (inserted int, failure map[string]any, persistErr error) {
-	var stored [][]dpsql.Value
+	var stored []shardRun // contiguous same-shard runs, in arrival order
 	if t.log != nil {
 		t.persistMu.RLock()
 		defer t.persistMu.RUnlock()
-		stored = make([][]dpsql.Value, 0, len(rows))
 		defer func() {
-			if err := t.log.AppendRows(tab.Name, stored); err != nil {
-				persistErr = fmt.Errorf("%w: recording ingested rows (stored in memory, not durable): %v", errPersist, err)
+			for _, run := range stored {
+				if err := t.log.AppendRows(tab.Name, run.shard, run.rows); err != nil {
+					persistErr = fmt.Errorf("%w: recording ingested rows (stored in memory, not durable): %v", errPersist, err)
+					return // the log is fail-stop; further appends only repeat the error
+				}
 			}
 		}()
 	}
 	for i, row := range rows {
 		vals := make([]dpsql.Value, len(row))
 		for j, cell := range row {
-			switch c := cell.(type) {
-			case float64:
-				// JSON numbers decode as float64; Table.Insert converts
-				// integral floats into INT columns.
-				vals[j] = dpsql.Float(c)
-			case string:
-				vals[j] = dpsql.Str(c)
-			default:
+			v, err := decodeCell(cell)
+			if err != nil {
 				return i, map[string]any{
-					"error":    fmt.Sprintf("serve: row %d cell %d: unsupported JSON type %T", i, j, cell),
+					"error":    fmt.Sprintf("serve: row %d cell %d: %v", i, j, err),
 					"code":     "bad_cell",
 					"inserted": i,
 				}, nil
 			}
+			vals[j] = v
 		}
-		if err := tab.Insert(vals...); err != nil {
+		si, err := tab.InsertShard(vals...)
+		if err != nil {
 			return i, map[string]any{
 				"error": err.Error(), "code": "bad_row", "inserted": i,
 			}, nil
 		}
 		if t.log != nil {
-			stored = append(stored, vals)
+			if n := len(stored); n > 0 && stored[n-1].shard == si {
+				stored[n-1].rows = append(stored[n-1].rows, vals)
+			} else {
+				stored = append(stored, shardRun{shard: si, rows: [][]dpsql.Value{vals}})
+			}
 		}
 	}
 	return len(rows), nil, nil
@@ -495,6 +308,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		res *dpsql.Result
 		err error
 	)
+	// Exec's table scan fans out over the tenant's shards through the
+	// same pool (the fan-out installed at tenant creation), merging the
+	// per-shard fragments before the estimators run — one deduction, one
+	// mechanism, unchanged noise semantics.
 	ran := s.pool.do(func() {
 		res, err = t.db.Exec(s.splitRNG(), req.SQL, req.Epsilon)
 	})
@@ -535,37 +352,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Canonicalize before anything else so spelled-differently-but-equal
 	// requests share one cache entry and one validation path.
-	req.Stat = strings.ToLower(req.Stat)
-	req.Unit = strings.ToLower(req.Unit)
-	if req.Unit == "" {
-		req.Unit = "user"
-	}
-	if req.Beta == 0 {
-		req.Beta = 0.1
-	}
-	// Fields a stat ignores must not split the cache into separately-
-	// charged entries for semantically identical requests.
-	if req.Stat != "quantile" {
-		req.P = 0
-	}
-	if req.Stat != "empirical_quantile" {
-		req.Tau = 0
-	}
-	if req.Stat == "count" {
-		// Count privatizes the unit count alone: no column, no utility
-		// parameter.
-		req.Column = ""
-		req.Beta = 0
-	}
+	canonicalizeEstimate(&req)
 	s.estimates.Add(1)
 	t.estimates.Add(1)
 
 	// Byte-identical repeated release: replay the stored answer for free.
-	// Names are %q-quoted so crafted table/column strings cannot collide
-	// across field boundaries.
-	key := fmt.Sprintf("est|%q|%q|%s|p=%g|tau=%d|eps=%g|rho=%g|beta=%g|unit=%s",
-		strings.ToLower(req.Table), strings.ToLower(req.Column), req.Stat,
-		req.P, req.Tau, req.Epsilon, req.Rho, req.Beta, req.Unit)
+	key := estimateCacheKey(req)
 	if hit, ok := t.cache.get(key); ok {
 		s.cacheHits.Add(1)
 		t.cacheHits.Add(1)
@@ -598,157 +390,6 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	t.cache.putAt(key, out, ver)
 	s.maybeSnapshot(t)
 	writeJSON(w, http.StatusOK, out)
-}
-
-// estimate validates the request, then hands the whole release — unit
-// collapse, budget deduction, and mechanism — to a worker. Validation
-// happens on the handler goroutine so data-independent mistakes (bad stat
-// name, unknown table) cost nothing; the table scan and the Spend both
-// run inside the pool, so the Workers bound really caps the CPU cost per
-// release and a shed request (full queue) is never charged. Once the
-// budget is deducted the charge sticks even if the mechanism fails.
-// The request is already canonicalized (stat/unit lower-cased, defaults
-// applied) by the handler.
-func (s *Server) estimate(t *Tenant, req EstimateRequest) (float64, error) {
-	tab, err := t.db.TableByName(req.Table)
-	if err != nil {
-		return 0, err
-	}
-	switch req.Unit {
-	case "user", "record":
-	default:
-		return 0, fmt.Errorf("serve: unknown privacy unit %q (want \"user\" or \"record\")", req.Unit)
-	}
-	switch req.Stat {
-	case "mean", "variance", "stddev", "iqr", "median", "empirical_mean", "count":
-	case "quantile":
-		if !(req.P > 0 && req.P < 1) {
-			return 0, fmt.Errorf("%w: got %v", updp.ErrInvalidQuantile, req.P)
-		}
-	case "empirical_quantile":
-		if req.Tau < 1 {
-			return 0, fmt.Errorf("serve: empirical_quantile needs tau >= 1, got %d", req.Tau)
-		}
-	default:
-		return 0, fmt.Errorf("serve: unknown stat %q", req.Stat)
-	}
-	if req.Rho != 0 {
-		// Native zCDP charging exists exactly for the Gaussian mechanism,
-		// which serves the sensitivity-1 count; the universal estimators
-		// are pure-DP constructions and always charge ε.
-		if req.Stat != "count" {
-			return 0, fmt.Errorf("serve: rho charging supports stat \"count\" only, got %q", req.Stat)
-		}
-		if req.Epsilon != 0 {
-			return 0, fmt.Errorf("serve: set either epsilon or rho, not both")
-		}
-		if err := dp.CheckRho(req.Rho); err != nil {
-			return 0, err
-		}
-	}
-
-	var value float64
-	var runErr error
-	ran := s.pool.do(func() { value, runErr = s.runEstimate(t, tab, req) })
-	if !ran {
-		s.shed.Add(1)
-		return 0, ErrOverloaded
-	}
-	return value, runErr
-}
-
-// runEstimate executes one estimator release on a worker goroutine.
-func (s *Server) runEstimate(t *Tenant, tab *dpsql.Table, req EstimateRequest) (float64, error) {
-	stat := req.Stat
-	empiricalStat := stat == "empirical_mean" || stat == "empirical_quantile"
-
-	// Pull the contributions (a consistent snapshot): one value per user
-	// (the shared replace-one-user reduction), or the raw rows when the
-	// request says a row IS a user. Count needs only the unit count — no
-	// column read, no per-user numeric collapse.
-	var (
-		n   int
-		xs  []float64
-		zs  []int64
-		err error
-	)
-	switch {
-	case stat == "count" && req.Unit == "record":
-		n = tab.NumRows()
-	case stat == "count":
-		n = tab.NumUsers()
-	case empiricalStat && req.Unit == "record":
-		zs, err = tab.ColumnInts(req.Column)
-	case empiricalStat:
-		zs, err = tab.UserIntSums(req.Column)
-	case req.Unit == "record":
-		xs, err = tab.ColumnFloats(req.Column)
-	default:
-		xs, err = tab.UserMeans(req.Column)
-	}
-	if err != nil {
-		return 0, err
-	}
-
-	// Atomically reserve the budget in the cost's native unit, then
-	// release. The tenant's ledger decides whether the cost is affordable
-	// — or even representable (a pure-ε ledger refuses native-ρ costs).
-	cost := dp.EpsCost(req.Epsilon)
-	if req.Rho > 0 {
-		cost = dp.RhoCost(req.Rho)
-	}
-	// t.spender is the WAL-interposed view on a durable server: the
-	// deduction is on disk before the mechanism may run.
-	if err := t.spender.Spend(cost); err != nil {
-		return 0, err
-	}
-	o := []updp.Option{updp.WithBeta(req.Beta), updp.WithSeed(s.splitRNG().Uint64())}
-	var value float64
-	switch stat {
-	case "count":
-		// Unit count (sensitivity 1 under one-unit change): Laplace when
-		// charged in ε, Gaussian — the natively-zCDP mechanism — in ρ.
-		if req.Rho > 0 {
-			value = dp.Gaussian(s.splitRNG(), float64(n), 1, req.Rho)
-		} else {
-			value = dp.NoisyCount(s.splitRNG(), n, req.Epsilon)
-		}
-	case "mean":
-		value, err = updp.Mean(xs, req.Epsilon, o...)
-	case "variance":
-		// Scale parameters are non-negative; projecting the raw release
-		// onto [0, ∞) is free post-processing (as the SQL path does).
-		value, err = clampNonNeg(updp.Variance(xs, req.Epsilon, o...))
-	case "stddev":
-		value, err = updp.StdDev(xs, req.Epsilon, o...)
-	case "iqr":
-		value, err = clampNonNeg(updp.IQR(xs, req.Epsilon, o...))
-	case "median":
-		value, err = updp.Median(xs, req.Epsilon, o...)
-	case "quantile":
-		value, err = updp.Quantile(xs, req.P, req.Epsilon, o...)
-	case "empirical_mean":
-		value, err = updp.EmpiricalMean(zs, req.Epsilon, o...)
-	case "empirical_quantile":
-		var v int64
-		v, err = updp.EmpiricalQuantile(zs, req.Tau, req.Epsilon, o...)
-		value = float64(v)
-	}
-	if err != nil {
-		return 0, err
-	}
-	if math.IsNaN(value) || math.IsInf(value, 0) {
-		return 0, fmt.Errorf("serve: mechanism produced non-finite value")
-	}
-	return value, nil
-}
-
-// clampNonNeg projects a scale release onto [0, ∞), passing errors through.
-func clampNonNeg(v float64, err error) (float64, error) {
-	if err == nil && v < 0 {
-		v = 0
-	}
-	return v, err
 }
 
 // ---------- server stats ----------

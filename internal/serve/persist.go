@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/dp"
-	"repro/internal/dpsql"
 	"repro/internal/store"
 )
 
@@ -80,7 +79,14 @@ func (s *Server) restoreTenant(rec *store.RecoveredTenant) (*Tenant, error) {
 			return nil, fmt.Errorf("serve: replaying deduction for tenant %q: %w", rec.ID, err)
 		}
 	}
-	db := dpsql.NewDB()
+	// The tenant's configured topology is authoritative for every table;
+	// a pre-shard directory (Shards 0) recovers as a single-shard tenant
+	// and keeps behaving exactly as it did — new tables included.
+	shards := rec.Config.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	db := s.newTenantDB(shards)
 	for _, ts := range rec.Tables {
 		if _, err := db.Import(ts); err != nil {
 			return nil, fmt.Errorf("serve: restoring tenant %q: %w", rec.ID, err)
@@ -92,6 +98,7 @@ func (s *Server) restoreTenant(rec *store.RecoveredTenant) (*Tenant, error) {
 		led:        led,
 		accounting: accounting,
 		windowSecs: rec.Config.WindowSeconds,
+		shards:     shards,
 		cache:      newRespCache(&s.cacheEvictions),
 		created:    time.Now(),
 		cfg:        rec.Config,

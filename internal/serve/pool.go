@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // pool runs submitted release jobs on a fixed set of worker goroutines
 // with a bounded queue. Estimator releases are CPU-bound, so capping
@@ -53,6 +56,63 @@ func (p *pool) do(f func()) bool {
 	}
 	<-done
 	return true
+}
+
+// fan runs n independent sub-jobs run(0..n-1) and waits for all of them
+// — the shard fan-out primitive behind sharded release scans. fan is
+// called from INSIDE a worker (a release already holds one), so it must
+// never block on queue space: if every worker fanned and waited for
+// queued sub-jobs, the pool would deadlock with all workers parked in
+// Wait. Instead the caller itself drives a work-stealing loop over the
+// sub-jobs and merely OFFERS helper copies to idle workers via a
+// non-blocking enqueue — help arrives when the pool has slack, and when
+// it does not the release degrades to a sequential scan on its own
+// worker, never to a deadlock.
+func (p *pool) fan(n int, run func(int)) {
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(n)
+	// loop is a work-stealing helper: it claims sub-job indices from the
+	// shared counter until none remain. The CALLER always runs it, so the
+	// fan completes even if no worker ever helps; workers that pick up an
+	// offered copy merely steal indices from the same counter. A copy
+	// scheduled after the counter is exhausted exits immediately.
+	loop := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			run(i)
+			wg.Done()
+		}
+	}
+	// Offer at most workers-1 copies: more could never run concurrently
+	// anyway, and every queued copy transiently occupies a bounded queue
+	// slot that would otherwise admit a real request.
+	offers := n - 1
+	if offers > p.workers-1 {
+		offers = p.workers - 1
+	}
+	for k := 0; k < offers; k++ {
+		offered := false
+		p.mu.Lock()
+		if !p.closed {
+			select {
+			case p.jobs <- loop:
+				offered = true
+			default:
+			}
+		}
+		p.mu.Unlock()
+		if !offered {
+			break // no idle capacity; the caller alone drives the scan
+		}
+	}
+	loop()
+	wg.Wait()
 }
 
 // close drains queued jobs and stops the workers. Safe to call once.

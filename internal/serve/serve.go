@@ -55,6 +55,28 @@
 // state. Close compacts a final snapshot; kill -9 merely means the next
 // Open replays a longer WAL tail.
 //
+// Sharding ("shards" at tenant creation, Options.DefaultShards): a
+// tenant's tables are hash-partitioned by user id into N shards, each
+// with its own lock, so concurrent ingest batches stripe instead of
+// serializing, and every release scan fans out over the shards through
+// the worker pool (a work-stealing fan that can never deadlock the pool
+// — see pool.fan). Three invariants make the topology invisible to
+// everything but the clock:
+//
+//   - merge-as-post-processing: per-shard scans produce partial per-user
+//     aggregates that combine by addition into exactly the collapse a
+//     monolithic scan yields, BEFORE the mechanism runs — because users
+//     are hash-routed, a user's rows colocate in arrival order and the
+//     merged collapse is bit-for-bit the unsharded one;
+//   - single deduction: the merge happens under the tenant's one ledger,
+//     so a release charges exactly once regardless of N, with unchanged
+//     noise semantics (a sharded tenant and an unsharded twin with the
+//     same seed release identical answers and identical spend);
+//   - durable topology: WAL row records carry a shard tag and snapshots
+//     carry per-row placement, so recovery rebuilds the same partitioning;
+//     untagged (pre-shard) records replay into shard 0, and a pre-shard
+//     data directory boots as a single-shard tenant with spend preserved.
+//
 // Endpoints (all JSON; see handlers.go for wire types):
 //
 //	POST /v1/tenants                          create a tenant (budget + accounting backend)
@@ -115,7 +137,17 @@ type Options struct {
 	// tenant's state is compacted after the next ingest or release.
 	// 0 means 1024.
 	SnapshotEvery int
+	// DefaultShards is the table shard count tenants get when their
+	// creation request does not name one ("shards"): each tenant table is
+	// hash-partitioned by user id into this many shards, striping ingest
+	// across per-shard locks and fanning release scans over the worker
+	// pool. 0 means 1 (monolithic tables, the pre-shard behavior).
+	DefaultShards int
 }
+
+// maxTenantShards bounds a tenant's configured shard count; past this the
+// per-shard bookkeeping costs more than lock striping wins.
+const maxTenantShards = dpsql.MaxShards
 
 // Server hosts tenants and serves the HTTP API. Create with New; it is
 // safe for concurrent use.
@@ -124,9 +156,11 @@ type Server struct {
 	pool *pool
 
 	// st is the durability engine (nil for in-memory servers); snapEvery
-	// is the per-tenant WAL compaction threshold.
+	// is the per-tenant WAL compaction threshold; defShards is the shard
+	// count tenants default to.
 	st        *store.Store
 	snapEvery int
+	defShards int
 
 	mu       sync.RWMutex
 	tenants  map[string]*Tenant
@@ -156,6 +190,7 @@ type Tenant struct {
 	led        dp.Ledger // the real composition backend (status, snapshots)
 	accounting string    // "pure" or "zcdp"
 	windowSecs float64   // > 0 when the ledger refills on a window
+	shards     int       // table shard count (>= 1; 1 for pre-shard tenants)
 	cache      *respCache
 	created    time.Time
 
@@ -210,10 +245,18 @@ func Open(opts Options) (*Server, error) {
 	if snapEvery <= 0 {
 		snapEvery = 1024
 	}
+	defShards := opts.DefaultShards
+	if defShards < 0 || defShards > maxTenantShards {
+		return nil, fmt.Errorf("serve: DefaultShards must be in [0, %d], got %d", maxTenantShards, defShards)
+	}
+	if defShards == 0 {
+		defShards = 1
+	}
 	s := &Server{
 		mux:       http.NewServeMux(),
 		pool:      newPool(workers, depth),
 		snapEvery: snapEvery,
+		defShards: defShards,
 		tenants:   map[string]*Tenant{},
 		creating:  map[string]struct{}{},
 		rng:       rng,
@@ -338,15 +381,33 @@ func buildLedger(cfg store.TenantConfig) (dp.Ledger, string, float64, error) {
 	return led, accounting, delta, nil
 }
 
+// newTenantDB builds a tenant database with the given shard topology and
+// the server's worker pool installed as the shard fan-out, so release
+// scans on this tenant spread across idle workers.
+func (s *Server) newTenantDB(shards int) *dpsql.DB {
+	db := dpsql.NewDB()
+	db.SetDefaultShards(shards)
+	db.SetFanout(func(n int, run func(int)) { s.pool.fan(n, run) })
+	return db
+}
+
 // createTenant builds the requested composition backend and registers the
 // tenant around it. On a durable server the creation record is fsynced
 // before the tenant is acknowledged.
 func (s *Server) createTenant(req CreateTenantRequest) (*Tenant, error) {
+	if req.Shards < 0 || req.Shards > maxTenantShards {
+		return nil, fmt.Errorf("serve: shards must be in [0, %d], got %d", maxTenantShards, req.Shards)
+	}
+	shards := req.Shards
+	if shards == 0 {
+		shards = s.defShards
+	}
 	cfg := store.TenantConfig{
 		Epsilon:       req.Epsilon,
 		Accounting:    req.Accounting,
 		Delta:         req.Delta,
 		WindowSeconds: req.WindowSeconds,
+		Shards:        shards,
 	}
 	led, accounting, delta, err := buildLedger(cfg)
 	if err != nil {
@@ -379,13 +440,14 @@ func (s *Server) createTenant(req CreateTenantRequest) (*Tenant, error) {
 		s.mu.Unlock()
 	}()
 
-	db := dpsql.NewDB()
+	db := s.newTenantDB(shards)
 	t := &Tenant{
 		id:         req.ID,
 		db:         db,
 		led:        led,
 		accounting: accounting,
 		windowSecs: req.WindowSeconds,
+		shards:     shards,
 		cache:      newRespCache(&s.cacheEvictions),
 		created:    time.Now(),
 		cfg:        cfg,

@@ -174,9 +174,22 @@ func (s *Store) recoverTenant(id string) (*RecoveredTenant, error) {
 			// Rows into a table replay does not know are dropped, not
 			// fatal: rows are the tolerated-loss class, and refusing to
 			// boot over a data batch would hold the ledger — the part that
-			// must recover — hostage to it.
+			// must recover — hostage to it. The record's shard tag extends
+			// the table's placement map so the importer rebuilds the same
+			// partitioning; untagged (pre-shard) records land in shard 0.
 			if ti := findTable(rec.Tables, r.RowsTable); ti >= 0 {
-				rec.Tables[ti].Rows = append(rec.Tables[ti].Rows, r.Rows...)
+				tb := &rec.Tables[ti]
+				if r.Shard != 0 || len(tb.ShardOf) > 0 {
+					// Lazily materialize the placement map: rows seen
+					// before the first nonzero tag were all shard 0.
+					for len(tb.ShardOf) < len(tb.Rows) {
+						tb.ShardOf = append(tb.ShardOf, 0)
+					}
+					for range r.Rows {
+						tb.ShardOf = append(tb.ShardOf, r.Shard)
+					}
+				}
+				tb.Rows = append(tb.Rows, r.Rows...)
 			}
 		case recDeduct:
 			if r.Cost != nil {

@@ -109,12 +109,16 @@ const (
 )
 
 // TenantConfig is the durable tenant-creation parameters — enough to
-// rebuild the composition backend when no snapshot exists yet.
+// rebuild the composition backend when no snapshot exists yet. Shards is
+// the tenant's table partition count (0 means 1 — the pre-shard encoding,
+// so directories written before sharding recover as single-shard
+// tenants).
 type TenantConfig struct {
 	Epsilon       float64 `json:"epsilon"`
 	Accounting    string  `json:"accounting"`
 	Delta         float64 `json:"delta,omitempty"`
 	WindowSeconds float64 `json:"window_seconds,omitempty"`
+	Shards        int     `json:"shards,omitempty"`
 }
 
 // TenantSnapshot is a compacted full tenant state: creation config,
@@ -128,7 +132,11 @@ type TenantSnapshot struct {
 	Tables []dpsql.TableState `json:"tables,omitempty"`
 }
 
-// record is one WAL line's JSON body.
+// record is one WAL line's JSON body. Shard tags a rows record with the
+// table shard the batch landed in, so replay rebuilds the same
+// partitioning; it is omitted when zero, which makes shard-0 records
+// byte-identical to the pre-shard encoding — old logs replay into shard 0
+// and old readers would ignore the tag.
 type record struct {
 	Seq       uint64            `json:"seq"`
 	Type      string            `json:"type"`
@@ -136,6 +144,7 @@ type record struct {
 	Table     *dpsql.TableState `json:"table,omitempty"`
 	Rows      [][]dpsql.Value   `json:"rows,omitempty"`
 	RowsTable string            `json:"rows_table,omitempty"`
+	Shard     int               `json:"shard,omitempty"`
 	Cost      *dp.Cost          `json:"cost,omitempty"`
 }
 
@@ -409,14 +418,17 @@ func (tl *TenantLog) AppendTable(st dpsql.TableState) error {
 	return tl.append(record{Type: recTable, Table: &st}, true)
 }
 
-// AppendRows logs an ingestion batch. It is buffered, not fsynced: a
-// crash may lose trailing batches (utility), never a deduction (privacy).
-// The next AppendDeduct, snapshot, or Close hardens it.
-func (tl *TenantLog) AppendRows(table string, rows [][]dpsql.Value) error {
+// AppendRows logs an ingestion batch bound for one table shard (the
+// ingest path splits a wire batch by destination and logs one record per
+// shard, so replay rebuilds the same partitioning; unsharded tables
+// always pass 0). It is buffered, not fsynced: a crash may lose trailing
+// batches (utility), never a deduction (privacy). The next AppendDeduct,
+// snapshot, or Close hardens it.
+func (tl *TenantLog) AppendRows(table string, shard int, rows [][]dpsql.Value) error {
 	if len(rows) == 0 {
 		return nil
 	}
-	return tl.append(record{Type: recRows, RowsTable: table, Rows: rows}, false)
+	return tl.append(record{Type: recRows, RowsTable: table, Shard: shard, Rows: rows}, false)
 }
 
 // AppendDeduct durably records one ledger deduction: flushed and fsynced

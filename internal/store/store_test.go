@@ -45,13 +45,13 @@ func seedStore(t *testing.T) string {
 	if err := tl.AppendTable(eventsSchema()); err != nil {
 		t.Fatal(err)
 	}
-	if err := tl.AppendRows("events", [][]dpsql.Value{row("u1", 1), row("u2", 2)}); err != nil {
+	if err := tl.AppendRows("events", 0, [][]dpsql.Value{row("u1", 1), row("u2", 2)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := tl.AppendDeduct(dp.EpsCost(0.5)); err != nil {
 		t.Fatal(err)
 	}
-	if err := tl.AppendRows("events", [][]dpsql.Value{row("u3", 3)}); err != nil {
+	if err := tl.AppendRows("events", 0, [][]dpsql.Value{row("u3", 3)}); err != nil {
 		t.Fatal(err)
 	}
 	if err := tl.AppendDeduct(dp.EpsCost(0.25)); err != nil {
@@ -173,7 +173,7 @@ func TestSnapshotPlusTailEquivalence(t *testing.T) {
 	if err := tl.AppendTable(eventsSchema()); err != nil {
 		t.Fatal(err)
 	}
-	if err := tl.AppendRows("events", [][]dpsql.Value{row("u1", 1), row("u2", 2)}); err != nil {
+	if err := tl.AppendRows("events", 0, [][]dpsql.Value{row("u1", 1), row("u2", 2)}); err != nil {
 		t.Fatal(err)
 	}
 	_ = twin.Spend(dp.EpsCost(0.5))
@@ -204,7 +204,7 @@ func TestSnapshotPlusTailEquivalence(t *testing.T) {
 	}
 
 	// Tail past the snapshot.
-	if err := tl.AppendRows("events", [][]dpsql.Value{row("u3", 3)}); err != nil {
+	if err := tl.AppendRows("events", 0, [][]dpsql.Value{row("u3", 3)}); err != nil {
 		t.Fatal(err)
 	}
 	_ = twin.Spend(dp.EpsCost(0.25))
@@ -469,7 +469,7 @@ func TestConcurrentAppendsVsSnapshot(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			_ = tl.AppendRows("events", [][]dpsql.Value{row("u1", float64(i))})
+			_ = tl.AppendRows("events", 0, [][]dpsql.Value{row("u1", float64(i))})
 		}
 	}()
 	go func() {
