@@ -1,0 +1,111 @@
+// Command linkcheck verifies that every relative link in the
+// repository's Markdown files resolves to an existing file or directory.
+// It is the CI guard for the operator docs (docs/ACCOUNTING.md,
+// docs/API.md, ROADMAP.md, ...): a renamed file or a typo'd anchor path
+// fails the build instead of shipping a dead link.
+//
+//	linkcheck [root]
+//
+// External links (http://, https://, mailto:) and pure in-page anchors
+// (#section) are skipped — this tool checks the repository's own file
+// graph, not the internet. A link's #fragment is stripped before the
+// path check. Exit status is 1 if any link is broken, with one line per
+// miss.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline Markdown links [text](target) and
+// [text](target "title"). Reference-style definitions ("[x]: target")
+// are rare in this repository and external when present, so the inline
+// form is the contract linkcheck enforces.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// skippable reports link targets outside the repository file graph.
+func skippable(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}
+
+// checkFile returns one message per broken relative link in the Markdown
+// file at path.
+func checkFile(path string) ([]string, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var broken []string
+	for _, m := range linkRe.FindAllStringSubmatch(string(body), -1) {
+		target := m[1]
+		if skippable(target) {
+			continue
+		}
+		// Drop an in-page fragment; what must exist is the file.
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue
+		}
+		resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+		if _, err := os.Stat(resolved); err != nil {
+			broken = append(broken, fmt.Sprintf("%s: broken link %q (-> %s)", path, m[1], resolved))
+		}
+	}
+	return broken, nil
+}
+
+// run walks root for *.md files (skipping VCS and vendor trees) and
+// checks each, returning every broken-link message.
+func run(root string) ([]string, error) {
+	var broken []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "vendor", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.EqualFold(filepath.Ext(path), ".md") {
+			return nil
+		}
+		msgs, err := checkFile(path)
+		if err != nil {
+			return err
+		}
+		broken = append(broken, msgs...)
+		return nil
+	})
+	return broken, err
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken, err := run(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, msg := range broken {
+		fmt.Fprintln(os.Stderr, msg)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", len(broken))
+		os.Exit(1)
+	}
+}

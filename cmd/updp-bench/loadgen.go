@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dp"
 	"repro/internal/serve"
 	"repro/internal/xrand"
 )
@@ -432,13 +433,68 @@ func fetchStats(hc *http.Client, base string) (serve.ServerStats, error) {
 	return st, json.NewDecoder(resp.Body).Decode(&st)
 }
 
+// duelTwin is one contestant in the exhaustion duel: a tenant
+// configuration plus how its backend takes the workload's Gaussian
+// count releases (natively in ρ, or through Laplace in ε when the
+// backend cannot represent the Gaussian at all). New backends join the
+// duel by appending a row — the table printer and the loop are N-ary.
+type duelTwin struct {
+	label     string
+	req       serve.CreateTenantRequest
+	rhoNative bool
+	note      string
+}
+
+// duelStream sends the shared mixed Laplace+Gaussian stream to one twin
+// until it hits 429, returning how many releases it sustained: the
+// stream alternates distinct quantile releases (Laplace at ε₀, first)
+// with Gaussian counts at the matched zCDP price ρ₀ = ε₀²/2 (Laplace at
+// ε₀ for twins whose backend cannot price a Gaussian). Every request is
+// byte-distinct — varying quantile ranks, a relative 1e-9 jitter on the
+// count budgets — so no release is a free cache replay.
+func duelStream(hc *http.Client, base, tenant string, eps float64, rhoNative bool) (int, error) {
+	const maxTries = 100000
+	rho0 := eps * eps / 2
+	for i := 0; i < maxTries; i++ {
+		var req serve.EstimateRequest
+		if i%2 == 1 {
+			jitter := 1 + float64(i)*1e-9
+			if rhoNative {
+				req = serve.EstimateRequest{Table: "metrics", Stat: "count", Rho: rho0 * jitter}
+			} else {
+				req = serve.EstimateRequest{Table: "metrics", Stat: "count", Epsilon: eps * jitter}
+			}
+		} else {
+			p := 0.001 + 0.998*float64(i%99991)/99991
+			req = serve.EstimateRequest{Table: "metrics", Column: "v", Stat: "quantile", P: p, Epsilon: eps}
+		}
+		code, err := jsonPost(hc, base, "/v1/tenants/"+tenant+"/estimate", req, nil)
+		if err != nil {
+			return i, err
+		}
+		switch code {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			return i, nil
+		default:
+			return i, fmt.Errorf("loadgen: %s release %d: HTTP %d", tenant, i, code)
+		}
+	}
+	return maxTries, nil
+}
+
 // runCompare is the backend exhaustion duel: twin tenants with the same
-// nominal (ε, δ = 1e-6) budget — one under basic composition, one under
-// zCDP — receive the identical stream of distinct small releases until
-// each hits 429. Basic composition affords budget/eps releases; zCDP
-// affords rho(budget, δ)/(eps²/2), which for small per-release ε is far
-// more. A third, windowed twin shows the renewable budget recovering from
-// 429 after one window tick.
+// nominal (ε, δ) budget — basic composition, zCDP, and Rényi (RDP) —
+// receive the same mixed stream of distinct small releases until each
+// hits 429. Basic composition affords budget/ε₀ releases; zCDP affords
+// rho(budget, δ)/(ε₀²/2), quadratically more; RDP prices the Laplace
+// half of the stream below zCDP's ε²/2 line (and the Gaussian half
+// identically), so it sustains the most. The rdp twin's order grid is
+// picked with dp.RDPOrdersFor so it brackets the optimal conversion
+// order for the nominal budget — the default grid tops out at α=64,
+// which is too low for small ε at small δ (see docs/ACCOUNTING.md). A
+// final, windowed twin shows the renewable budget recovering from 429
+// after one window tick.
 func runCompare(cfg loadgenConfig) error {
 	base, shutdown, err := selfServe(cfg)
 	if err != nil {
@@ -447,57 +503,53 @@ func runCompare(cfg loadgenConfig) error {
 	defer shutdown()
 	hc := &http.Client{Timeout: 30 * time.Second}
 
+	delta := cfg.delta
+	if delta == 0 {
+		delta = 1e-6
+	}
 	ts := time.Now().UnixNano()
-	pure := fmt.Sprintf("cmp-pure-%d", ts)
-	zcdp := fmt.Sprintf("cmp-zcdp-%d", ts)
-	for _, req := range []serve.CreateTenantRequest{
-		{ID: pure, Epsilon: cfg.budget},
-		{ID: zcdp, Epsilon: cfg.budget, Accounting: "zcdp"},
-	} {
-		if err := provisionBench(cfg, hc, base, req); err != nil {
+	twins := []duelTwin{
+		{
+			label: "pure-eps",
+			req:   serve.CreateTenantRequest{Epsilon: cfg.budget},
+			note:  "basic composition: eps/release adds up (counts via Laplace)",
+		},
+		{
+			label:     "zcdp",
+			req:       serve.CreateTenantRequest{Epsilon: cfg.budget, Accounting: "zcdp", Delta: cfg.delta},
+			rhoNative: true,
+			note:      "each Laplace release costs eps^2/2 in rho, counts rho directly",
+		},
+		{
+			label:     "rdp",
+			req:       serve.CreateTenantRequest{Epsilon: cfg.budget, Accounting: "rdp", Delta: cfg.delta, Orders: dp.RDPOrdersFor(cfg.budget, delta)},
+			rhoNative: true,
+			note:      "full Renyi curves per release, optimal (eps, delta) conversion",
+		},
+	}
+	for i := range twins {
+		twins[i].req.ID = fmt.Sprintf("cmp-%s-%d", twins[i].label, ts)
+		if err := provisionBench(cfg, hc, base, twins[i].req); err != nil {
 			return err
 		}
 	}
 
-	// Identical distinct releases (varying quantile rank defeats the
-	// free-replay cache: cached answers would never exhaust anything).
-	const maxTries = 100000
-	sustained := func(tenant string) (int, error) {
-		for i := 0; i < maxTries; i++ {
-			p := 0.001 + 0.998*float64(i%99991)/99991
-			code, err := jsonPost(hc, base, "/v1/tenants/"+tenant+"/estimate", serve.EstimateRequest{
-				Table: "metrics", Column: "v", Stat: "quantile", P: p, Epsilon: cfg.eps,
-			}, nil)
-			if err != nil {
-				return i, err
-			}
-			switch code {
-			case http.StatusOK:
-			case http.StatusTooManyRequests:
-				return i, nil
-			default:
-				return i, fmt.Errorf("loadgen: %s release %d: HTTP %d", tenant, i, code)
-			}
-		}
-		return maxTries, nil
-	}
 	t0 := time.Now()
-	nPure, err := sustained(pure)
-	if err != nil {
-		return err
-	}
-	nZCDP, err := sustained(zcdp)
-	if err != nil {
-		return err
+	counts := make([]int, len(twins))
+	for i, tw := range twins {
+		if counts[i], err = duelStream(hc, base, tw.req.ID, cfg.eps, tw.rhoNative); err != nil {
+			return err
+		}
 	}
 
-	fmt.Printf("=== accounting duel: nominal eps=%g (delta=1e-6), per-release eps=%g, %d users ===\n",
-		cfg.budget, cfg.eps, cfg.users)
-	fmt.Printf("pure-eps     %6d releases before 429 (basic composition: eps/release adds up)\n", nPure)
-	fmt.Printf("zcdp         %6d releases before 429 (each costs eps^2/2 in rho)\n", nZCDP)
-	if nPure > 0 {
-		fmt.Printf("advantage    %.1fx more releases from the same nominal budget\n",
-			float64(nZCDP)/float64(nPure))
+	fmt.Printf("=== accounting duel: nominal eps=%g (delta=%g), per-release eps=%g, mixed Laplace+Gaussian, %d users ===\n",
+		cfg.budget, delta, cfg.eps, cfg.users)
+	for i, tw := range twins {
+		adv := ""
+		if i > 0 && counts[0] > 0 {
+			adv = fmt.Sprintf("  %.1fx vs %s", float64(counts[i])/float64(counts[0]), twins[0].label)
+		}
+		fmt.Printf("%-9s %6d releases before 429%s\n           (%s)\n", tw.label, counts[i], adv, tw.note)
 	}
 	fmt.Printf("elapsed      %v\n", time.Since(t0).Round(time.Millisecond))
 
@@ -509,7 +561,7 @@ func runCompare(cfg loadgenConfig) error {
 	}); err != nil {
 		return err
 	}
-	if n, err := sustained(windowed); err != nil {
+	if n, err := duelStream(hc, base, windowed, cfg.eps, false); err != nil {
 		return err
 	} else {
 		fmt.Printf("windowed     %6d releases, then 429\n", n)

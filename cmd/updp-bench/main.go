@@ -20,11 +20,12 @@
 //	updp-bench -serve self -shards 8          # bench tenant on 8-way sharded tables
 //	updp-bench -serve self -shards sweep      # shard-scaling sweep at N=1,4,16
 //
-// -accounting/-delta/-window pick the bench tenant's composition backend;
-// -compare runs the backend exhaustion duel instead of the throughput
-// run: twin tenants with the same nominal (ε, δ) budget — one pure-ε, one
-// zCDP — receive identical small releases until each hits 429, showing
-// how many more releases ρ-accounting sustains. -restart runs the
+// -accounting/-delta/-window pick the bench tenant's composition backend
+// ("pure", "zcdp", or "rdp"); -compare runs the backend exhaustion duel
+// instead of the throughput run: three twins with the same nominal
+// (ε, δ) budget — pure-ε, zCDP, and Rényi (RDP) — receive the same mixed
+// Laplace+Gaussian stream of small releases until each hits 429, showing
+// rdp sustaining the most releases, zcdp next, pure fewest. -restart runs the
 // durability recovery scenario: a durable server is spent against,
 // compacted once, crashed without a flush, and re-opened — spend must
 // carry over (never refill) and the recovery wall-time is reported.
@@ -56,10 +57,10 @@ func main() {
 		duration    = flag.Duration("duration", 5*time.Second, "loadgen: run length")
 		users       = flag.Int("users", 5000, "loadgen: synthetic users in the bench table")
 		loadEps     = flag.Float64("loadeps", 0.001, "loadgen: per-release epsilon")
-		accounting  = flag.String("accounting", "pure", `loadgen: bench tenant backend, "pure" or "zcdp"`)
-		delta       = flag.Float64("delta", 0, "loadgen: zcdp delta (0 = server default 1e-6)")
+		accounting  = flag.String("accounting", "pure", `loadgen: bench tenant backend, "pure", "zcdp", or "rdp"`)
+		delta       = flag.Float64("delta", 0, "loadgen: zcdp/rdp delta (0 = server default 1e-6)")
 		window      = flag.Float64("window", 0, "loadgen: bench tenant refill window in seconds (0 = lifetime)")
-		compare     = flag.Bool("compare", false, "loadgen: run the pure-vs-zcdp exhaustion duel instead of the throughput run")
+		compare     = flag.Bool("compare", false, "loadgen: run the pure-vs-zcdp-vs-rdp exhaustion duel instead of the throughput run")
 		budget      = flag.Float64("budget", 0.1, "compare: nominal total epsilon per twin tenant")
 		restart     = flag.Bool("restart", false, "loadgen: run the durability recovery scenario (ingest+spend, snapshot, crash, re-open) instead of the throughput run")
 		shardsFlag  = flag.String("shards", "", `loadgen: bench tenant table shard count (an integer), or "sweep" to run the shard-scaling sweep (N=1,4,16: ingest rows/sec + release latency)`)

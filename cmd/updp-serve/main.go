@@ -5,6 +5,8 @@
 //	updp-serve -addr :8500
 //	updp-serve -addr :8500 -workers 8 -demo
 //	updp-serve -demo -accounting zcdp -delta 1e-6
+//	updp-serve -demo -accounting rdp        # Rényi accounting (default order grid)
+//	updp-serve -demo -accounting rdp -orders 2,4,8,16,32,64
 //	updp-serve -demo -window 3600           # budget refills hourly
 //	updp-serve -shards 8                    # tenants default to 8-way sharded tables
 //
@@ -16,9 +18,10 @@
 //
 // With -demo a tenant "demo" (ε = 16) is preloaded with a synthetic
 // salaries table so the API can be explored immediately; -accounting,
-// -delta, and -window configure the demo tenant's composition backend
-// (pure-ε basic composition, zCDP ρ-accounting, optional renewable
-// window):
+// -delta, -orders, and -window configure the demo tenant's composition
+// backend (pure-ε basic composition, zCDP ρ-accounting, Rényi/RDP
+// accounting over an order grid, optional renewable window — see
+// docs/ACCOUNTING.md for choosing one):
 //
 //	curl -s localhost:8500/v1/tenants/demo
 //	curl -s -X POST localhost:8500/v1/tenants/demo/estimate \
@@ -39,6 +42,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,11 +60,17 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "durable tenant state directory (WAL + snapshots); empty = in-memory only")
 		shards     = flag.Int("shards", 0, "default table shard count for new tenants (hash-partitioned by user id; 0 = 1, monolithic)")
 		demo       = flag.Bool("demo", false, "preload a demo tenant with synthetic salaries")
-		accounting = flag.String("accounting", "pure", `demo tenant composition backend: "pure" or "zcdp"`)
-		delta      = flag.Float64("delta", 0, "demo tenant delta for zcdp accounting (0 = server default 1e-6)")
+		accounting = flag.String("accounting", "pure", `demo tenant composition backend: "pure", "zcdp", or "rdp"`)
+		delta      = flag.Float64("delta", 0, "demo tenant delta for zcdp/rdp accounting (0 = server default 1e-6)")
+		orders     = flag.String("orders", "", "demo tenant Rényi order grid for rdp accounting, comma-separated (empty = default grid)")
 		window     = flag.Float64("window", 0, "demo tenant budget refill window in seconds (0 = lifetime budget)")
 	)
 	flag.Parse()
+
+	orderGrid, err := parseOrders(*orders)
+	if err != nil {
+		log.Fatalf("updp-serve: %v", err)
+	}
 
 	srv, err := serve.Open(serve.Options{Workers: *workers, Seed: *seed, DataDir: *dataDir, DefaultShards: *shards})
 	if err != nil {
@@ -84,6 +95,7 @@ func main() {
 				Accounting:    *accounting,
 				Delta:         *delta,
 				WindowSeconds: *window,
+				Orders:        orderGrid,
 			})
 			if err != nil {
 				log.Fatalf("updp-serve: demo tenant: %v", err)
@@ -138,6 +150,23 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("updp-serve: shutdown: %v", err)
 	}
+}
+
+// parseOrders decodes the -orders flag: a comma-separated Rényi order
+// grid ("2,4,8,16"), empty meaning the server-side default grid.
+func parseOrders(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-orders: %q is not a number", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // loadDemoData fills the demo tenant with a lognormal salaries table —

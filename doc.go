@@ -34,12 +34,24 @@
 // dp.ZCDPLedger accounts in zCDP ρ (Bun & Steinke 2016), pricing each
 // pure ε-release at ε²/2 — so sustained many-small-release traffic lasts
 // quadratically longer under the same nominal (ε, δ) — and charging the
-// natively-Gaussian count release its ρ directly; dp.WindowedLedger wraps
-// either backend with a wall-clock refill window, turning a lifetime
-// budget into a renewable rate. The serve layer also replays
-// byte-identical repeated releases from a per-tenant response cache
-// (LRU-evicted, free post-processing) and supports record-level privacy
-// units for tables where a row is a user.
+// natively-Gaussian count release its ρ directly; dp.RDPLedger
+// generalizes both with Rényi accounting (Mironov 2017) over a
+// configurable grid of orders α: every release is priced as its full RDP
+// curve (pure releases via the tight pure-DP→RDP bound, strictly below
+// zCDP's αε²/2 line; Gaussian releases via ρα; curve-native costs via
+// dp.CurveCost), the per-order vectors compose by addition, and the
+// budget is enforced on the optimal (ε, δ) conversion — on a grid that
+// brackets the optimal order (dp.RDPOrdersFor) never looser than zCDP,
+// and strictly tighter on mixed Laplace+Gaussian workloads.
+// dp.WindowedLedger wraps any backend with a wall-clock refill window,
+// turning a lifetime budget into a renewable rate. The serve layer also
+// replays byte-identical repeated releases from a per-tenant response
+// cache (LRU-evicted, free post-processing) and supports record-level
+// privacy units for tables where a row is a user. docs/ACCOUNTING.md is
+// the operator's guide to choosing a backend and pricing; docs/API.md is
+// the complete HTTP wire reference; updp-bench -serve -compare is the
+// three-way exhaustion duel demonstrating rdp >= zcdp >= pure sustained
+// releases from the same nominal budget.
 //
 // # Durable tenant state
 //

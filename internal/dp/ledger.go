@@ -55,16 +55,31 @@ const (
 	UnitEps Unit = "eps"
 	// UnitRho is zero-concentrated-DP ρ.
 	UnitRho Unit = "rho"
+	// UnitRDP is Rényi-DP accounting over an order grid. The native state
+	// is a per-order vector (RDPLedger.SpentByOrder); the scalar Ledger
+	// views are the optimal (ε, δ)-DP conversion at the ledger's δ.
+	UnitRDP Unit = "rdp"
 )
+
+// RDPPoint is one sample of a mechanism's Rényi-DP curve: the mechanism
+// satisfies (Alpha, Eps)-RDP.
+type RDPPoint struct {
+	Alpha float64 `json:"alpha"`
+	Eps   float64 `json:"eps"`
+}
 
 // Cost is the privacy price of one release, in the units the mechanism's
 // guarantee is stated in: pure-ε-DP mechanisms (Laplace, exponential, SVT
 // — everything the paper builds on) carry Eps; natively-zCDP mechanisms
-// (Gaussian) carry Rho. Exactly one field is set; each ledger converts the
-// cost into its own unit, or refuses it when no sound conversion exists.
+// (Gaussian) carry Rho; a mechanism whose guarantee is stated as a full
+// Rényi curve (e.g. subsampled or otherwise exotically-composed releases)
+// carries Curve. Exactly one representation is set; each ledger converts
+// the cost into its own unit, or refuses it when no sound conversion
+// exists (only the RDP backend can account an arbitrary Curve).
 type Cost struct {
-	Eps float64 // pure-DP ε (zero when the release is charged in ρ)
-	Rho float64 // zCDP ρ (zero when the release is charged in ε)
+	Eps   float64    // pure-DP ε (zero when the release is charged in ρ or a curve)
+	Rho   float64    // zCDP ρ (zero when the release is charged in ε or a curve)
+	Curve []RDPPoint `json:",omitempty"` // native RDP curve samples ε(α)
 }
 
 // EpsCost is the cost of a pure ε-DP release.
@@ -73,8 +88,16 @@ func EpsCost(eps float64) Cost { return Cost{Eps: eps} }
 // RhoCost is the cost of a natively ρ-zCDP release.
 func RhoCost(rho float64) Cost { return Cost{Rho: rho} }
 
+// CurveCost is the cost of a release whose guarantee is a sampled RDP
+// curve: the release satisfies (Alpha, Eps)-RDP at every point. Only the
+// RDP backend can account it.
+func CurveCost(points ...RDPPoint) Cost { return Cost{Curve: points} }
+
 // String renders the cost in its native unit.
 func (c Cost) String() string {
+	if len(c.Curve) > 0 {
+		return fmt.Sprintf("rdp-curve[%d points]", len(c.Curve))
+	}
 	if c.Rho != 0 {
 		return fmt.Sprintf("rho=%v", c.Rho)
 	}
@@ -154,11 +177,12 @@ func (a *Accountant) Ledger() *BasicLedger { return &BasicLedger{acct: a} }
 // Accountant returns the underlying shared accountant.
 func (l *BasicLedger) Accountant() *Accountant { return l.acct }
 
-// Spend charges a pure-ε release under basic composition. A native ρ cost
-// is refused: the Gaussian mechanism has no finite pure-ε guarantee.
+// Spend charges a pure-ε release under basic composition. A native ρ or
+// RDP-curve cost is refused: neither mechanism class has a finite pure-ε
+// guarantee.
 func (l *BasicLedger) Spend(c Cost) error {
-	if c.Rho != 0 {
-		return fmt.Errorf("%w: pure-eps ledger cannot account a zCDP-native cost %v", ErrUnsupportedCost, c)
+	if c.Rho != 0 || len(c.Curve) > 0 {
+		return fmt.Errorf("%w: pure-eps ledger cannot account a %v cost", ErrUnsupportedCost, c)
 	}
 	return l.acct.Spend(c.Eps)
 }
@@ -219,8 +243,13 @@ func NewZCDPLedgerFromRho(totalRho, delta float64) (*ZCDPLedger, error) {
 	return &ZCDPLedger{totalRho: totalRho, eps: ZCDPEpsilon(totalRho, delta), delta: delta}, nil
 }
 
-// rho prices a cost in ρ.
+// rho prices a cost in ρ. An arbitrary RDP curve is refused: zCDP
+// requires ε(α) ≤ ρα at EVERY order, which sampled curve points cannot
+// promise — the RDP ledger is the backend for those.
 func (l *ZCDPLedger) rho(c Cost) (float64, error) {
+	if len(c.Curve) > 0 {
+		return 0, fmt.Errorf("%w: zCDP ledger cannot account an RDP-curve cost %v", ErrUnsupportedCost, c)
+	}
 	if c.Rho != 0 {
 		if err := CheckRho(c.Rho); err != nil {
 			return 0, err

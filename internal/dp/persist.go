@@ -24,6 +24,8 @@ const (
 	LedgerBasic = "basic"
 	// LedgerZCDP is ZCDPLedger (zCDP ρ-accounting).
 	LedgerZCDP = "zcdp"
+	// LedgerRDP is RDPLedger (Rényi accounting over an order grid).
+	LedgerRDP = "rdp"
 	// LedgerWindowed is WindowedLedger (renewable window over an inner backend).
 	LedgerWindowed = "windowed"
 )
@@ -44,9 +46,16 @@ type LedgerState struct {
 	Total float64 `json:"total"`
 	Spent float64 `json:"spent"`
 
-	// zCDP: the nominal (ε, δ) target the ρ total was derived from.
+	// zCDP / RDP: the nominal (ε, δ) target. For zCDP the ρ total was
+	// derived from it; for RDP it IS the total (Total mirrors Eps).
 	Eps   float64 `json:"eps,omitempty"`
 	Delta float64 `json:"delta,omitempty"`
+
+	// RDP: the order grid and the per-order spend vector (parallel to
+	// Orders) — the native state; Spent mirrors the (ε, δ) conversion for
+	// human inspection of snapshot files only.
+	Orders   []float64 `json:"orders,omitempty"`
+	SpentRDP []float64 `json:"spent_rdp,omitempty"`
 
 	// Windowed: refill period and the absolute next boundary.
 	WindowNanos    int64        `json:"window_nanos,omitempty"`
@@ -94,6 +103,19 @@ func RestoreLedger(st LedgerState) (StatefulLedger, error) {
 		return l, nil
 	case LedgerZCDP:
 		l, err := NewZCDPLedgerFromRho(st.Total, st.Delta)
+		if err != nil {
+			return nil, err
+		}
+		if err := l.Restore(st); err != nil {
+			return nil, err
+		}
+		return l, nil
+	case LedgerRDP:
+		eps := st.Eps
+		if eps == 0 {
+			eps = st.Total
+		}
+		l, err := NewRDPLedger(eps, st.Delta, st.Orders)
 		if err != nil {
 			return nil, err
 		}
@@ -170,10 +192,10 @@ func (l *BasicLedger) Restore(st LedgerState) error {
 }
 
 // ForceSpend charges a replayed pure-ε deduction without the overdraw
-// check. Native-ρ costs remain unrepresentable.
+// check. Native-ρ and RDP-curve costs remain unrepresentable.
 func (l *BasicLedger) ForceSpend(c Cost) error {
-	if c.Rho != 0 {
-		return fmt.Errorf("%w: pure-eps ledger cannot account a zCDP-native cost %v", ErrUnsupportedCost, c)
+	if c.Rho != 0 || len(c.Curve) > 0 {
+		return fmt.Errorf("%w: pure-eps ledger cannot account a %v cost", ErrUnsupportedCost, c)
 	}
 	if err := CheckEpsilon(c.Eps); err != nil {
 		return err
@@ -231,6 +253,122 @@ func (l *ZCDPLedger) ForceSpend(c Cost) error {
 	}
 	l.mu.Lock()
 	l.spentRho += rho
+	l.mu.Unlock()
+	return nil
+}
+
+// ---------- RDPLedger ----------
+
+// rdpSpentExhausted encodes an order whose live spend is +Inf (a curve
+// cost left it uncovered, killing it for the ledger's lifetime) inside
+// a LedgerState: JSON cannot carry +Inf, so the state uses -1 — a value
+// no real spend can take — and Restore maps it back.
+const rdpSpentExhausted = -1
+
+// Snapshot captures the per-order spend vector plus the (ε, δ) target
+// and the order grid. Total and Spent carry the converted (ε, δ) view
+// for human inspection; the vector is what a restart rebuilds from.
+// Orders at +Inf spend are encoded as rdpSpentExhausted so the state
+// stays JSON-serializable.
+func (l *RDPLedger) Snapshot() (LedgerState, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	spentEps, _ := RDPEpsilon(l.orders, l.spent, l.delta)
+	spent := make([]float64, len(l.spent))
+	for i, s := range l.spent {
+		if math.IsInf(s, 1) {
+			s = rdpSpentExhausted
+		}
+		spent[i] = s
+	}
+	return LedgerState{
+		Kind:     LedgerRDP,
+		Unit:     UnitRDP,
+		Total:    l.eps,
+		Spent:    spentEps,
+		Eps:      l.eps,
+		Delta:    l.delta,
+		Orders:   append([]float64(nil), l.orders...),
+		SpentRDP: spent,
+	}, nil
+}
+
+// Restore overwrites the per-order state from a snapshot. The snapshot's
+// grid replaces the ledger's own (the vector is meaningless on any other
+// grid) and must already be normalized — strictly ascending, each order
+// > 1 — exactly as Snapshot writes it: sorting here would silently
+// re-pair spends with the wrong orders, so a shuffled grid is refused as
+// corrupt instead. An absent SpentRDP restores as zero spend. Per-order
+// spends may exceed their ceilings — a crash-replayed ledger
+// over-counts, never refills — and the rdpSpentExhausted sentinel
+// restores to the +Inf it encodes.
+func (l *RDPLedger) Restore(st LedgerState) error {
+	if st.Kind != LedgerRDP {
+		return fmt.Errorf("%w: kind %q into an rdp ledger", ErrBadLedgerState, st.Kind)
+	}
+	eps := st.Eps
+	if eps == 0 {
+		eps = st.Total
+	}
+	if err := CheckEpsilon(eps); err != nil {
+		return err
+	}
+	if err := CheckDelta(st.Delta); err != nil {
+		return err
+	}
+	grid, err := checkOrders(st.Orders)
+	if err != nil {
+		return err
+	}
+	if len(st.Orders) > 0 && len(grid) != len(st.Orders) {
+		return fmt.Errorf("%w: rdp orders not normalized (duplicates)", ErrBadLedgerState)
+	}
+	for i := range grid {
+		if len(st.Orders) > 0 && grid[i] != st.Orders[i] {
+			return fmt.Errorf("%w: rdp orders not sorted ascending", ErrBadLedgerState)
+		}
+	}
+	spent := append([]float64(nil), st.SpentRDP...)
+	if len(spent) == 0 {
+		spent = make([]float64, len(grid))
+	}
+	if len(spent) != len(grid) {
+		return fmt.Errorf("%w: %d spends for %d orders", ErrBadLedgerState, len(spent), len(grid))
+	}
+	for i, s := range spent {
+		switch {
+		case s == rdpSpentExhausted || math.IsInf(s, 1):
+			// A curve cost left the order uncovered pre-crash; it stays
+			// dead (+Inf drops out of every conversion).
+			spent[i] = math.Inf(1)
+		case s < 0 || math.IsNaN(s):
+			return fmt.Errorf("%w: rdp spend %v", ErrBadLedgerState, s)
+		}
+	}
+	budget := make([]float64, len(grid))
+	for i, a := range grid {
+		budget[i] = eps - math.Log(1/st.Delta)/(a-1)
+	}
+	l.mu.Lock()
+	l.orders = grid
+	l.spent = spent
+	l.budget = budget
+	l.eps, l.delta = eps, st.Delta
+	l.mu.Unlock()
+	return nil
+}
+
+// ForceSpend charges a replayed deduction — priced exactly as Spend
+// would, the full per-order curve — without the affordability check.
+func (l *RDPLedger) ForceSpend(c Cost) error {
+	v, err := l.curve(c)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	for i := range l.spent {
+		l.spent[i] += v[i]
+	}
 	l.mu.Unlock()
 	return nil
 }

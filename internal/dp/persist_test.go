@@ -3,6 +3,7 @@ package dp
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"testing"
 	"time"
 )
@@ -77,6 +78,140 @@ func TestZCDPLedgerSnapshotRestore(t *testing.T) {
 	}
 	if r.SpentEpsilon() != l.SpentEpsilon() {
 		t.Fatalf("spent epsilon view %v != %v", r.SpentEpsilon(), l.SpentEpsilon())
+	}
+}
+
+func TestRDPLedgerSnapshotRestore(t *testing.T) {
+	l, err := NewRDPLedger(1, 1e-6, []float64{2, 8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Spend(EpsCost(0.05)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Spend(RhoCost(0.001)); err != nil {
+		t.Fatal(err)
+	}
+	r := roundTrip(t, l).(*RDPLedger)
+	if r.Unit() != UnitRDP {
+		t.Fatalf("unit = %v", r.Unit())
+	}
+	if r.Delta() != 1e-6 || r.NominalEps() != 1 || r.Total() != 1 {
+		t.Fatalf("delta=%v nominal=%v total=%v", r.Delta(), r.NominalEps(), r.Total())
+	}
+	wantOrders, wantSpent := l.Orders(), l.SpentByOrder()
+	gotOrders, gotSpent := r.Orders(), r.SpentByOrder()
+	if len(gotOrders) != len(wantOrders) {
+		t.Fatalf("restored %d orders, want %d", len(gotOrders), len(wantOrders))
+	}
+	for i := range wantOrders {
+		if gotOrders[i] != wantOrders[i] || gotSpent[i] != wantSpent[i] {
+			t.Fatalf("order %d: (%v, %v), want (%v, %v)",
+				i, gotOrders[i], gotSpent[i], wantOrders[i], wantSpent[i])
+		}
+	}
+	if r.Spent() != l.Spent() || r.BestOrder() != l.BestOrder() {
+		t.Fatalf("converted view (%v @ %v) != original (%v @ %v)",
+			r.Spent(), r.BestOrder(), l.Spent(), l.BestOrder())
+	}
+	// The restored ledger keeps enforcing at the per-order ceilings.
+	if err := r.Spend(EpsCost(1000)); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("huge spend after restore: %v", err)
+	}
+}
+
+// A curve cost that leaves high grid orders uncovered puts +Inf in the
+// live spend vector; the snapshot must still marshal to JSON (the
+// sentinel encoding) and restore back to +Inf — the uncovered orders
+// stay dead, the covered ones keep their spend.
+func TestRDPSnapshotSurvivesUncoveredOrders(t *testing.T) {
+	l, err := NewRDPLedger(2, 1e-6, []float64{16, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Spend(CurveCost(RDPPoint{Alpha: 16, Eps: 0.01})); err != nil {
+		t.Fatal(err)
+	}
+	live := l.SpentByOrder()
+	if live[0] != 0.01 || !math.IsInf(live[1], 1) {
+		t.Fatalf("live spend = %v, want [0.01, +Inf]", live)
+	}
+	// roundTrip goes through json.Marshal — the crash repro this guards.
+	r := roundTrip(t, l).(*RDPLedger)
+	back := r.SpentByOrder()
+	if back[0] != 0.01 || !math.IsInf(back[1], 1) {
+		t.Fatalf("restored spend = %v, want [0.01, +Inf]", back)
+	}
+	if r.Spent() != l.Spent() {
+		t.Fatalf("converted view %v != %v", r.Spent(), l.Spent())
+	}
+}
+
+// Restore refuses a state whose grid is not normalized: sorting it here
+// would silently re-pair spends with the wrong orders.
+func TestRDPRestoreRefusesShuffledOrders(t *testing.T) {
+	l, err := NewRDPLedger(20, 1e-6, []float64{2, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []LedgerState{
+		{Kind: LedgerRDP, Eps: 20, Delta: 1e-6, Orders: []float64{64, 2}, SpentRDP: []float64{5, 1}},
+		{Kind: LedgerRDP, Eps: 20, Delta: 1e-6, Orders: []float64{2, 2, 64}, SpentRDP: []float64{1, 1, 5}},
+	} {
+		if err := l.Restore(bad); !errors.Is(err, ErrBadLedgerState) {
+			t.Errorf("Restore(orders=%v): want ErrBadLedgerState, got %v", bad.Orders, err)
+		}
+	}
+}
+
+func TestRDPForceSpendPricesLikeSpend(t *testing.T) {
+	a, _ := NewRDPLedger(1, 1e-6, []float64{2, 16})
+	b, _ := NewRDPLedger(1, 1e-6, []float64{2, 16})
+	if err := a.Spend(EpsCost(0.1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ForceSpend(EpsCost(0.1)); err != nil {
+		t.Fatal(err)
+	}
+	as, bs := a.SpentByOrder(), b.SpentByOrder()
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatalf("order %d: ForceSpend priced %v, Spend priced %v", i, bs[i], as[i])
+		}
+	}
+	// Replay may push every order past its ceiling; later Spends refuse.
+	for i := 0; i < 1000; i++ {
+		if err := b.ForceSpend(EpsCost(0.1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Spend(EpsCost(0.001)); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("spend on overdrawn rdp ledger: %v", err)
+	}
+}
+
+func TestWindowedOverRDPSnapshotRoundTrip(t *testing.T) {
+	inner, err := NewRDPLedger(1, 1e-6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewWindowedLedger(inner, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Spend(EpsCost(0.02)); err != nil {
+		t.Fatal(err)
+	}
+	r := roundTrip(t, l).(*WindowedLedger)
+	if r.Window() != time.Hour || r.Unit() != UnitRDP {
+		t.Fatalf("window=%v unit=%v", r.Window(), r.Unit())
+	}
+	ri, ok := r.Inner().(*RDPLedger)
+	if !ok {
+		t.Fatalf("inner = %T", r.Inner())
+	}
+	if ri.Spent() != inner.Spent() {
+		t.Fatalf("restored inner spent %v, want %v", ri.Spent(), inner.Spent())
 	}
 }
 

@@ -23,30 +23,43 @@ import (
 
 // CreateTenantRequest creates a tenant with a nominal budget and a
 // composition backend. Accounting picks the backend: "pure" (default,
-// basic composition of pure ε) or "zcdp" (ρ-accounting at an (ε, δ)
+// basic composition of pure ε), "zcdp" (ρ-accounting at an (ε, δ)
 // target; Delta defaults to 1e-6 and every pure release is priced at
-// ε²/2). WindowSeconds > 0 additionally makes the budget renewable: it
-// refills to full every WindowSeconds of wall-clock time. Shards picks
-// the tenant's table partition count (0 = server default): tables are
-// hash-partitioned by user id into this many shards, striping ingestion
-// across per-shard locks and fanning release scans over the worker pool —
-// a pure storage topology, invisible to answers, noise, and budget.
+// ε²/2), or "rdp" (Rényi accounting over a grid of orders α at the same
+// (ε, δ) target: every release is priced as its full RDP curve, composed
+// per order, with the budget enforced on the optimal conversion — at
+// least as tight as zcdp, strictly tighter on mixed Laplace+Gaussian
+// traffic). Orders customizes the rdp grid (empty = the default α ∈
+// [1.25, 64]; small ε at small δ needs larger orders — see
+// docs/ACCOUNTING.md). WindowSeconds > 0 additionally makes the budget
+// renewable: it refills to full every WindowSeconds of wall-clock time.
+// Shards picks the tenant's table partition count (0 = server default):
+// tables are hash-partitioned by user id into this many shards, striping
+// ingestion across per-shard locks and fanning release scans over the
+// worker pool — a pure storage topology, invisible to answers, noise,
+// and budget.
 type CreateTenantRequest struct {
-	ID            string  `json:"id"`
-	Epsilon       float64 `json:"epsilon"`
-	Accounting    string  `json:"accounting,omitempty"`
-	Delta         float64 `json:"delta,omitempty"`
-	WindowSeconds float64 `json:"window_seconds,omitempty"`
-	Shards        int     `json:"shards,omitempty"`
+	ID            string    `json:"id"`
+	Epsilon       float64   `json:"epsilon"`
+	Accounting    string    `json:"accounting,omitempty"`
+	Delta         float64   `json:"delta,omitempty"`
+	WindowSeconds float64   `json:"window_seconds,omitempty"`
+	Shards        int       `json:"shards,omitempty"`
+	Orders        []float64 `json:"orders,omitempty"`
 }
 
 // TenantStatus is the budget and counter view of one tenant. Total,
 // Spent, and Remaining are in the backend's native unit (Unit: "eps" for
-// pure tenants, "rho" for zcdp); the *_epsilon fields are the (ε, δ)-DP
+// pure tenants, "rho" for zcdp, "rdp" for rdp tenants — whose native
+// state is the per-order vector, so their scalar fields already carry
+// the converted (ε, δ) view); the *_epsilon fields are the (ε, δ)-DP
 // view — for pure tenants they mirror the native numbers, for zcdp
 // tenants spent_epsilon is the ρ→(ε, δ) conversion of the spend at the
-// tenant's δ. For windowed tenants the spend is within the current
-// window. Shards is the tenant's table partition count.
+// tenant's δ. For rdp tenants Orders is the Rényi grid, SpentRDP the
+// per-order cumulative RDP spend (parallel to Orders), and BestOrder the
+// α whose conversion currently certifies the spend. For windowed tenants
+// the spend is within the current window. Shards is the tenant's table
+// partition count.
 type TenantStatus struct {
 	ID         string  `json:"id"`
 	Accounting string  `json:"accounting"`
@@ -55,12 +68,15 @@ type TenantStatus struct {
 	Spent      float64 `json:"spent"`
 	Remaining  float64 `json:"remaining"`
 
-	TotalEpsilon     float64 `json:"total_epsilon"`
-	SpentEpsilon     float64 `json:"spent_epsilon"`
-	RemainingEpsilon float64 `json:"remaining_epsilon"`
-	Delta            float64 `json:"delta,omitempty"`
-	WindowSeconds    float64 `json:"window_seconds,omitempty"`
-	Shards           int     `json:"shards,omitempty"`
+	TotalEpsilon     float64   `json:"total_epsilon"`
+	SpentEpsilon     float64   `json:"spent_epsilon"`
+	RemainingEpsilon float64   `json:"remaining_epsilon"`
+	Delta            float64   `json:"delta,omitempty"`
+	WindowSeconds    float64   `json:"window_seconds,omitempty"`
+	Shards           int       `json:"shards,omitempty"`
+	Orders           []float64 `json:"orders,omitempty"`
+	SpentRDP         []float64 `json:"spent_rdp,omitempty"`
+	BestOrder        float64   `json:"best_order,omitempty"`
 
 	Queries        int64 `json:"queries"`
 	Estimates      int64 `json:"estimates"`
@@ -127,8 +143,9 @@ type QueryResponse struct {
 // rows, exact when they don't).
 //
 // Rho, valid for stat "count" only, releases the count through the
-// Gaussian mechanism charged natively in zCDP ρ instead of ε — a zcdp
-// tenant's cheapest way to count; a pure tenant refuses it (the Gaussian
+// Gaussian mechanism charged natively in zCDP ρ instead of ε — the
+// cheapest way to count on a zcdp tenant (charged ρ directly) or an rdp
+// tenant (charged the curve ρα); a pure tenant refuses it (the Gaussian
 // mechanism has no finite pure-ε guarantee). Set either Epsilon or Rho,
 // not both.
 type EstimateRequest struct {

@@ -89,14 +89,23 @@ func (s *Server) status(t *Tenant) TenantStatus {
 	if wl, ok := inner.(*dp.WindowedLedger); ok {
 		inner = wl.Inner()
 	}
-	if z, ok := inner.(*dp.ZCDPLedger); ok {
-		st.Delta = z.Delta()
-		st.TotalEpsilon = z.NominalEps()
-		st.SpentEpsilon = dp.ZCDPEpsilon(st.Spent, z.Delta())
+	switch b := inner.(type) {
+	case *dp.ZCDPLedger:
+		st.Delta = b.Delta()
+		st.TotalEpsilon = b.NominalEps()
+		st.SpentEpsilon = dp.ZCDPEpsilon(st.Spent, b.Delta())
 		if r := st.TotalEpsilon - st.SpentEpsilon; r > 0 {
 			st.RemainingEpsilon = r
 		}
-	} else {
+	case *dp.RDPLedger:
+		// The rdp scalar views already ARE the (ε, δ) conversion; the
+		// native state is the per-order spend vector.
+		st.Delta = b.Delta()
+		st.TotalEpsilon, st.SpentEpsilon, st.RemainingEpsilon = st.Total, st.Spent, st.Remaining
+		st.Orders = b.Orders()
+		st.SpentRDP = b.SpentByOrder()
+		st.BestOrder = b.BestOrder()
+	default:
 		st.TotalEpsilon, st.SpentEpsilon, st.RemainingEpsilon = st.Total, st.Spent, st.Remaining
 	}
 	return st

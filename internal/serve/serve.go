@@ -19,9 +19,23 @@
 //     costs only ε₀²/2 in ρ (Bun & Steinke 2016), so sustained
 //     many-small-releases traffic lasts quadratically longer; natively
 //     Gaussian releases are charged their ρ directly.
-//   - either backend may be wrapped with a renewable window
+//   - "rdp": Rényi accounting over a grid of orders α ("orders" in the
+//     create request; default α ∈ [1.25, 64]) at the same (ε, δ) target.
+//     Every release is priced as its full RDP curve — pure releases via
+//     the tight pure-DP→RDP bound (strictly below zcdp's ε²/2 line),
+//     Gaussian releases via ρα — the per-order vectors compose by
+//     addition, and the budget is enforced on the optimal (ε, δ)
+//     conversion: on a grid bracketing the optimal order (the default
+//     suffices for ε ≳ 0.5 at δ = 1e-6; dp.RDPOrdersFor computes one
+//     for any target) rdp is never looser than zcdp, and strictly
+//     tighter on mixed Laplace+Gaussian traffic. Tenant status reports
+//     the native per-order spend alongside the converted view.
+//   - any backend may be wrapped with a renewable window
 //     (window_seconds): the budget refills to full on a fixed wall-clock
 //     cadence, turning a lifetime total into a rate.
+//
+// docs/ACCOUNTING.md is the operator's guide to choosing a backend (and
+// an rdp order grid); docs/API.md documents every endpoint's wire format.
 //
 // Every release — SQL query or direct estimator call — names its own cost
 // and is atomically deducted from the tenant's single ledger before the
@@ -352,10 +366,13 @@ func buildLedger(cfg store.TenantConfig) (dp.Ledger, string, float64, error) {
 		led dp.Ledger
 		err error
 	)
+	if len(cfg.Orders) > 0 && accounting != "rdp" {
+		return nil, "", 0, fmt.Errorf("serve: orders applies only to rdp accounting")
+	}
 	switch accounting {
 	case "pure":
 		if cfg.Delta != 0 {
-			return nil, "", 0, fmt.Errorf("serve: delta applies only to zcdp accounting")
+			return nil, "", 0, fmt.Errorf("serve: delta applies only to zcdp or rdp accounting")
 		}
 		led, err = dp.NewBasicLedger(cfg.Epsilon)
 	case "zcdp":
@@ -363,8 +380,13 @@ func buildLedger(cfg store.TenantConfig) (dp.Ledger, string, float64, error) {
 			delta = defaultDelta
 		}
 		led, err = dp.NewZCDPLedger(cfg.Epsilon, delta)
+	case "rdp":
+		if delta == 0 {
+			delta = defaultDelta
+		}
+		led, err = dp.NewRDPLedger(cfg.Epsilon, delta, cfg.Orders)
 	default:
-		return nil, "", 0, fmt.Errorf("serve: unknown accounting backend %q (want \"pure\" or \"zcdp\")", cfg.Accounting)
+		return nil, "", 0, fmt.Errorf("serve: unknown accounting backend %q (want \"pure\", \"zcdp\", or \"rdp\")", cfg.Accounting)
 	}
 	if err != nil {
 		return nil, "", 0, err
@@ -408,6 +430,7 @@ func (s *Server) createTenant(req CreateTenantRequest) (*Tenant, error) {
 		Delta:         req.Delta,
 		WindowSeconds: req.WindowSeconds,
 		Shards:        shards,
+		Orders:        req.Orders,
 	}
 	led, accounting, delta, err := buildLedger(cfg)
 	if err != nil {

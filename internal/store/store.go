@@ -112,13 +112,16 @@ const (
 // rebuild the composition backend when no snapshot exists yet. Shards is
 // the tenant's table partition count (0 means 1 — the pre-shard encoding,
 // so directories written before sharding recover as single-shard
-// tenants).
+// tenants). Orders is the Rényi order grid of an rdp tenant (empty means
+// the default grid, which also keeps pre-rdp directories decoding
+// unchanged).
 type TenantConfig struct {
-	Epsilon       float64 `json:"epsilon"`
-	Accounting    string  `json:"accounting"`
-	Delta         float64 `json:"delta,omitempty"`
-	WindowSeconds float64 `json:"window_seconds,omitempty"`
-	Shards        int     `json:"shards,omitempty"`
+	Epsilon       float64   `json:"epsilon"`
+	Accounting    string    `json:"accounting"`
+	Delta         float64   `json:"delta,omitempty"`
+	WindowSeconds float64   `json:"window_seconds,omitempty"`
+	Shards        int       `json:"shards,omitempty"`
+	Orders        []float64 `json:"orders,omitempty"`
 }
 
 // TenantSnapshot is a compacted full tenant state: creation config,

@@ -86,6 +86,47 @@ func TestEstimatorBudgetErrorsZCDPBackend(t *testing.T) {
 	}
 }
 
+func TestEstimatorBudgetErrorsRDPBackend(t *testing.T) {
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	led, err := dp.NewRDPLedger(0.5, 1e-6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := NewEstimator(data, 0, WithLedger(led), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Ledger().Unit() != dp.UnitRDP {
+		t.Fatalf("backend unit = %v, want rdp", est.Ledger().Unit())
+	}
+	// Spend until exhaustion: RDP composes quadratically like zCDP, so
+	// small releases last far beyond the pure count of 0.5/0.005 = 100.
+	var lastErr error
+	releases := 0
+	for i := 0; i < 100000; i++ {
+		if _, lastErr = est.Mean(0.005); lastErr != nil {
+			break
+		}
+		releases++
+	}
+	if releases < 200 {
+		t.Errorf("rdp backend afforded %d releases, want >= 2x the pure count of 100", releases)
+	}
+	if !errors.Is(lastErr, ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted, got %v", lastErr)
+	}
+	if !strings.Contains(lastErr.Error(), "RDP") {
+		t.Errorf("rdp budget error lacks native accounting: %q", lastErr.Error())
+	}
+	// Remaining reports the converted (ε, δ) view and matches the ledger.
+	if got, want := est.Remaining(), led.Remaining(); got != want {
+		t.Errorf("Remaining() = %v, ledger says %v", got, want)
+	}
+}
+
 // A shared ledger lets two Estimators draw from one budget.
 func TestEstimatorsShareLedger(t *testing.T) {
 	data := []float64{1, 2, 3, 4, 5, 6, 7, 8}
