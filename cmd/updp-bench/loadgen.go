@@ -31,6 +31,7 @@ type loadgenConfig struct {
 	window     float64 // refill window seconds (0 = lifetime budget)
 	budget     float64 // compare mode: nominal total eps per twin
 	shards     int     // bench tenant table shard count (0 = server default)
+	metricsOut string  // save the final /metrics scrape here ("" = skip)
 }
 
 // selfServe starts an in-process server on a loopback port when target is
@@ -151,6 +152,14 @@ func runLoadgen(cfg loadgenConfig) error {
 		return err
 	}
 
+	// Scrape /metrics after provisioning, before the workload: the deltas
+	// against the post-run scrape attribute the run itself, not the setup
+	// ingest, to stages.
+	metBefore, _, err := scrapeMetrics(hc, base)
+	if err != nil {
+		return err
+	}
+
 	// Mixed workload: half SQL, half direct estimator releases. Half of
 	// each client's requests are distinct (per-iteration WHERE bound /
 	// quantile rank) so they exercise the mechanisms; the other half
@@ -263,6 +272,16 @@ func runLoadgen(cfg loadgenConfig) error {
 	if st, err := fetchStats(hc, base); err == nil {
 		fmt.Printf("cache        %d hits, %d misses (hits are budget-free replays)\n",
 			st.CacheHits, st.CacheMisses)
+	}
+	// The server's own per-stage histograms say where the latency went —
+	// queue wait vs scan vs noise vs deduct — no client-side guessing.
+	metAfter, raw, err := scrapeMetrics(hc, base)
+	if err != nil {
+		return err
+	}
+	printStageBreakdown(metBefore, metAfter)
+	if err := writeMetricsOut(cfg.metricsOut, raw); err != nil {
+		return err
 	}
 	if total.errs > 0 {
 		return fmt.Errorf("loadgen: %d requests errored", total.errs)

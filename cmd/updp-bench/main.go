@@ -64,6 +64,7 @@ func main() {
 		budget      = flag.Float64("budget", 0.1, "compare: nominal total epsilon per twin tenant")
 		restart     = flag.Bool("restart", false, "loadgen: run the durability recovery scenario (ingest+spend, snapshot, crash, re-open) instead of the throughput run")
 		shardsFlag  = flag.String("shards", "", `loadgen: bench tenant table shard count (an integer), or "sweep" to run the shard-scaling sweep (N=1,4,16: ingest rows/sec + release latency)`)
+		metricsOut  = flag.String("metrics-out", "", "loadgen: save the final /metrics scrape (Prometheus text) to this file")
 	)
 	flag.Parse()
 
@@ -79,6 +80,7 @@ func main() {
 			delta:      *delta,
 			window:     *window,
 			budget:     *budget,
+			metricsOut: *metricsOut,
 		}
 		sweep := false
 		switch *shardsFlag {

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// A minimal Prometheus text-exposition reader for the bench: enough to
+// scrape updp-serve's /metrics before and after a run and difference the
+// counters and histogram sums, so the report can break a run's latency
+// down by stage without any client-side instrumentation. It reads
+// samples only (lines starting with '#' are commentary) and keys them by
+// the full "name{labels}" series string.
+
+// metricSnapshot is one scrape: series string -> value.
+type metricSnapshot map[string]float64
+
+// scrapeMetrics fetches base/metrics, returning the parsed samples and
+// the raw exposition body (for -metrics-out).
+func scrapeMetrics(hc *http.Client, base string) (metricSnapshot, string, error) {
+	resp, err := hc.Get(base + "/metrics")
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("loadgen: scraping /metrics: HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	snap := metricSnapshot{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue // e.g. a timestamped exposition this reader does not speak
+		}
+		snap[line[:sp]] = v
+	}
+	return snap, string(body), nil
+}
+
+// stageDelta is one stage's aggregate over a measured interval.
+type stageDelta struct {
+	stage string
+	count float64
+	total float64 // seconds
+}
+
+// mean returns the stage's mean latency over the interval.
+func (d stageDelta) mean() time.Duration {
+	if d.count <= 0 {
+		return 0
+	}
+	return time.Duration(d.total / d.count * float64(time.Second))
+}
+
+// stageDeltas differences a histogram-vec's per-stage _sum/_count between
+// two scrapes, for the histogram family name (e.g.
+// "updp_release_stage_seconds"), sorted by total time descending.
+func stageDeltas(before, after metricSnapshot, family string) []stageDelta {
+	prefix := family + `_sum{stage="`
+	var out []stageDelta
+	for key, v := range after {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		stage := strings.TrimSuffix(strings.TrimPrefix(key, prefix), `"}`)
+		cntKey := family + `_count{stage="` + stage + `"}`
+		cnt := after[cntKey] - before[cntKey]
+		if cnt <= 0 {
+			continue
+		}
+		out = append(out, stageDelta{stage: stage, count: cnt, total: v - before[key]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].total > out[j].total })
+	return out
+}
+
+// printStageBreakdown prints the per-stage latency table for a measured
+// interval: where the run's wall-clock went, attributed by the server's
+// own stage histograms rather than client-side guesswork. Stages are not
+// disjoint (ledger_deduct and wal_fsync happen inside the SQL path's
+// deduct; cache_lookup runs on every request including replays), so the
+// totals are attribution, not a sum to 100%.
+func printStageBreakdown(before, after metricSnapshot) {
+	deltas := stageDeltas(before, after, "updp_release_stage_seconds")
+	if len(deltas) == 0 {
+		return
+	}
+	fmt.Printf("per-stage    %-13s %10s %12s %12s\n", "stage", "samples", "mean", "total")
+	for _, d := range deltas {
+		fmt.Printf("             %-13s %10.0f %12v %12v\n",
+			d.stage, d.count, d.mean().Round(time.Microsecond),
+			(time.Duration(d.total * float64(time.Second))).Round(time.Millisecond))
+	}
+}
+
+// writeMetricsOut saves a raw /metrics exposition next to the BENCH_*
+// artifacts when -metrics-out names a path.
+func writeMetricsOut(path, body string) error {
+	if path == "" {
+		return nil
+	}
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		return fmt.Errorf("loadgen: writing -metrics-out: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: wrote /metrics scrape to %s\n", path)
+	return nil
+}

@@ -46,37 +46,45 @@ func runShardSweep(cfg loadgenConfig) error {
 		return err
 	}
 
-	type sweepRow struct {
-		shards   int
-		rowsPerS float64
-		p50, p95 time.Duration
-	}
-	var rows []sweepRow
+	var rows []sweepResult
 	for _, n := range counts {
 		r, err := sweepOne(cfg, n, ingesters, rowsPerIngester, releases)
 		if err != nil {
 			return err
 		}
-		rows = append(rows, sweepRow{shards: n, rowsPerS: r.rowsPerS, p50: r.p50, p95: r.p95})
+		r.shards = n
+		rows = append(rows, r)
 	}
 
 	fmt.Printf("=== shard sweep: %d ingesters x %d rows, %d releases, %d users, workers=GOMAXPROCS ===\n",
 		ingesters, rowsPerIngester, releases, cfg.users)
-	fmt.Printf("%-8s %14s %9s %12s %12s\n", "shards", "ingest rows/s", "speedup", "release p50", "release p95")
+	fmt.Printf("%-8s %14s %9s %12s %12s %12s\n", "shards", "ingest rows/s", "speedup", "seq rows/s", "release p50", "release p95")
 	base := rows[0].rowsPerS
 	for _, r := range rows {
-		fmt.Printf("%-8d %14.0f %8.2fx %12v %12v\n",
-			r.shards, r.rowsPerS, r.rowsPerS/base,
+		fmt.Printf("%-8d %14.0f %8.2fx %12.0f %12v %12v\n",
+			r.shards, r.rowsPerS, r.rowsPerS/base, r.seqRowsPerS,
 			r.p50.Round(time.Microsecond), r.p95.Round(time.Microsecond))
 	}
 	fmt.Println("ingest rows/s is the storage path (concurrent Insert striping across per-shard locks);")
-	fmt.Println("release latency is the HTTP estimate path with the scan fanned over the worker pool.")
+	fmt.Println("seq rows/s is the same path driven by ONE writer (no lock contention — isolates per-shard")
+	fmt.Println("overhead from cross-core contention); release latency is the HTTP estimate path with the")
+	fmt.Println("scan fanned over the worker pool. Per-stage release means from the server's /metrics:")
+	for _, r := range rows {
+		fmt.Printf("  shards=%-3d", r.shards)
+		for _, d := range r.stages {
+			fmt.Printf("  %s=%v", d.stage, d.mean().Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
 	return nil
 }
 
 type sweepResult struct {
-	rowsPerS float64
-	p50, p95 time.Duration
+	shards      int
+	rowsPerS    float64 // concurrent ingest throughput
+	seqRowsPerS float64 // single-writer ingest throughput (contention-free)
+	p50, p95    time.Duration
+	stages      []stageDelta // per-stage release means from /metrics
 }
 
 // sweepOne measures one shard count on a fresh in-process server.
@@ -122,6 +130,21 @@ func sweepOne(cfg loadgenConfig, shards, ingesters, rowsPerIngester, releases in
 	if err != nil {
 		return res, err
 	}
+
+	// Sequential baseline first: ONE writer, no lock contention possible.
+	// If this column stays flat across shard counts while the concurrent
+	// column degrades, the degradation is cross-core contention on shared
+	// state in the insert path, not per-shard bookkeeping overhead.
+	seqRows := rowsPerIngester
+	tSeq := time.Now()
+	for i := 0; i < seqRows; i++ {
+		uid := fmt.Sprintf("s00-%06d", i/2)
+		if err := tab.Insert(dpsql.Str(uid), dpsql.Float(float64(100+i%41))); err != nil {
+			return res, fmt.Errorf("loadgen: sweep seq insert: %w", err)
+		}
+	}
+	res.seqRowsPerS = float64(seqRows) / time.Since(tSeq).Seconds()
+
 	var wg sync.WaitGroup
 	t0 := time.Now()
 	for g := 0; g < ingesters; g++ {
@@ -144,6 +167,12 @@ func sweepOne(cfg loadgenConfig, shards, ingesters, rowsPerIngester, releases in
 
 	// Release latency over HTTP: distinct quantile ranks defeat the
 	// replay cache, so every release runs a real fanned scan + mechanism.
+	// Scraping /metrics around the loop breaks the latency into the
+	// server's own stages (scan vs noise vs deduct vs queue wait).
+	metBefore, _, err := scrapeMetrics(hc, base)
+	if err != nil {
+		return res, err
+	}
 	lats := make([]time.Duration, 0, releases)
 	for i := 0; i < releases; i++ {
 		p := 0.01 + 0.98*float64(i)/float64(releases)
@@ -168,5 +197,10 @@ func sweepOne(cfg loadgenConfig, shards, ingesters, rowsPerIngester, releases in
 		return lats[ix]
 	}
 	res.p50, res.p95 = pick(0.50), pick(0.95)
+	metAfter, _, err := scrapeMetrics(hc, base)
+	if err != nil {
+		return res, err
+	}
+	res.stages = stageDeltas(metBefore, metAfter, "updp_release_stage_seconds")
 	return res, nil
 }

@@ -9,6 +9,15 @@
 //	updp-serve -demo -accounting rdp -orders 2,4,8,16,32,64
 //	updp-serve -demo -window 3600           # budget refills hourly
 //	updp-serve -shards 8                    # tenants default to 8-way sharded tables
+//	updp-serve -metrics-addr :9090          # Prometheus scrape on its own listener
+//	updp-serve -debug-addr 127.0.0.1:6060   # pprof on an explicit private listener
+//
+// GET /metrics (Prometheus text format) is always mounted on the API
+// listener; -metrics-addr additionally serves it on a dedicated address
+// so a scraper needs no access to the query API. -debug-addr exposes
+// net/http/pprof on its own mux — bind it to localhost; it is never
+// mounted on the API listener. docs/OBSERVABILITY.md catalogs the
+// metrics, the per-release trace stages, and the DP audit log.
 //
 // -shards sets the default table shard count for new tenants: tables are
 // hash-partitioned by user id so ingestion stripes across per-shard locks
@@ -40,6 +49,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -64,6 +74,9 @@ func main() {
 		delta      = flag.Float64("delta", 0, "demo tenant delta for zcdp/rdp accounting (0 = server default 1e-6)")
 		orders     = flag.String("orders", "", "demo tenant Rényi order grid for rdp accounting, comma-separated (empty = default grid)")
 		window     = flag.Float64("window", 0, "demo tenant budget refill window in seconds (0 = lifetime budget)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics on a dedicated listener too (always on the API listener); empty = API listener only")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (bind to localhost); empty = disabled")
 	)
 	flag.Parse()
 
@@ -127,6 +140,36 @@ func main() {
 					*accounting, *window)
 			}
 		}
+	}
+
+	if *metricsAddr != "" {
+		mm := http.NewServeMux()
+		mm.Handle("GET /metrics", srv.MetricsHandler())
+		ms := &http.Server{Addr: *metricsAddr, Handler: mm, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			log.Printf("metrics on %s/metrics", *metricsAddr)
+			if err := ms.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("updp-serve: metrics listener: %v", err)
+			}
+		}()
+	}
+	if *debugAddr != "" {
+		// pprof goes on its OWN mux — registering on the default mux (the
+		// net/http/pprof init side effect) would expose it to anything that
+		// ever serves http.DefaultServeMux.
+		dm := http.NewServeMux()
+		dm.HandleFunc("/debug/pprof/", pprof.Index)
+		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds := &http.Server{Addr: *debugAddr, Handler: dm, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			log.Printf("pprof on %s/debug/pprof/", *debugAddr)
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("updp-serve: debug listener: %v", err)
+			}
+		}()
 	}
 
 	hs := &http.Server{

@@ -86,4 +86,23 @@
 // rebuilds the same partitioning; pre-shard data directories boot as
 // single-shard tenants with spend preserved. updp-bench -serve -shards
 // sweep reports ingest rows/sec and release latency at N=1,4,16.
+//
+// # Observability
+//
+// The service is instrumented end to end on internal/obs, a
+// zero-dependency metrics and tracing kit: GET /metrics renders the
+// full registry in the Prometheus text format (per-stage release
+// latency histograms, per-tenant budget gauges with a burn-rate
+// odometer and projected time-to-exhaustion, cache/pool/WAL counters);
+// every release carries an ID (the X-Release-Id header) through a span
+// trace that feeds a structured slow-release log; and every charged
+// release appends one CRC-framed line to a per-tenant DP audit log —
+// fsynced before the answer is acknowledged on durable tenants, paged
+// out via GET /v1/tenants/{id}/audit, and summing back to exactly the
+// ledger's recorded spend. docs/OBSERVABILITY.md is the operator's
+// catalog (metrics, trace stages, audit schema, scrape and pprof
+// setup); updp-serve -metrics-addr and -debug-addr mount the scrape
+// and net/http/pprof on dedicated listeners; updp-bench -serve prints
+// a per-stage latency breakdown differenced from the server's own
+// histograms.
 package repro

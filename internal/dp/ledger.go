@@ -77,9 +77,9 @@ type RDPPoint struct {
 // the cost into its own unit, or refuses it when no sound conversion
 // exists (only the RDP backend can account an arbitrary Curve).
 type Cost struct {
-	Eps   float64    // pure-DP ε (zero when the release is charged in ρ or a curve)
-	Rho   float64    // zCDP ρ (zero when the release is charged in ε or a curve)
-	Curve []RDPPoint `json:",omitempty"` // native RDP curve samples ε(α)
+	Eps   float64    `json:"eps,omitempty"`   // pure-DP ε (zero when the release is charged in ρ or a curve)
+	Rho   float64    `json:"rho,omitempty"`   // zCDP ρ (zero when the release is charged in ε or a curve)
+	Curve []RDPPoint `json:"curve,omitempty"` // native RDP curve samples ε(α)
 }
 
 // EpsCost is the cost of a pure ε-DP release.

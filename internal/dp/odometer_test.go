@@ -1,0 +1,93 @@
+package dp
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOdometerRate(t *testing.T) {
+	o := NewOdometer(10 * time.Second)
+	clock := time.Unix(1000, 0)
+	o.SetNow(func() time.Time { return clock })
+
+	if got := o.Rate(); got != 0 {
+		t.Errorf("empty odometer rate = %v, want 0", got)
+	}
+	// Spend 0.1 units/second for 5 seconds.
+	for i := 0; i <= 5; i++ {
+		o.Observe(0.1 * float64(i))
+		clock = clock.Add(time.Second)
+	}
+	// At t=+6s the window holds samples at spends 0..0.5 over 6 seconds.
+	got := o.Rate()
+	if math.Abs(got-0.5/6) > 1e-12 {
+		t.Errorf("rate = %v, want %v", got, 0.5/6)
+	}
+	// Projection: 1.0 remaining at that rate.
+	tte := o.TimeToExhaustion(1.0)
+	if math.Abs(tte-1.0/(0.5/6)) > 1e-9 {
+		t.Errorf("time-to-exhaustion = %v", tte)
+	}
+	if o.TimeToExhaustion(0) != 0 {
+		t.Errorf("exhausted budget should project 0")
+	}
+
+	// Idle long enough and the window empties: rate decays to exactly 0
+	// and the projection to +Inf.
+	clock = clock.Add(time.Minute)
+	if got := o.Rate(); got != 0 {
+		t.Errorf("idle rate = %v, want 0", got)
+	}
+	if !math.IsInf(o.TimeToExhaustion(1), 1) {
+		t.Errorf("idle projection should be +Inf")
+	}
+}
+
+func TestOdometerRefillNotNegative(t *testing.T) {
+	o := NewOdometer(10 * time.Second)
+	clock := time.Unix(1000, 0)
+	o.SetNow(func() time.Time { return clock })
+	o.Observe(5)
+	clock = clock.Add(time.Second)
+	o.Observe(0.1) // a windowed ledger refilled: cumulative spend dropped
+	clock = clock.Add(time.Second)
+	if got := o.Rate(); got != 0 {
+		t.Errorf("rate after refill = %v, want 0 (never negative)", got)
+	}
+}
+
+func TestOdometerCoalescesBursts(t *testing.T) {
+	o := NewOdometer(time.Minute)
+	clock := time.Unix(1000, 0)
+	o.SetNow(func() time.Time { return clock })
+	// 100k observations at the same instant must not hold 100k samples.
+	for i := 0; i < 100000; i++ {
+		o.Observe(float64(i))
+	}
+	o.mu.Lock()
+	n := len(o.samples)
+	o.mu.Unlock()
+	if n > 16 {
+		t.Errorf("burst kept %d samples, want coalesced", n)
+	}
+}
+
+// Run with -race: concurrent Observe and Rate.
+func TestOdometerConcurrent(t *testing.T) {
+	o := NewOdometer(time.Second)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				o.Observe(float64(w*1000 + i))
+				_ = o.Rate()
+				_ = o.TimeToExhaustion(10)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dp"
@@ -87,6 +88,21 @@ func (db *DB) Remaining() float64 {
 	return led.Remaining()
 }
 
+// ExecOpts carries the per-call knobs of ExecTraced. The zero value
+// reproduces Exec exactly.
+type ExecOpts struct {
+	// Ledger overrides the DB's installed ledger for this call — the
+	// serve layer passes a per-release wrapper here so the one deduction
+	// a query charges can be attributed to its release ID. Nil uses the
+	// installed ledger.
+	Ledger dp.Ledger
+	// Observe, when set, receives per-stage wall times: "scan" (the
+	// fanned shard scan, filter, group, and merge) and "noise" (the
+	// per-user collapse plus every mechanism release). The deduction
+	// between them is timed by the caller's ledger wrapper, not here.
+	Observe func(stage string, d time.Duration)
+}
+
 // Exec parses and answers sql under user-level eps-DP.
 //
 // Privacy semantics: the privacy unit is one user (the table's user
@@ -98,6 +114,12 @@ func (db *DB) Remaining() float64 {
 // categories; the budget is split evenly across groups because one user may
 // appear in several groups.
 func (db *DB) Exec(rng *xrand.RNG, sql string, eps float64) (*Result, error) {
+	return db.ExecTraced(rng, sql, eps, ExecOpts{})
+}
+
+// ExecTraced is Exec with an optional ledger override and per-stage
+// timing callback — identical parsing, privacy semantics, and spend.
+func (db *DB) ExecTraced(rng *xrand.RNG, sql string, eps float64, opts ExecOpts) (*Result, error) {
 	if err := dp.CheckEpsilon(eps); err != nil {
 		return nil, err
 	}
@@ -138,11 +160,20 @@ func (db *DB) Exec(rng *xrand.RNG, sql string, eps float64) (*Result, error) {
 		}
 	}
 
-	if led := db.Ledger(); led != nil {
+	led := opts.Ledger
+	if led == nil {
+		led = db.Ledger()
+	}
+	if led != nil {
 		if err := led.Spend(dp.EpsCost(eps)); err != nil {
 			return nil, err
 		}
 	}
+	observe := opts.Observe
+	if observe == nil {
+		observe = func(string, time.Duration) {}
+	}
+	scanStart := time.Now()
 
 	// Filter and group point-in-time per-shard snapshots. The scan fans
 	// out over the table's shards (parallel under an installed Fanout —
@@ -210,6 +241,7 @@ func (db *DB) Exec(rng *xrand.RNG, sql string, eps float64) (*Result, error) {
 		}
 	}
 	sort.Strings(order)
+	observe("scan", time.Since(scanStart))
 	if len(order) == 0 {
 		// No matching rows: release an empty result (the absence of public
 		// group keys reveals only the public category list).
@@ -219,6 +251,8 @@ func (db *DB) Exec(rng *xrand.RNG, sql string, eps float64) (*Result, error) {
 	// Budget: even split across groups (a user may appear in several), then
 	// across the aggregates in the SELECT list (basic composition).
 	epsG := eps / float64(len(order)) / float64(len(q.Aggs))
+	noiseStart := time.Now()
+	defer func() { observe("noise", time.Since(noiseStart)) }()
 	res := &Result{Query: q, EpsSpent: eps}
 	for _, key := range order {
 		g := groups[key]

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is a request-scoped span collector: one per release, carrying
+// the release ID from the HTTP handler through the dpsql fan-out, the
+// mechanism, and the store fsync. Spans are coarse named stages, not a
+// general tree — the release path is a straight pipeline and the
+// operator question is "where did the 40ms go", which a flat stage list
+// answers exactly.
+type Trace struct {
+	ID    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one completed stage of a release.
+type Span struct {
+	Stage string
+	D     time.Duration
+}
+
+// NewTrace starts a trace for the given release ID (use NewID).
+func NewTrace(id string) *Trace {
+	return &Trace{ID: id, start: time.Now()}
+}
+
+// StartSpan begins timing a stage; the returned func records the span
+// when called. Safe for concurrent use.
+func (t *Trace) StartSpan(stage string) func() {
+	t0 := time.Now()
+	return func() { t.Observe(stage, time.Since(t0)) }
+}
+
+// Observe records an already-measured stage duration.
+func (t *Trace) Observe(stage string, d time.Duration) {
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Stage: stage, D: d})
+	t.mu.Unlock()
+}
+
+// Spans returns the recorded spans in completion order.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Total is the wall time since the trace started — end-to-end release
+// latency, not the sum of spans (stages overlap with untimed glue).
+func (t *Trace) Total() time.Duration { return time.Since(t.start) }
+
+// String renders "stage=1.2ms stage=800µs ..." for the slow-release
+// log line.
+func (t *Trace) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sb strings.Builder
+	for i, s := range t.spans {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%s", s.Stage, s.D.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// Release IDs: "r-<6 random hex>-<counter>". The random prefix is drawn
+// once per process so IDs from different server incarnations never
+// collide in aggregated logs; the counter makes them cheap and ordered
+// within a process. Nothing secret rides on them — they name releases
+// in logs, response headers, and the audit trail.
+var (
+	idPrefix = func() string {
+		var b [3]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// Fall back to a clock-derived prefix; uniqueness within the
+			// process still holds via the counter.
+			now := time.Now().UnixNano()
+			b[0], b[1], b[2] = byte(now>>16), byte(now>>8), byte(now)
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	idCounter atomic.Uint64
+)
+
+// NewID returns a fresh process-unique release ID.
+func NewID() string {
+	return fmt.Sprintf("r-%s-%d", idPrefix, idCounter.Add(1))
+}

@@ -3,7 +3,8 @@ package serve
 import (
 	"container/list"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // respCache replays byte-identical repeated releases. Replaying a stored
@@ -35,9 +36,10 @@ type respCache struct {
 	index   map[string]*list.Element
 	evicted int64
 	// global, when set, is the server-wide eviction counter bumped
-	// alongside the local one — /v1/stats reads one atomic instead of
-	// sweeping every tenant's cache mutex under the registry lock.
-	global *atomic.Int64
+	// alongside the local one — /v1/stats and /metrics read one
+	// instrument instead of sweeping every tenant's cache mutex under
+	// the registry lock.
+	global *obs.Counter
 }
 
 // cacheEntry is one LRU node's payload.
@@ -49,7 +51,7 @@ type cacheEntry struct {
 // cacheMaxEntries bounds a tenant's cache.
 const cacheMaxEntries = 4096
 
-func newRespCache(global *atomic.Int64) *respCache {
+func newRespCache(global *obs.Counter) *respCache {
 	return &respCache{
 		cap:    cacheMaxEntries,
 		ll:     list.New(),
@@ -102,7 +104,7 @@ func (c *respCache) putAt(key string, v any, ver int64) {
 		delete(c.index, oldest.Value.(*cacheEntry).key)
 		c.evicted++
 		if c.global != nil {
-			c.global.Add(1)
+			c.global.Inc()
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dp"
 	"repro/internal/dpsql"
+	"repro/internal/store"
 	"repro/updp"
 )
 
@@ -84,6 +85,15 @@ type TenantStatus struct {
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheEvictions int64 `json:"cache_evictions"`
+
+	// The budget odometer: burn rate in native units per second over the
+	// odometer's sliding window, and the projected seconds until the
+	// budget exhausts at that rate — omitted when the tenant is idle
+	// (the projection is +Inf, which JSON cannot carry). AuditRecords is
+	// the audit log's record count (one per charged release).
+	BurnPerSecond       float64 `json:"burn_per_second"`
+	SecondsToExhaustion float64 `json:"seconds_to_exhaustion,omitempty"`
+	AuditRecords        uint64  `json:"audit_records"`
 }
 
 // ColumnSpec is one column in a CreateTableRequest: kind is "float",
@@ -171,9 +181,21 @@ type EstimateResponse struct {
 	Cached   bool    `json:"cached,omitempty"`
 }
 
+// AuditResponse is one page of a tenant's DP audit log, oldest first.
+// Total is the full record count; NextAfter, when set, is the cursor to
+// pass as ?after= for the next page (absent on the last page).
+type AuditResponse struct {
+	Tenant    string              `json:"tenant"`
+	Total     uint64              `json:"total"`
+	Records   []store.AuditRecord `json:"records"`
+	NextAfter uint64              `json:"next_after,omitempty"`
+}
+
 // ServerStats is the server-wide counter view. CacheEvictions counts LRU
 // evictions across every tenant's response cache; DataDir names the
-// durable store's directory (empty for in-memory servers).
+// durable store's directory (empty for in-memory servers). Every counter
+// here reads the same instrument /metrics exposes — the two views cannot
+// disagree.
 type ServerStats struct {
 	Tenants        int     `json:"tenants"`
 	Workers        int     `json:"workers"`
@@ -206,24 +228,26 @@ func writeErr(w http.ResponseWriter, status int, code string, err error) {
 	writeJSON(w, status, apiError{Error: err.Error(), Code: code})
 }
 
-// writeReleaseErr maps a release error onto the HTTP surface.
-func writeReleaseErr(w http.ResponseWriter, err error) {
+// writeReleaseErr maps a release error onto the HTTP surface, returning
+// the status it wrote (the release trace records it).
+func writeReleaseErr(w http.ResponseWriter, err error) int {
+	status, code := http.StatusBadRequest, "bad_request"
 	switch {
 	case errors.Is(err, dp.ErrBudgetExhausted):
-		writeErr(w, http.StatusTooManyRequests, "budget_exhausted", err)
+		status, code = http.StatusTooManyRequests, "budget_exhausted"
 	case errors.Is(err, errPersist):
-		writeErr(w, http.StatusInternalServerError, "persist_failed", err)
+		status, code = http.StatusInternalServerError, "persist_failed"
 	case errors.Is(err, dp.ErrUnsupportedCost):
-		writeErr(w, http.StatusBadRequest, "unsupported_cost", err)
+		status, code = http.StatusBadRequest, "unsupported_cost"
 	case errors.Is(err, ErrOverloaded):
-		writeErr(w, http.StatusServiceUnavailable, "overloaded", err)
+		status, code = http.StatusServiceUnavailable, "overloaded"
 	case errors.Is(err, dpsql.ErrNoTable), errors.Is(err, dpsql.ErrNoColumn):
-		writeErr(w, http.StatusNotFound, "not_found", err)
+		status, code = http.StatusNotFound, "not_found"
 	case errors.Is(err, dpsql.ErrTooFewUsers), errors.Is(err, updp.ErrTooFewSamples):
-		writeErr(w, http.StatusUnprocessableEntity, "too_few_users", err)
-	default:
-		writeErr(w, http.StatusBadRequest, "bad_request", err)
+		status, code = http.StatusUnprocessableEntity, "too_few_users"
 	}
+	writeErr(w, status, code, err)
+	return status
 }
 
 // ---------- decoding and validation ----------

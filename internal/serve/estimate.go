@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/dp"
 	"repro/internal/dpsql"
@@ -23,7 +24,7 @@ import (
 // budget is deducted the charge sticks even if the mechanism fails.
 // The request is already canonicalized (stat/unit lower-cased, defaults
 // applied) by the handler.
-func (s *Server) estimate(t *Tenant, req EstimateRequest) (float64, error) {
+func (s *Server) estimate(t *Tenant, req EstimateRequest, rel *release) (float64, error) {
 	tab, err := t.db.TableByName(req.Table)
 	if err != nil {
 		return 0, err
@@ -33,11 +34,12 @@ func (s *Server) estimate(t *Tenant, req EstimateRequest) (float64, error) {
 	}
 	var value float64
 	var runErr error
-	ran := s.pool.do(func() { value, runErr = s.runEstimate(t, tab, req) })
+	ran, wait := s.pool.doTimed(func() { value, runErr = s.runEstimate(t, tab, req, rel) })
 	if !ran {
-		s.shed.Add(1)
+		s.metrics.shed.Inc()
 		return 0, ErrOverloaded
 	}
+	s.observeStage(rel, "queue_wait", wait)
 	return value, runErr
 }
 
@@ -51,7 +53,7 @@ func (s *Server) estimate(t *Tenant, req EstimateRequest) (float64, error) {
 // deduction is charged per release and the mechanism sees bit-for-bit the
 // input a monolithic table would have produced — shard count changes
 // wall-clock, never noise semantics or spend.
-func (s *Server) runEstimate(t *Tenant, tab *dpsql.Table, req EstimateRequest) (float64, error) {
+func (s *Server) runEstimate(t *Tenant, tab *dpsql.Table, req EstimateRequest, rel *release) (float64, error) {
 	stat := req.Stat
 	empiricalStat := stat == "empirical_mean" || stat == "empirical_quantile"
 
@@ -59,7 +61,8 @@ func (s *Server) runEstimate(t *Tenant, tab *dpsql.Table, req EstimateRequest) (
 	// value per user (the shared replace-one-user reduction), or the raw
 	// rows in insertion order when the request says a row IS a user. Count
 	// needs only the unit count — no column read, no per-user numeric
-	// collapse.
+	// collapse. This is the release's "scan" stage.
+	scanStart := time.Now()
 	var (
 		n   int
 		xs  []float64
@@ -83,6 +86,7 @@ func (s *Server) runEstimate(t *Tenant, tab *dpsql.Table, req EstimateRequest) (
 	if err != nil {
 		return 0, err
 	}
+	s.observeStage(rel, "scan", time.Since(scanStart))
 
 	// Atomically reserve the budget in the cost's native unit, then
 	// release. The tenant's ledger decides whether the cost is affordable
@@ -91,11 +95,15 @@ func (s *Server) runEstimate(t *Tenant, tab *dpsql.Table, req EstimateRequest) (
 	if req.Rho > 0 {
 		cost = dp.RhoCost(req.Rho)
 	}
-	// t.spender is the WAL-interposed view on a durable server: the
-	// deduction is on disk before the mechanism may run.
-	if err := t.spender.Spend(cost); err != nil {
+	// t.spender is the tenant ledger (WAL-interposed on a durable server:
+	// the deduction is on disk before the mechanism may run); the
+	// per-release wrap stamps the charge onto this release for auditing.
+	rl := &releaseLedger{inner: t.spender, rel: rel}
+	if err := rl.Spend(cost); err != nil {
 		return 0, err
 	}
+	noiseStart := time.Now()
+	defer func() { s.observeStage(rel, "noise", time.Since(noiseStart)) }()
 	o := []updp.Option{updp.WithBeta(req.Beta), updp.WithSeed(s.splitRNG().Uint64())}
 	var value float64
 	switch stat {

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strings"
 	"time"
@@ -30,7 +31,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/tables/{table}/rows", s.handleInsertRows)
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/estimate", s.handleEstimate)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/audit", s.handleAudit)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.Handle("GET /metrics", s.MetricsHandler())
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -83,6 +86,14 @@ func (s *Server) status(t *Tenant) TenantStatus {
 		CacheHits:      t.cacheHits.Load(),
 		CacheMisses:    t.cacheMisses.Load(),
 		CacheEvictions: t.cache.evictions(),
+		BurnPerSecond:  t.odo.Rate(),
+		AuditRecords:   t.audit.Len(),
+	}
+	// The exhaustion projection is +Inf for an idle tenant; JSON has no
+	// spelling for it, so the field is simply omitted until there is a
+	// burn rate to project from (the /metrics gauge does render +Inf).
+	if tte := t.odo.TimeToExhaustion(t.led.Remaining()); !math.IsInf(tte, 1) {
+		st.SecondsToExhaustion = tte
 	}
 	// The (ε, δ) view: unwrap a windowed decorator to find the backend.
 	inner := t.led
@@ -188,8 +199,9 @@ func (s *Server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	inserted, failure, persistErr := insertBatch(t, tab, req.Rows)
+	inserted, failure, persistErr := insertBatch(s, t, tab, req.Rows)
 	if inserted > 0 {
+		s.metrics.ingestRows.Add(int64(inserted))
 		// The data version moved: a repeated release is now a genuinely new
 		// one and must be charged, so stored replays are stale. This holds
 		// even when the batch failed partway or could not be logged — the
@@ -238,13 +250,21 @@ type shardRun struct {
 // acknowledging the batch would keep returning 200 for rows that will
 // never be durable; it is surfaced as persistErr instead. On a
 // malformed row, failure carries the 400 body with the stored-prefix
-// count so the client can resume precisely.
-func insertBatch(t *Tenant, tab *dpsql.Table, rows [][]any) (inserted int, failure map[string]any, persistErr error) {
+// count so the client can resume precisely. The two phases are timed
+// separately into the ingest stage histogram — "store" (decode + sharded
+// insert) and "wal" (the buffered row-record appends) — so an ingest
+// cliff is attributable to one of them from /metrics alone.
+func insertBatch(s *Server, t *Tenant, tab *dpsql.Table, rows [][]any) (inserted int, failure map[string]any, persistErr error) {
 	var stored []shardRun // contiguous same-shard runs, in arrival order
+	storeStart := time.Now()
 	if t.log != nil {
 		t.persistMu.RLock()
 		defer t.persistMu.RUnlock()
 		defer func() {
+			walStart := time.Now()
+			defer func() {
+				s.metrics.ingestSeconds.With("wal").Observe(time.Since(walStart).Seconds())
+			}()
 			for _, run := range stored {
 				if err := t.log.AppendRows(tab.Name, run.shard, run.rows); err != nil {
 					persistErr = fmt.Errorf("%w: recording ingested rows (stored in memory, not durable): %v", errPersist, err)
@@ -253,6 +273,11 @@ func insertBatch(t *Tenant, tab *dpsql.Table, rows [][]any) (inserted int, failu
 			}
 		}()
 	}
+	// LIFO defers: this one runs BEFORE the WAL append above, closing the
+	// "store" phase exactly where the "wal" phase begins.
+	defer func() {
+		s.metrics.ingestSeconds.With("store").Observe(time.Since(storeStart).Seconds())
+	}()
 	for i, row := range rows {
 		vals := make([]dpsql.Value, len(row))
 		for j, cell := range row {
@@ -294,20 +319,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	s.queries.Add(1)
+	rel := newRelease("query")
+	rel.mech = "sql"
+	w.Header().Set("X-Release-Id", rel.id)
+	s.metrics.releases.With("query").Inc()
 	t.queries.Add(1)
 
 	// Byte-identical repeated query: replay the stored answer for free.
 	key := fmt.Sprintf("sql|%q|eps=%g", req.SQL, req.Epsilon)
-	if hit, ok := t.cache.get(key); ok {
-		s.cacheHits.Add(1)
+	c0 := time.Now()
+	hit, cached := t.cache.get(key)
+	s.observeStage(rel, "cache_lookup", time.Since(c0))
+	if cached {
+		s.metrics.cacheHits.Inc()
 		t.cacheHits.Add(1)
 		out := hit.(QueryResponse)
 		out.Cached = true
 		writeJSON(w, http.StatusOK, out)
+		s.finishRelease(t, rel, http.StatusOK)
 		return
 	}
-	s.cacheMisses.Add(1)
+	s.metrics.cacheMisses.Inc()
 	t.cacheMisses.Add(1)
 
 	// Read the data version before Exec takes its snapshot: if an
@@ -320,22 +352,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Exec's table scan fans out over the tenant's shards through the
 	// same pool (the fan-out installed at tenant creation), merging the
 	// per-shard fragments before the estimators run — one deduction, one
-	// mechanism, unchanged noise semantics.
-	ran := s.pool.do(func() {
-		res, err = t.db.Exec(s.splitRNG(), req.SQL, req.Epsilon)
+	// mechanism, unchanged noise semantics. The per-release ledger wrap
+	// and stage observer thread the release context through Exec: the
+	// scan/noise spans and the single deduction land on this release.
+	rl := &releaseLedger{inner: t.spender, rel: rel}
+	ran, wait := s.pool.doTimed(func() {
+		res, err = t.db.ExecTraced(s.splitRNG(), req.SQL, req.Epsilon, dpsql.ExecOpts{
+			Ledger:  rl,
+			Observe: func(stage string, d time.Duration) { s.observeStage(rel, stage, d) },
+		})
 	})
 	if !ran {
-		s.shed.Add(1)
-		writeReleaseErr(w, ErrOverloaded)
+		s.metrics.shed.Inc()
+		s.finishRelease(t, rel, writeReleaseErr(w, ErrOverloaded))
 		return
 	}
+	s.observeStage(rel, "queue_wait", wait)
 	if err != nil {
 		if errors.Is(err, dp.ErrBudgetExhausted) {
-			s.refusals.Add(1)
+			s.metrics.refusals.Inc()
 			t.refusals.Add(1)
 		}
-		writeReleaseErr(w, err)
+		// A charged-then-failed release stays charged, so it must still
+		// be audited — the log records spend, not success.
+		if rel.spent {
+			if aerr := s.auditRelease(t, rel); aerr != nil {
+				err = aerr
+			}
+		}
+		s.finishRelease(t, rel, writeReleaseErr(w, err))
 		return
+	}
+	if rel.spent {
+		if aerr := s.auditRelease(t, rel); aerr != nil {
+			s.finishRelease(t, rel, writeReleaseErr(w, aerr))
+			return
+		}
 	}
 	out := QueryResponse{EpsSpent: res.EpsSpent, Rows: make([]QueryResultRow, 0, len(res.Rows))}
 	for _, row := range res.Rows {
@@ -348,6 +400,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	t.cache.putAt(key, out, ver)
 	s.maybeSnapshot(t)
 	writeJSON(w, http.StatusOK, out)
+	s.finishRelease(t, rel, http.StatusOK)
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -362,33 +415,53 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// Canonicalize before anything else so spelled-differently-but-equal
 	// requests share one cache entry and one validation path.
 	canonicalizeEstimate(&req)
-	s.estimates.Add(1)
+	rel := newRelease("estimate")
+	rel.mech = req.Stat
+	w.Header().Set("X-Release-Id", rel.id)
+	s.metrics.releases.With("estimate").Inc()
 	t.estimates.Add(1)
 
 	// Byte-identical repeated release: replay the stored answer for free.
 	key := estimateCacheKey(req)
-	if hit, ok := t.cache.get(key); ok {
-		s.cacheHits.Add(1)
+	c0 := time.Now()
+	hit, cached := t.cache.get(key)
+	s.observeStage(rel, "cache_lookup", time.Since(c0))
+	if cached {
+		s.metrics.cacheHits.Inc()
 		t.cacheHits.Add(1)
 		out := hit.(EstimateResponse)
 		out.Cached = true
 		writeJSON(w, http.StatusOK, out)
+		s.finishRelease(t, rel, http.StatusOK)
 		return
 	}
-	s.cacheMisses.Add(1)
+	s.metrics.cacheMisses.Inc()
 	t.cacheMisses.Add(1)
 
 	// Read the data version before the release takes its snapshot: if an
 	// ingestion lands in between, the stale answer must not be cached.
 	ver := t.cache.version()
-	value, err := s.estimate(t, req)
+	value, err := s.estimate(t, req, rel)
 	if err != nil {
 		if errors.Is(err, dp.ErrBudgetExhausted) {
-			s.refusals.Add(1)
+			s.metrics.refusals.Inc()
 			t.refusals.Add(1)
 		}
-		writeReleaseErr(w, err)
+		// A charged-then-failed release stays charged, so it must still
+		// be audited — the log records spend, not success.
+		if rel.spent {
+			if aerr := s.auditRelease(t, rel); aerr != nil {
+				err = aerr
+			}
+		}
+		s.finishRelease(t, rel, writeReleaseErr(w, err))
 		return
+	}
+	if rel.spent {
+		if aerr := s.auditRelease(t, rel); aerr != nil {
+			s.finishRelease(t, rel, writeReleaseErr(w, aerr))
+			return
+		}
 	}
 	out := EstimateResponse{Value: value}
 	if req.Rho > 0 {
@@ -399,6 +472,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	t.cache.putAt(key, out, ver)
 	s.maybeSnapshot(t)
 	writeJSON(w, http.StatusOK, out)
+	s.finishRelease(t, rel, http.StatusOK)
 }
 
 // ---------- server stats ----------
@@ -407,16 +481,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	n := len(s.tenants)
 	s.mu.RUnlock()
+	m := s.metrics
 	writeJSON(w, http.StatusOK, ServerStats{
 		Tenants:        n,
 		Workers:        s.Workers(),
-		Queries:        s.queries.Load(),
-		Estimates:      s.estimates.Load(),
-		Refusals:       s.refusals.Load(),
-		Shed:           s.shed.Load(),
-		CacheHits:      s.cacheHits.Load(),
-		CacheMisses:    s.cacheMisses.Load(),
-		CacheEvictions: s.cacheEvictions.Load(),
+		Queries:        m.releases.With("query").Value(),
+		Estimates:      m.releases.With("estimate").Value(),
+		Refusals:       m.refusals.Value(),
+		Shed:           m.shed.Value(),
+		CacheHits:      m.cacheHits.Value(),
+		CacheMisses:    m.cacheMisses.Value(),
+		CacheEvictions: m.cacheEvictions.Value(),
 		DataDir:        s.DataDir(),
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 	})

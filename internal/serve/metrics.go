@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// This file is the serve layer's telemetry surface: the metric registry
+// (rendered at GET /metrics in Prometheus text format), the per-release
+// trace context that carries a release ID through every stage, and the
+// slow-release log. docs/OBSERVABILITY.md is the operator's catalog of
+// every name registered here.
+
+// defaultSlowRelease is the slow-release log threshold when
+// Options.SlowRelease is zero.
+const defaultSlowRelease = 250 * time.Millisecond
+
+// metricsSet holds every instrument the server writes. Counters double
+// as the backing store for /v1/stats, so the JSON and Prometheus views
+// can never disagree (one source of truth, read atomically).
+type metricsSet struct {
+	reg *obs.Registry
+
+	releases       *obs.CounterVec // by path: "query" | "estimate"
+	refusals       *obs.Counter
+	shed           *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	ingestRows     *obs.Counter
+	auditRecords   *obs.Counter
+
+	releaseSeconds *obs.HistogramVec // end-to-end, by path
+	stageSeconds   *obs.HistogramVec // per stage (see observeStage callers)
+	ingestSeconds  *obs.HistogramVec // ingestion batch, by stage
+
+	// storeMet is handed to store.SetMetrics so the durability engine's
+	// fsync/snapshot/WAL instruments land on the same registry.
+	storeMet *store.Metrics
+}
+
+func newMetricsSet() *metricsSet {
+	reg := obs.NewRegistry()
+	lat := obs.LatencyBuckets()
+	m := &metricsSet{
+		reg:            reg,
+		releases:       reg.CounterVec("updp_releases_total", "Release attempts by path (query = SQL, estimate = direct estimator).", "path"),
+		refusals:       reg.Counter("updp_budget_refusals_total", "Releases refused because the tenant budget could not afford them."),
+		shed:           reg.Counter("updp_shed_total", "Requests shed by the full worker queue (HTTP 503)."),
+		cacheHits:      reg.Counter("updp_cache_hits_total", "Releases replayed from a tenant response cache (budget-free)."),
+		cacheMisses:    reg.Counter("updp_cache_misses_total", "Release attempts that missed the response cache."),
+		cacheEvictions: reg.Counter("updp_cache_evictions_total", "LRU evictions across every tenant response cache."),
+		ingestRows:     reg.Counter("updp_ingest_rows_total", "Rows accepted through the ingestion endpoint."),
+		auditRecords:   reg.Counter("updp_audit_records_total", "DP audit records appended (one per charged release)."),
+		releaseSeconds: reg.HistogramVec("updp_release_seconds", "End-to-end release latency by path, successful or not.", lat, "path"),
+		stageSeconds:   reg.HistogramVec("updp_release_stage_seconds", "Release-path stage latency; docs/OBSERVABILITY.md catalogs the stages.", lat, "stage"),
+		ingestSeconds:  reg.HistogramVec("updp_ingest_stage_seconds", "Ingestion-batch stage latency: store (decode + sharded insert) and wal (row-record append).", lat, "stage"),
+	}
+	m.storeMet = &store.Metrics{
+		FsyncSeconds:      reg.Histogram("updp_wal_fsync_seconds", "WAL flush+fsync latency (one per deduction; the release path's durability barrier).", lat),
+		SnapshotSeconds:   reg.Histogram("updp_snapshot_write_seconds", "Tenant snapshot compaction latency (serialize, write, fsync, rename).", lat),
+		WALRecords:        reg.Counter("updp_wal_records_total", "WAL records appended across every tenant log."),
+		WALBytes:          reg.Counter("updp_wal_bytes_total", "WAL bytes appended across every tenant log."),
+		AuditFsyncSeconds: reg.Histogram("updp_audit_fsync_seconds", "Audit-log append+fsync latency on durable tenants.", lat),
+		AuditRecords:      m.auditRecords,
+	}
+	return m
+}
+
+// registerGauges installs the live-state collectors: values derived from
+// server state at scrape time rather than accumulated by request paths.
+// Called once from Open, after the Server is fully constructed.
+func (s *Server) registerGauges() {
+	reg := s.metrics.reg
+	reg.GaugeFunc("updp_pool_queue_depth", "Release jobs queued but not yet running.", nil, func(emit obs.EmitGauge) {
+		emit(float64(len(s.pool.jobs)))
+	})
+	reg.GaugeFunc("updp_pool_workers", "Worker pool size.", nil, func(emit obs.EmitGauge) {
+		emit(float64(s.pool.workers))
+	})
+	reg.GaugeFunc("updp_tenants", "Registered tenants.", nil, func(emit obs.EmitGauge) {
+		s.mu.RLock()
+		n := len(s.tenants)
+		s.mu.RUnlock()
+		emit(float64(n))
+	})
+	reg.GaugeFunc("updp_uptime_seconds", "Seconds since the server started.", nil, func(emit obs.EmitGauge) {
+		emit(time.Since(s.start).Seconds())
+	})
+	// The per-tenant budget odometer: total/spent/remaining in the
+	// tenant's NATIVE unit (ε for pure, ρ for zcdp, converted ε for rdp —
+	// mixing units across tenants is inherent to heterogeneous backends;
+	// dashboards should group by tenant), burn rate over the sliding
+	// odometer window, and the projected time to exhaustion (+Inf renders
+	// when the tenant is idle — valid Prometheus, and exactly what "never
+	// at this rate" means).
+	tenantGauge := func(name, help string, val func(t *Tenant) float64) {
+		reg.GaugeFunc(name, help, []string{"tenant"}, func(emit obs.EmitGauge) {
+			for _, t := range s.snapshotTenants() {
+				emit(val(t), t.id)
+			}
+		})
+	}
+	tenantGauge("updp_tenant_budget_total", "Tenant budget total, native units.",
+		func(t *Tenant) float64 { return t.led.Total() })
+	tenantGauge("updp_tenant_budget_spent", "Tenant budget spent, native units (within the current window for windowed tenants).",
+		func(t *Tenant) float64 { return t.led.Spent() })
+	tenantGauge("updp_tenant_budget_remaining", "Tenant budget remaining, native units.",
+		func(t *Tenant) float64 { return t.led.Remaining() })
+	tenantGauge("updp_tenant_burn_per_second", "Budget burn rate over the odometer window, native units per second.",
+		func(t *Tenant) float64 { return t.odo.Rate() })
+	tenantGauge("updp_tenant_seconds_to_exhaustion", "Projected seconds until the budget exhausts at the current burn rate (+Inf when idle).",
+		func(t *Tenant) float64 { return t.odo.TimeToExhaustion(t.led.Remaining()) })
+}
+
+// snapshotTenants copies the registry out from under the lock so a
+// scrape never holds it across ledger reads.
+func (s *Server) snapshotTenants() []*Tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, t)
+	}
+	return out
+}
+
+// MetricsHandler serves the registry in the Prometheus text exposition
+// format — mounted at GET /metrics on the API mux, and mountable on a
+// separate listener by the binary (-metrics-addr).
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = io.WriteString(w, s.metrics.reg.RenderText())
+	})
+}
+
+// ---------- per-release trace context ----------
+
+// release is one in-flight release's observability context: the release
+// ID (echoed in the X-Release-Id response header, stamped on the audit
+// line, printed by the slow-release log), the span trace, and — filled
+// in by releaseLedger — whether and what the release actually charged.
+type release struct {
+	id    string
+	path  string // "query" | "estimate"
+	mech  string // audit mechanism name: "sql", or the estimate stat
+	tr    *obs.Trace
+	spent bool
+	cost  dp.Cost
+}
+
+func newRelease(path string) *release {
+	id := obs.NewID()
+	return &release{id: id, path: path, tr: obs.NewTrace(id)}
+}
+
+// observeStage records one stage duration into both the server-wide
+// stage histogram and the release's own trace.
+func (s *Server) observeStage(rel *release, stage string, d time.Duration) {
+	s.metrics.stageSeconds.With(stage).Observe(d.Seconds())
+	rel.tr.Observe(stage, d)
+}
+
+// finishRelease closes out a release: end-to-end latency into the
+// per-path histogram, and the structured slow-release log line when the
+// release crossed the threshold — the line carries the release ID and
+// every recorded span, so one grep attributes the slow tail to a stage.
+func (s *Server) finishRelease(t *Tenant, rel *release, status int) {
+	total := rel.tr.Total()
+	s.metrics.releaseSeconds.With(rel.path).Observe(total.Seconds())
+	if s.slowRel > 0 && total >= s.slowRel {
+		log.Printf("serve: slow release id=%s tenant=%s path=%s mech=%s status=%d total=%v stages: %s",
+			rel.id, t.id, rel.path, rel.mech, status, total.Round(time.Microsecond), rel.tr)
+	}
+}
+
+// releaseLedger attributes the single deduction a release charges to
+// its release context: it times the whole durable Spend (in-memory
+// check-and-deduct + WAL fsync) as the trace's "deduct" span and
+// captures the charged cost for the audit line. The fine-grained
+// ledger_deduct / wal_fsync split lands in the stage histograms via
+// tenantLedger underneath. The SQL path installs this per call through
+// dpsql.ExecOpts.Ledger; the estimate path calls it directly.
+type releaseLedger struct {
+	inner dp.Ledger
+	rel   *release
+}
+
+func (rl *releaseLedger) Spend(c dp.Cost) error {
+	t0 := time.Now()
+	err := rl.inner.Spend(c)
+	rl.rel.tr.Observe("deduct", time.Since(t0))
+	if err == nil {
+		rl.rel.spent = true
+		rl.rel.cost = c
+	}
+	return err
+}
+
+func (rl *releaseLedger) Remaining() float64 { return rl.inner.Remaining() }
+func (rl *releaseLedger) Spent() float64     { return rl.inner.Spent() }
+func (rl *releaseLedger) Total() float64     { return rl.inner.Total() }
+func (rl *releaseLedger) Unit() dp.Unit      { return rl.inner.Unit() }
+func (rl *releaseLedger) Reset()             { rl.inner.Reset() }

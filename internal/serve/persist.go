@@ -14,41 +14,60 @@ import (
 // answer whose deduction is not on disk could be refunded by a crash.
 var errPersist = errors.New("serve: persistence failure")
 
-// walLedger interposes the durable store between a tenant's release paths
-// and its composition backend: a deduction is recorded in the write-ahead
-// log — flushed and fsynced — after the in-memory check-and-deduct
-// succeeds and before Spend returns, so no mechanism ever runs (and no
-// answer is ever released) on a deduction a crash could forget. Both
-// release paths charge through it: the estimate endpoint directly, the
-// SQL endpoint via dpsql.DB.SetLedger.
+// tenantLedger is the spender every tenant's release paths charge
+// through (both the estimate endpoint directly and the SQL endpoint via
+// dpsql.DB.SetLedger). It wraps the composition backend with the
+// tenant's cross-cutting per-deduction concerns:
 //
-// If the log write fails, Spend fails with errPersist while the in-memory
-// charge stands: over-counting is the conservative direction, and the
-// log is fail-stop anyway (ErrLogBroken) so the tenant degrades to 500s
-// rather than silently un-durable releases.
-type walLedger struct{ t *Tenant }
+//   - durability (durable tenants): the deduction is recorded in the
+//     write-ahead log — flushed and fsynced — after the in-memory
+//     check-and-deduct succeeds and before Spend returns, so no
+//     mechanism ever runs (and no answer is ever released) on a
+//     deduction a crash could forget. The tenant's persist lock (read
+//     side) excludes the pair from racing a snapshot capture, so a
+//     deduction is never both inside a snapshot and replayed from the
+//     WAL after it (double-counting). If the log write fails, Spend
+//     fails with errPersist while the in-memory charge stands:
+//     over-counting is the conservative direction, and the log is
+//     fail-stop anyway (ErrLogBroken) so the tenant degrades to 500s
+//     rather than silently un-durable releases.
+//   - telemetry: the in-memory deduct and the WAL fsync are timed into
+//     the ledger_deduct / wal_fsync stage histograms, and the budget
+//     odometer observes the new cumulative spend (feeding the burn-rate
+//     and time-to-exhaustion gauges).
+type tenantLedger struct {
+	t *Tenant
+	s *Server
+}
 
-// Spend charges the real ledger, then durably records the deduction. The
-// tenant's persist lock (read side) excludes the pair from racing a
-// snapshot capture, so a deduction is never both inside a snapshot and
-// replayed from the WAL after it (double-counting).
-func (w *walLedger) Spend(c dp.Cost) error {
-	w.t.persistMu.RLock()
-	defer w.t.persistMu.RUnlock()
+// Spend charges the real ledger, then (durable tenants) durably records
+// the deduction.
+func (w *tenantLedger) Spend(c dp.Cost) error {
+	if w.t.log != nil {
+		w.t.persistMu.RLock()
+		defer w.t.persistMu.RUnlock()
+	}
+	t0 := time.Now()
 	if err := w.t.led.Spend(c); err != nil {
 		return err
 	}
-	if err := w.t.log.AppendDeduct(c); err != nil {
-		return fmt.Errorf("%w: recording deduction (budget charged, release withheld): %v", errPersist, err)
+	w.s.metrics.stageSeconds.With("ledger_deduct").Observe(time.Since(t0).Seconds())
+	if w.t.log != nil {
+		t1 := time.Now()
+		if err := w.t.log.AppendDeduct(c); err != nil {
+			return fmt.Errorf("%w: recording deduction (budget charged, release withheld): %v", errPersist, err)
+		}
+		w.s.metrics.stageSeconds.With("wal_fsync").Observe(time.Since(t1).Seconds())
 	}
+	w.t.odo.Observe(w.t.led.Spent())
 	return nil
 }
 
-func (w *walLedger) Remaining() float64 { return w.t.led.Remaining() }
-func (w *walLedger) Spent() float64     { return w.t.led.Spent() }
-func (w *walLedger) Total() float64     { return w.t.led.Total() }
-func (w *walLedger) Unit() dp.Unit      { return w.t.led.Unit() }
-func (w *walLedger) Reset()             { w.t.led.Reset() }
+func (w *tenantLedger) Remaining() float64 { return w.t.led.Remaining() }
+func (w *tenantLedger) Spent() float64     { return w.t.led.Spent() }
+func (w *tenantLedger) Total() float64     { return w.t.led.Total() }
+func (w *tenantLedger) Unit() dp.Unit      { return w.t.led.Unit() }
+func (w *tenantLedger) Reset()             { w.t.led.Reset() }
 
 // restoreTenant rebuilds one live tenant from recovered durable state:
 // the ledger from the snapshot state (or fresh from the creation config
@@ -99,12 +118,16 @@ func (s *Server) restoreTenant(rec *store.RecoveredTenant) (*Tenant, error) {
 		accounting: accounting,
 		windowSecs: rec.Config.WindowSeconds,
 		shards:     shards,
-		cache:      newRespCache(&s.cacheEvictions),
+		cache:      newRespCache(s.metrics.cacheEvictions),
 		created:    time.Now(),
 		cfg:        rec.Config,
 		log:        rec.Log,
+		odo:        dp.NewOdometer(0),
 	}
-	t.spender = &walLedger{t: t}
+	if t.audit, err = s.openAudit(rec.ID); err != nil {
+		return nil, fmt.Errorf("serve: restoring tenant %q: %w", rec.ID, err)
+	}
+	t.spender = &tenantLedger{t: t, s: s}
 	db.SetLedger(t.spender)
 	return t, nil
 }

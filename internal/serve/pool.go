@@ -3,6 +3,7 @@ package serve
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // pool runs submitted release jobs on a fixed set of worker goroutines
@@ -37,25 +38,37 @@ func newPool(workers, depth int) *pool {
 // without running f when the queue is full (the caller sheds the request)
 // or the pool is closed.
 func (p *pool) do(f func()) bool {
+	ran, _ := p.doTimed(f)
+	return ran
+}
+
+// doTimed is do plus the queue wait: how long the job sat enqueued
+// before a worker picked it up — the release path's queue_wait stage.
+// The wait is written by the worker before f runs and read after the
+// done channel closes, so the channel's happens-before makes it safe
+// without atomics.
+func (p *pool) doTimed(f func()) (ran bool, wait time.Duration) {
 	done := make(chan struct{})
+	enqueued := time.Now()
 	wrapped := func() {
 		defer close(done)
+		wait = time.Since(enqueued)
 		f()
 	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return false
+		return false, 0
 	}
 	select {
 	case p.jobs <- wrapped:
 		p.mu.Unlock()
 	default:
 		p.mu.Unlock()
-		return false
+		return false, 0
 	}
 	<-done
-	return true
+	return true, wait
 }
 
 // fan runs n independent sub-jobs run(0..n-1) and waits for all of them

@@ -100,13 +100,25 @@
 //	POST /v1/tenants/{t}/tables/{name}/rows   append rows (streaming ingestion)
 //	POST /v1/tenants/{t}/query                dpsql SELECT under user-level DP
 //	POST /v1/tenants/{t}/estimate             one estimator release on a column
+//	GET  /v1/tenants/{t}/audit                the DP audit log: one record per charged release
 //	GET  /v1/stats                            server-wide counters (incl. cache hits/misses)
 //	GET  /v1/healthz                          liveness
+//	GET  /metrics                             Prometheus text exposition (internal/obs)
+//
+// Observability (docs/OBSERVABILITY.md): every release carries a release
+// ID (echoed in the X-Release-Id response header) through a per-stage
+// trace — queue wait, cache lookup, shard scan+merge, noise sampling,
+// ledger deduction, WAL fsync, audit append — feeding per-stage latency
+// histograms on /metrics; per-tenant budget-odometer gauges report
+// spend, burn rate, and projected time to exhaustion; and releases
+// slower than Options.SlowRelease log one structured line with the full
+// span breakdown.
 package serve
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -157,6 +169,10 @@ type Options struct {
 	// across per-shard locks and fanning release scans over the worker
 	// pool. 0 means 1 (monolithic tables, the pre-shard behavior).
 	DefaultShards int
+	// SlowRelease is the threshold past which a release logs one
+	// structured line with its release ID and full per-stage span
+	// breakdown. 0 means 250ms; negative disables the log.
+	SlowRelease time.Duration
 }
 
 // maxTenantShards bounds a tenant's configured shard count; past this the
@@ -185,14 +201,14 @@ type Server struct {
 	rngMu sync.Mutex
 	rng   *xrand.RNG
 
-	start          time.Time
-	queries        atomic.Int64 // SQL releases attempted
-	estimates      atomic.Int64 // estimator releases attempted
-	refusals       atomic.Int64 // releases refused for budget
-	shed           atomic.Int64 // requests shed by the full queue
-	cacheHits      atomic.Int64 // releases replayed from a tenant cache (free)
-	cacheMisses    atomic.Int64 // release attempts that missed the cache
-	cacheEvictions atomic.Int64 // LRU evictions across every tenant cache
+	start time.Time
+
+	// metrics is the single source of truth for server-wide counters:
+	// /v1/stats and /metrics both read the same obs instruments (the
+	// old ad-hoc atomic.Int64 fields lived here). slowRel is the
+	// slow-release log threshold (0 = disabled).
+	metrics *metricsSet
+	slowRel time.Duration
 }
 
 // Tenant is one isolated customer: a database, one privacy ledger (the
@@ -219,6 +235,12 @@ type Tenant struct {
 	cfg        store.TenantConfig
 	persistMu  sync.RWMutex
 	compacting atomic.Bool // single-flight guard for background snapshots
+
+	// odo tracks the budget burn rate over a sliding window (the
+	// odometer gauges); audit is the tenant's DP audit log — durable
+	// next to the WAL, or in-memory with the same endpoint semantics.
+	odo   *dp.Odometer
+	audit auditSink
 
 	queries     atomic.Int64
 	estimates   atomic.Int64
@@ -266,6 +288,12 @@ func Open(opts Options) (*Server, error) {
 	if defShards == 0 {
 		defShards = 1
 	}
+	slowRel := opts.SlowRelease
+	if slowRel == 0 {
+		slowRel = defaultSlowRelease
+	} else if slowRel < 0 {
+		slowRel = 0
+	}
 	s := &Server{
 		mux:       http.NewServeMux(),
 		pool:      newPool(workers, depth),
@@ -275,6 +303,8 @@ func Open(opts Options) (*Server, error) {
 		creating:  map[string]struct{}{},
 		rng:       rng,
 		start:     time.Now(),
+		metrics:   newMetricsSet(),
+		slowRel:   slowRel,
 	}
 	if opts.DataDir != "" {
 		st, err := store.Open(opts.DataDir)
@@ -283,6 +313,9 @@ func Open(opts Options) (*Server, error) {
 			return nil, err
 		}
 		s.st = st
+		// Install the metric instruments before recovery so replayed WAL
+		// reopens and the first snapshot land on the registry.
+		st.SetMetrics(s.metrics.storeMet)
 		recs, err := st.Recover()
 		if err == nil {
 			for _, rec := range recs {
@@ -299,6 +332,7 @@ func Open(opts Options) (*Server, error) {
 			return nil, err
 		}
 	}
+	s.registerGauges()
 	s.routes()
 	return s, nil
 }
@@ -315,6 +349,14 @@ func (s *Server) Close() error {
 		return nil
 	}
 	flushErr := s.Flush()
+	// Audit logs are per-tenant open files the store does not track.
+	s.mu.RLock()
+	for _, t := range s.tenants {
+		if c, ok := t.audit.(io.Closer); ok {
+			_ = c.Close()
+		}
+	}
+	s.mu.RUnlock()
 	closeErr := s.st.Close()
 	if flushErr != nil {
 		return flushErr
@@ -471,10 +513,10 @@ func (s *Server) createTenant(req CreateTenantRequest) (*Tenant, error) {
 		accounting: accounting,
 		windowSecs: req.WindowSeconds,
 		shards:     shards,
-		cache:      newRespCache(&s.cacheEvictions),
+		cache:      newRespCache(s.metrics.cacheEvictions),
 		created:    time.Now(),
 		cfg:        cfg,
-		spender:    led,
+		odo:        dp.NewOdometer(0),
 	}
 	if s.st != nil {
 		tl, err := s.st.CreateTenant(req.ID, cfg)
@@ -488,8 +530,11 @@ func (s *Server) createTenant(req CreateTenantRequest) (*Tenant, error) {
 			return nil, fmt.Errorf("%w: creating durable tenant: %v", errPersist, err)
 		}
 		t.log = tl
-		t.spender = &walLedger{t: t}
 	}
+	if t.audit, err = s.openAudit(req.ID); err != nil {
+		return nil, err
+	}
+	t.spender = &tenantLedger{t: t, s: s}
 	db.SetLedger(t.spender)
 	s.mu.Lock()
 	s.tenants[req.ID] = t

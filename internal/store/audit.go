@@ -1,0 +1,212 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/dp"
+)
+
+// The DP audit log: one append-only file per tenant holding one CRC'd
+// JSON line per *charged* release — the operator's replayable record of
+// every ε ever spent, keyed by release ID. It complements the WAL
+// rather than duplicating it: the WAL's deduct records are the
+// machine-replayed ledger state (costs only, no identity), while the
+// audit log carries the operator-facing story (which release, which
+// mechanism, when, at what best RDP order) and is never replayed into
+// state, so its format can grow fields freely.
+//
+// Durability: each append is fsynced before it returns, and the serve
+// layer appends AFTER the charge lands but BEFORE the answer is
+// acknowledged — so every acknowledged release has its audit line on
+// disk (a crash can leave an audit line for a charged-but-unanswered
+// release, never the reverse; over-recording matches the WAL's
+// over-counting direction). A torn tail (crash mid-append) is truncated
+// at open, exactly like the WAL.
+
+// auditName is the per-tenant audit file, next to wal.log.
+const auditName = "audit.log"
+
+// AuditRecord is one charged release. Cost is the release's native
+// request cost (ε or ρ as the client asked); NativeCost is the charge
+// in the LEDGER's unit when that charge is a scalar (pure: ε itself;
+// zcdp: ρ = ε²/2 for pure releases, ρ directly for native ones) — rdp
+// charges a per-order vector, so NativeCost is omitted and BestOrder
+// records the order certifying the tenant's spend after this release.
+type AuditRecord struct {
+	Seq        uint64  `json:"seq"`
+	TimeUnix   int64   `json:"ts_unix_nano"`
+	ReleaseID  string  `json:"release_id"`
+	Path       string  `json:"path"`      // "query" or "estimate"
+	Mechanism  string  `json:"mechanism"` // "sql", or the estimate stat
+	Cost       dp.Cost `json:"cost"`
+	Unit       string  `json:"unit"` // the ledger's native unit
+	NativeCost float64 `json:"native_cost,omitempty"`
+	BestOrder  float64 `json:"best_order,omitempty"`
+}
+
+// AuditLog is one tenant's open audit file. Appends are serialized and
+// fsynced; a write error makes the log fail-stop like the WAL (a torn
+// line must never be followed by an intact one, or the tail-truncation
+// rule at open would silently drop it).
+type AuditLog struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	seq    uint64 // last assigned record seq (== line count: tail-only truncation)
+	broken bool
+	met    *Metrics
+}
+
+// OpenAudit opens (creating if absent) the audit log for an existing
+// tenant directory, truncating a torn tail. Call it after CreateTenant
+// or recovery has established the directory.
+func (s *Store) OpenAudit(id string) (*AuditLog, error) {
+	if err := CheckTenantID(id); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	met := s.metrics
+	s.mu.Unlock()
+	path := filepath.Join(s.dir, id, auditName)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: reading audit log for %q: %w", id, err)
+	}
+	// Scan for the intact prefix. Audit lines are written one fsynced
+	// append at a time, so any damage is a torn tail: truncate there.
+	// (Unlike the WAL there is no buffered class, hence no corrupt-vs-torn
+	// distinction to draw — nothing intact can follow a tear.)
+	goodEnd, n := 0, uint64(0)
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break
+		}
+		if _, ok := checkLine(data[off : off+nl+1]); !ok {
+			break
+		}
+		off += nl + 1
+		goodEnd = off
+		n++
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening audit log for %q: %w", id, err)
+	}
+	if int64(goodEnd) < int64(len(data)) {
+		if err := f.Truncate(int64(goodEnd)); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("store: truncating torn audit tail for %q: %w", id, err)
+		}
+	}
+	return &AuditLog{path: path, f: f, seq: n, met: met}, nil
+}
+
+// Append assigns the record's seq and timestamp, writes it, and fsyncs
+// before returning — the caller may acknowledge the release only after
+// this succeeds.
+func (a *AuditLog) Append(rec *AuditRecord) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.broken || a.f == nil {
+		return ErrLogBroken
+	}
+	t0 := time.Now()
+	rec.Seq = a.seq + 1
+	if rec.TimeUnix == 0 {
+		rec.TimeUnix = t0.UnixNano()
+	}
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding audit record: %w", err)
+	}
+	if _, err := fmt.Fprintf(a.f, "%08x %s\n", crc32.ChecksumIEEE(body), body); err != nil {
+		a.broken = true
+		return fmt.Errorf("store: appending audit record: %w", err)
+	}
+	if err := a.f.Sync(); err != nil {
+		a.broken = true
+		return fmt.Errorf("store: syncing audit log: %w", err)
+	}
+	a.seq = rec.Seq
+	if m := a.met; m != nil {
+		if m.AuditFsyncSeconds != nil {
+			m.AuditFsyncSeconds.Observe(time.Since(t0).Seconds())
+		}
+		if m.AuditRecords != nil {
+			m.AuditRecords.Inc()
+		}
+	}
+	return nil
+}
+
+// Len reports how many records the log holds. Seqs are assigned 1..Len
+// contiguously (truncation is tail-only), so Len is also the last seq.
+func (a *AuditLog) Len() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seq
+}
+
+// Page returns up to limit records with Seq > after, in order — the
+// pagination contract of the audit endpoint (pass the last record's seq
+// back as after to continue). Reads re-scan the file: audit reads are
+// an operator workflow, not a hot path, and scanning keeps the open log
+// O(1) in memory.
+func (a *AuditLog) Page(after uint64, limit int) ([]AuditRecord, error) {
+	if limit <= 0 {
+		return nil, nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.f == nil {
+		return nil, ErrLogBroken
+	}
+	data, err := os.ReadFile(a.path)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading audit log: %w", err)
+	}
+	var out []AuditRecord
+	off := 0
+	for off < len(data) && len(out) < limit {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break
+		}
+		line := data[off : off+nl+1]
+		off += nl + 1
+		body, ok := checkLine(line)
+		if !ok {
+			break // a tear can only be the tail being appended right now
+		}
+		var rec AuditRecord
+		if err := json.Unmarshal(body, &rec); err != nil {
+			return nil, fmt.Errorf("store: decoding audit record: %w", err)
+		}
+		if rec.Seq <= after {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Close fsyncs and closes the file.
+func (a *AuditLog) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.f == nil {
+		return nil
+	}
+	err := a.f.Close()
+	a.f = nil
+	return err
+}

@@ -219,6 +219,9 @@ func (s *Store) recoverTenant(id string) (*RecoveredTenant, error) {
 		_ = f.Close()
 		return nil, fmt.Errorf("store: truncating torn wal for %q: %w", id, err)
 	}
+	s.mu.Lock()
+	met := s.metrics
+	s.mu.Unlock()
 	rec.Log = &TenantLog{
 		id:      id,
 		dir:     dir,
@@ -227,6 +230,7 @@ func (s *Store) recoverTenant(id string) (*RecoveredTenant, error) {
 		seq:     lastSeq,
 		snapSeq: startSeq,
 		pending: int(lastSeq - startSeq),
+		met:     met,
 	}
 	return rec, nil
 }
@@ -260,22 +264,34 @@ func anyIntactSyncedRecord(rest []byte) bool {
 // on any damage (short line, bad hex, checksum mismatch, bad JSON).
 func parseLine(line []byte) (record, bool) {
 	var r record
-	// "xxxxxxxx " + "{}" + "\n" is the minimum.
-	if len(line) < 12 || line[8] != ' ' || line[len(line)-1] != '\n' {
-		return r, false
-	}
-	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
-	if err != nil {
-		return r, false
-	}
-	body := bytes.TrimSuffix(line[9:], []byte("\n"))
-	if crc32.ChecksumIEEE(body) != uint32(want) {
+	body, ok := checkLine(line)
+	if !ok {
 		return r, false
 	}
 	if err := json.Unmarshal(body, &r); err != nil {
 		return r, false
 	}
 	return r, true
+}
+
+// checkLine validates one CRC'd log line "crc32hex <body>\n" (the WAL's
+// and the audit log's shared framing), returning the body with the
+// checksum verified, or ok=false on any damage (short line, bad hex,
+// checksum mismatch).
+func checkLine(line []byte) ([]byte, bool) {
+	// "xxxxxxxx " + "{}" + "\n" is the minimum.
+	if len(line) < 12 || line[8] != ' ' || line[len(line)-1] != '\n' {
+		return nil, false
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, false
+	}
+	body := bytes.TrimSuffix(line[9:], []byte("\n"))
+	if crc32.ChecksumIEEE(body) != uint32(want) {
+		return nil, false
+	}
+	return body, true
 }
 
 // onlyStoreFiles reports whether a tenant directory contains nothing the

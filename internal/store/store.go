@@ -60,9 +60,11 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/dp"
 	"repro/internal/dpsql"
+	"repro/internal/obs"
 )
 
 // Store errors.
@@ -151,12 +153,44 @@ type record struct {
 	Cost      *dp.Cost          `json:"cost,omitempty"`
 }
 
+// Metrics is the store's optional telemetry surface: the serve layer
+// registers these instruments on its registry and installs them with
+// SetMetrics before recovery; a nil Metrics (or any nil field) records
+// nothing. Latencies are in seconds on obs.LatencyBuckets.
+type Metrics struct {
+	// FsyncSeconds observes every WAL flush+fsync (the release path's
+	// durability barrier: one per deduction, plus snapshot hardening).
+	FsyncSeconds *obs.Histogram
+	// SnapshotSeconds observes WriteSnapshot end to end (serialize, temp
+	// write, fsync, rename, dir sync) — the compaction pause a tenant's
+	// requests wait out under the persist lock.
+	SnapshotSeconds *obs.Histogram
+	// WALRecords and WALBytes count appended records and their encoded
+	// bytes (CRC prefix and newline included) across every tenant log.
+	WALRecords *obs.Counter
+	WALBytes   *obs.Counter
+	// AuditFsyncSeconds observes audit-log appends (each is fsynced);
+	// AuditRecords counts them.
+	AuditFsyncSeconds *obs.Histogram
+	AuditRecords      *obs.Counter
+}
+
 // Store manages the durable state under one data directory.
 type Store struct {
 	dir string
 
-	mu   sync.Mutex
-	logs map[string]*TenantLog
+	mu      sync.Mutex
+	logs    map[string]*TenantLog
+	metrics *Metrics
+}
+
+// SetMetrics installs the telemetry instruments. Call it once, after
+// Open and before Recover or the first CreateTenant — logs capture the
+// pointer at construction.
+func (s *Store) SetMetrics(m *Metrics) {
+	s.mu.Lock()
+	s.metrics = m
+	s.mu.Unlock()
 }
 
 // TenantLog is one tenant's open write-ahead log. Appends are serialized
@@ -175,6 +209,8 @@ type TenantLog struct {
 	snapSeq uint64 // seq covered by the on-disk snapshot
 	pending int    // records appended since the last snapshot
 	broken  bool   // fail-stop after a write error
+
+	met *Metrics // telemetry instruments (nil records nothing)
 }
 
 // Open prepares a store rooted at dir, creating it if needed, and claims
@@ -318,7 +354,7 @@ func (s *Store) CreateTenant(id string, cfg TenantConfig) (*TenantLog, error) {
 		_ = os.RemoveAll(dir)
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	tl := &TenantLog{id: id, dir: dir, f: f, w: bufio.NewWriterSize(f, walBufSize)}
+	tl := &TenantLog{id: id, dir: dir, f: f, w: bufio.NewWriterSize(f, walBufSize), met: s.metrics}
 	if err := tl.append(record{Type: recCreate, Config: &cfg}, true); err != nil {
 		_ = f.Close()
 		_ = os.RemoveAll(dir)
@@ -393,6 +429,14 @@ func (tl *TenantLog) appendLocked(rec record, sync bool) error {
 		tl.broken = true
 		return fmt.Errorf("store: appending record: %w", err)
 	}
+	if m := tl.met; m != nil {
+		if m.WALRecords != nil {
+			m.WALRecords.Inc()
+		}
+		if m.WALBytes != nil {
+			m.WALBytes.Add(int64(len(body)) + 10) // "xxxxxxxx " prefix + "\n"
+		}
+	}
 	tl.pending++
 	if sync {
 		if err := tl.flushLocked(); err != nil {
@@ -404,6 +448,7 @@ func (tl *TenantLog) appendLocked(rec record, sync bool) error {
 
 // flushLocked drains the buffer and fsyncs. Callers hold tl.mu.
 func (tl *TenantLog) flushLocked() error {
+	t0 := time.Now()
 	if err := tl.w.Flush(); err != nil {
 		tl.broken = true
 		return fmt.Errorf("store: flushing wal: %w", err)
@@ -411,6 +456,9 @@ func (tl *TenantLog) flushLocked() error {
 	if err := tl.f.Sync(); err != nil {
 		tl.broken = true
 		return fmt.Errorf("store: syncing wal: %w", err)
+	}
+	if m := tl.met; m != nil && m.FsyncSeconds != nil {
+		m.FsyncSeconds.Observe(time.Since(t0).Seconds())
 	}
 	return nil
 }
@@ -464,6 +512,10 @@ func (tl *TenantLog) WriteSnapshot(snap TenantSnapshot) error {
 	if tl.broken || tl.f == nil {
 		// Broken, or closed underneath a background compaction.
 		return ErrLogBroken
+	}
+	if m := tl.met; m != nil && m.SnapshotSeconds != nil {
+		t0 := time.Now()
+		defer func() { m.SnapshotSeconds.Observe(time.Since(t0).Seconds()) }()
 	}
 	// Harden the WAL first: if the snapshot write fails midway, the log
 	// must still carry everything.
