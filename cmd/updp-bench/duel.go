@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// The durability duel: the same distinct-release workload against two
+// in-process servers — one in-memory, one durable on a throwaway data
+// dir — at the same concurrency, so the fsync tax on the release path is
+// a measured ratio instead of an asserted one. Every request is a
+// byte-distinct quantile release (never a cache replay), so each one
+// charges the ledger and, on the durable twin, must clear the WAL's
+// group-commit barrier before its answer returns. The durable twin's
+// /metrics scrape reports how the barrier amortized: fsyncs per charged
+// release and entries acked per fsync (updp_wal_batch_size).
+
+// duelResult is one twin's measured run.
+type duelResult struct {
+	label    string
+	ok       int
+	refused  int
+	shed     int
+	errs     int
+	elapsed  time.Duration
+	p50, p95 time.Duration
+	before   metricSnapshot
+	after    metricSnapshot
+}
+
+func (r duelResult) rps() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.ok) / r.elapsed.Seconds()
+}
+
+// runDuel runs the durable-vs-ephemeral twins and prints the gap.
+func runDuel(cfg loadgenConfig) error {
+	if cfg.target != "self" {
+		return fmt.Errorf("loadgen: -duel needs -serve self (it owns both servers)")
+	}
+	dir, err := os.MkdirTemp("", "updp-duel-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	arms := []struct {
+		label   string
+		dataDir string
+	}{
+		{"ephemeral", ""},
+		{"durable", dir},
+	}
+	results := make([]duelResult, len(arms))
+	var workers int
+	for i, arm := range arms {
+		if results[i], workers, err = duelArm(cfg, arm.label, arm.dataDir); err != nil {
+			return err
+		}
+	}
+
+	eph, dur := results[0], results[1]
+	fmt.Printf("=== durability duel: %d clients (pool width %d), %v, %d users, eps/release=%g, accounting=%s ===\n",
+		cfg.clients, workers, cfg.duration, cfg.users, cfg.eps, cfg.accounting)
+	fmt.Printf("%-11s %10s %12s %12s %12s\n", "twin", "ok", "ok/s", "p50", "p95")
+	for _, r := range results {
+		fmt.Printf("%-11s %10d %12.1f %12v %12v\n",
+			r.label, r.ok, r.rps(), r.p50.Round(time.Microsecond), r.p95.Round(time.Microsecond))
+	}
+	if dur.rps() > 0 {
+		fmt.Printf("gap          ephemeral/durable = %.2fx (target: within ~2x at pool-width concurrency)\n",
+			eph.rps()/dur.rps())
+	}
+	// The durable twin's own instruments say how the commit barrier
+	// amortized: charged releases per fsync, entries per batch.
+	fsyncs := dur.after["updp_wal_fsync_seconds_count"] - dur.before["updp_wal_fsync_seconds_count"]
+	batches := dur.after["updp_wal_batch_size_count"] - dur.before["updp_wal_batch_size_count"]
+	entries := dur.after["updp_wal_batch_size_sum"] - dur.before["updp_wal_batch_size_sum"]
+	if fsyncs > 0 {
+		fmt.Printf("group-commit %.0f fsyncs for %d charged releases (%.2f releases/fsync)\n",
+			fsyncs, dur.ok, float64(dur.ok)/fsyncs)
+	}
+	if batches > 0 {
+		fmt.Printf("batch size   %.2f entries/barrier over %.0f barriers\n", entries/batches, batches)
+	}
+	errsTotal := eph.errs + dur.errs
+	if errsTotal > 0 {
+		return fmt.Errorf("loadgen: %d requests errored", errsTotal)
+	}
+	return nil
+}
+
+// duelArm provisions one twin and hammers it with the duel workload,
+// returning its measured result and the server's pool width.
+func duelArm(cfg loadgenConfig, label, dataDir string) (duelResult, int, error) {
+	res := duelResult{label: label}
+	srv, err := serve.Open(serve.Options{
+		Seed:       cfg.seed,
+		QueueDepth: 4 * cfg.clients,
+		DataDir:    dataDir,
+	})
+	if err != nil {
+		return res, 0, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return res, 0, err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	defer func() { hs.Close(); srv.Close() }()
+
+	hc := &http.Client{Timeout: 30 * time.Second}
+	tenant := fmt.Sprintf("duel-%s-%d", label, time.Now().UnixNano())
+	if err := provisionBench(cfg, hc, base, serve.CreateTenantRequest{
+		ID:         tenant,
+		Epsilon:    1e9,
+		Accounting: cfg.accounting,
+		Delta:      cfg.delta,
+	}); err != nil {
+		return res, 0, err
+	}
+	if res.before, _, err = scrapeMetrics(hc, base); err != nil {
+		return res, 0, err
+	}
+
+	// The hammer: every client fires back-to-back DISTINCT quantile
+	// releases (unique rank per request), so nothing replays from the
+	// cache — each ok answer charged the ledger, and on the durable twin
+	// cleared the commit barrier first.
+	lats := make([][]time.Duration, cfg.clients)
+	tallies := make([]duelResult, cfg.clients)
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := &http.Client{Timeout: 30 * time.Second}
+			ta := &tallies[c]
+			for i := 0; time.Now().Before(deadline); i++ {
+				p := 0.001 + 0.998*float64((c*99991+i)%999983)/999983
+				body, _ := json.Marshal(serve.EstimateRequest{
+					Table: "metrics", Column: "v", Stat: "quantile", P: p, Epsilon: cfg.eps,
+				})
+				t0 := time.Now()
+				resp, err := cl.Post(base+"/v1/tenants/"+tenant+"/estimate", "application/json", bytes.NewReader(body))
+				if err != nil {
+					ta.errs++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lats[c] = append(lats[c], time.Since(t0))
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ta.ok++
+				case http.StatusTooManyRequests:
+					ta.refused++
+				case http.StatusServiceUnavailable:
+					ta.shed++
+				default:
+					ta.errs++
+				}
+			}
+		}(c)
+	}
+	start := time.Now()
+	wg.Wait()
+	res.elapsed = time.Since(start)
+
+	var all []time.Duration
+	for c := range tallies {
+		res.ok += tallies[c].ok
+		res.refused += tallies[c].refused
+		res.shed += tallies[c].shed
+		res.errs += tallies[c].errs
+		all = append(all, lats[c]...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		ix := int(math.Ceil(p*float64(len(all)))) - 1
+		if ix < 0 {
+			ix = 0
+		}
+		return all[ix]
+	}
+	res.p50, res.p95 = pct(0.50), pct(0.95)
+	if res.after, _, err = scrapeMetrics(hc, base); err != nil {
+		return res, 0, err
+	}
+	return res, srv.Workers(), nil
+}

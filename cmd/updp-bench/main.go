@@ -17,6 +17,7 @@
 //	updp-bench -serve self -accounting zcdp -window 60
 //	updp-bench -serve self -compare -budget 0.1
 //	updp-bench -serve self -restart
+//	updp-bench -serve self -duel              # durable vs ephemeral throughput
 //	updp-bench -serve self -shards 8          # bench tenant on 8-way sharded tables
 //	updp-bench -serve self -shards sweep      # shard-scaling sweep at N=1,4,16
 //
@@ -63,6 +64,7 @@ func main() {
 		compare     = flag.Bool("compare", false, "loadgen: run the pure-vs-zcdp-vs-rdp exhaustion duel instead of the throughput run")
 		budget      = flag.Float64("budget", 0.1, "compare: nominal total epsilon per twin tenant")
 		restart     = flag.Bool("restart", false, "loadgen: run the durability recovery scenario (ingest+spend, snapshot, crash, re-open) instead of the throughput run")
+		duel        = flag.Bool("duel", false, "loadgen: run the durable-vs-ephemeral duel (same distinct-release load with and without a data dir) instead of the throughput run")
 		shardsFlag  = flag.String("shards", "", `loadgen: bench tenant table shard count (an integer), or "sweep" to run the shard-scaling sweep (N=1,4,16: ingest rows/sec + release latency)`)
 		metricsOut  = flag.String("metrics-out", "", "loadgen: save the final /metrics scrape (Prometheus text) to this file")
 	)
@@ -96,13 +98,13 @@ func main() {
 			cfg.shards = n
 		}
 		modes := 0
-		for _, on := range []bool{*compare, *restart, sweep} {
+		for _, on := range []bool{*compare, *restart, *duel, sweep} {
 			if on {
 				modes++
 			}
 		}
 		if modes > 1 {
-			fmt.Fprintln(os.Stderr, "updp-bench: -compare, -restart, and -shards sweep are mutually exclusive scenarios; pick one")
+			fmt.Fprintln(os.Stderr, "updp-bench: -compare, -restart, -duel, and -shards sweep are mutually exclusive scenarios; pick one")
 			os.Exit(2)
 		}
 		var err error
@@ -111,6 +113,8 @@ func main() {
 			err = runCompare(cfg)
 		case *restart:
 			err = runRestart(cfg)
+		case *duel:
+			err = runDuel(cfg)
 		case sweep:
 			err = runShardSweep(cfg)
 		default:

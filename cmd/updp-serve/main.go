@@ -59,6 +59,7 @@ import (
 
 	"repro/internal/dpsql"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/xrand"
 )
 
@@ -68,6 +69,9 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		seed       = flag.Uint64("seed", 0, "RNG seed; 0 uses OS entropy (required for real privacy)")
 		dataDir    = flag.String("data-dir", "", "durable tenant state directory (WAL + snapshots); empty = in-memory only")
+		commitWait = flag.Duration("commit-delay", 0, "WAL group-commit coalescing window (0 = fire immediately; batches still form naturally under load)")
+		commitMax  = flag.Int("commit-batch", 0, "WAL group-commit max entries per batch (0 = 256)")
+		noGroup    = flag.Bool("no-group-commit", false, "disable WAL group commit: one fsync per deduction and per audit record")
 		shards     = flag.Int("shards", 0, "default table shard count for new tenants (hash-partitioned by user id; 0 = 1, monolithic)")
 		demo       = flag.Bool("demo", false, "preload a demo tenant with synthetic salaries")
 		accounting = flag.String("accounting", "pure", `demo tenant composition backend: "pure", "zcdp", or "rdp"`)
@@ -85,7 +89,13 @@ func main() {
 		log.Fatalf("updp-serve: %v", err)
 	}
 
-	srv, err := serve.Open(serve.Options{Workers: *workers, Seed: *seed, DataDir: *dataDir, DefaultShards: *shards})
+	srv, err := serve.Open(serve.Options{
+		Workers:       *workers,
+		Seed:          *seed,
+		DataDir:       *dataDir,
+		DefaultShards: *shards,
+		GroupCommit:   store.GroupCommitOptions{MaxDelay: *commitWait, MaxBatch: *commitMax, Disable: *noGroup},
+	})
 	if err != nil {
 		log.Fatalf("updp-serve: %v", err)
 	}

@@ -63,11 +63,24 @@
 // Run the service with updp-serve -data-dir to enable it; recovery is
 // conservative — a torn WAL tail can drop trailing data rows but never a
 // recorded deduction, so post-restart spend is always >= pre-crash
-// acknowledged spend. The building blocks are reusable: every dp ledger
-// implements Snapshot/Restore/ForceSpend (dp.StatefulLedger) and dpsql
-// tables export/import their full state. updp-bench -serve -restart is
-// the recovery drill: ingest + spend, snapshot, crash without flushing,
-// re-open, and report the carried-over spend and recovery wall-time.
+// acknowledged spend. Concurrent releases share their durability cost
+// through WAL group commit: parked deductions and their audit records
+// are drained into one batch WAL record and acked by a single shared
+// fsync (adaptive — a lone release commits immediately, batches form
+// from arrivals during the previous barrier), so durable throughput
+// tracks ephemeral throughput at pool-width concurrency while every
+// invariant stands: the deduction is on disk before its answer is
+// released, a torn batch drops atomically (never a prefix), and
+// "acknowledged implies audited" costs zero extra fsyncs because the
+// audit copy rides the same batch record. updp-serve -commit-delay and
+// -commit-batch tune the window; -no-group-commit restores one fsync per
+// record. The building blocks are reusable: every dp ledger implements
+// Snapshot/Restore/ForceSpend (dp.StatefulLedger) and dpsql tables
+// export/import their full state. updp-bench -serve -restart is the
+// recovery drill: ingest + spend, snapshot, crash without flushing,
+// re-open, and report the carried-over spend and recovery wall-time;
+// updp-bench -serve -duel measures the remaining durability tax as an
+// ephemeral/durable throughput ratio under a distinct-release load.
 //
 // # Sharded tenant tables
 //
@@ -97,9 +110,10 @@
 // every release carries an ID (the X-Release-Id header) through a span
 // trace that feeds a structured slow-release log; and every charged
 // release appends one CRC-framed line to a per-tenant DP audit log —
-// fsynced before the answer is acknowledged on durable tenants, paged
-// out via GET /v1/tenants/{id}/audit, and summing back to exactly the
-// ledger's recorded spend. docs/OBSERVABILITY.md is the operator's
+// durable (via the shared group-commit barrier) before the answer is
+// acknowledged on durable tenants, paged out via GET
+// /v1/tenants/{id}/audit, and summing back to exactly the ledger's
+// recorded spend. docs/OBSERVABILITY.md is the operator's
 // catalog (metrics, trace stages, audit schema, scrape and pprof
 // setup); updp-serve -metrics-addr and -debug-addr mount the scrape
 // and net/http/pprof on dedicated listeners; updp-bench -serve prints

@@ -46,8 +46,18 @@ type Table struct {
 
 	nshards int
 	shards  []*tableShard
+
+	// nextSeq is the table-global insertion sequence number, bumped by
+	// every striped writer on every shard — the one cache line all cores
+	// share on the ingest path. The padding gives it a 64-byte line to
+	// itself so the contended CAS traffic does not false-share with the
+	// neighboring read-mostly fields (shards, fan), which every insert
+	// and scan also touches.
+	_       [64]byte
 	nextSeq atomic.Uint64 // next global insertion sequence number
-	fan     atomic.Value  // Fanout installed by the owning DB (may be nil)
+	_       [56]byte
+
+	fan atomic.Value // Fanout installed by the owning DB (may be nil)
 }
 
 // DB is a collection of tables with an optional shared privacy budget.

@@ -63,12 +63,13 @@ func newMetricsSet() *metricsSet {
 		ingestSeconds:  reg.HistogramVec("updp_ingest_stage_seconds", "Ingestion-batch stage latency: store (decode + sharded insert) and wal (row-record append).", lat, "stage"),
 	}
 	m.storeMet = &store.Metrics{
-		FsyncSeconds:      reg.Histogram("updp_wal_fsync_seconds", "WAL flush+fsync latency (one per deduction; the release path's durability barrier).", lat),
+		FsyncSeconds:      reg.Histogram("updp_wal_fsync_seconds", "WAL flush+fsync latency (one per commit batch; the release path's durability barrier).", lat),
 		SnapshotSeconds:   reg.Histogram("updp_snapshot_write_seconds", "Tenant snapshot compaction latency (serialize, write, fsync, rename).", lat),
 		WALRecords:        reg.Counter("updp_wal_records_total", "WAL records appended across every tenant log."),
 		WALBytes:          reg.Counter("updp_wal_bytes_total", "WAL bytes appended across every tenant log."),
-		AuditFsyncSeconds: reg.Histogram("updp_audit_fsync_seconds", "Audit-log append+fsync latency on durable tenants.", lat),
+		AuditFsyncSeconds: reg.Histogram("updp_audit_fsync_seconds", "Audit-log hardening (flush+fsync) latency on durable tenants.", lat),
 		AuditRecords:      m.auditRecords,
+		BatchSize:         reg.Histogram("updp_wal_batch_size", "Entries (deductions + audit records) acked per group-commit fsync barrier.", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 	}
 	return m
 }

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dist"
+	"repro/internal/xrand"
+)
+
+// noiseBank vectorizes noise sampling for fixed-shape mechanisms: when
+// the group-commit barrier releases a batch of parked mechanisms
+// together, those sharing a distribution shape (same family, same scale
+// parameter) take their noise from one bulk draw instead of splitting
+// one generator per release. The bank sizes each bulk draw adaptively to
+// the number of such releases currently in flight — alone it draws one
+// variate (no waste, no latency), at pool-width concurrency it draws the
+// cohort's worth in one pass.
+//
+// Only mechanisms whose noise shape is known up front can bank: the
+// count statistic (Laplace(1/ε) or N(0, σ(ρ)²), sensitivity fixed at 1)
+// qualifies; the universal estimators do not (their noise scale is
+// data-dependent, discovered mid-mechanism). Statistical semantics are
+// unchanged — every variate still comes from the server's seeded root
+// generator through the same samplers, in bank-arrival order rather than
+// release-arrival order, which is the same distribution over outcomes.
+type noiseBank struct {
+	inflight atomic.Int64
+
+	mu      sync.Mutex
+	rng     *xrand.RNG
+	buckets map[noiseShape][]float64
+}
+
+// noiseShape keys a bucket: a distribution family plus its one scale
+// parameter (Laplace scale b, or Gaussian sigma).
+type noiseShape struct {
+	family string
+	param  float64
+}
+
+// maxBulk caps one bulk draw — past this, the amortization has flattened
+// and a bigger prefetch only risks drawing variates no release claims.
+const maxBulk = 64
+
+// maxShapes bounds the bucket map: workloads that vary the scale on
+// every release (distinct ε per request) would otherwise grow one
+// leftover bucket per shape forever. Past the cap, leftovers for new
+// shapes are dropped — wasted variates, never wrong ones.
+const maxShapes = 256
+
+func newNoiseBank(rng *xrand.RNG) *noiseBank {
+	return &noiseBank{rng: rng, buckets: map[noiseShape][]float64{}}
+}
+
+// enter marks one bankable release in flight and returns its exit; the
+// live count is the bulk-draw sizing signal.
+func (b *noiseBank) enter() func() {
+	b.inflight.Add(1)
+	return func() { b.inflight.Add(-1) }
+}
+
+// draw returns one variate of the shape, refilling the shape's bucket
+// with a bulk draw sized to the in-flight cohort when it runs dry.
+func (b *noiseBank) draw(family string, param float64) float64 {
+	shape := noiseShape{family: family, param: param}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bucket := b.buckets[shape]
+	if len(bucket) == 0 {
+		n := int(b.inflight.Load())
+		if n < 1 {
+			n = 1
+		}
+		if n > maxBulk {
+			n = maxBulk
+		}
+		switch family {
+		case "laplace":
+			bucket = dist.BulkLaplace(b.rng, param, n)
+		case "gaussian":
+			bucket = dist.BulkGaussian(b.rng, param, n)
+		default:
+			panic("serve: unknown noise shape family " + family)
+		}
+	}
+	v := bucket[len(bucket)-1]
+	if len(bucket) > 1 {
+		if _, held := b.buckets[shape]; held || len(b.buckets) < maxShapes {
+			b.buckets[shape] = bucket[:len(bucket)-1]
+		}
+	} else {
+		delete(b.buckets, shape)
+	}
+	return v
+}

@@ -31,10 +31,11 @@ var errPersist = errors.New("serve: persistence failure")
 //     over-counting is the conservative direction, and the log is
 //     fail-stop anyway (ErrLogBroken) so the tenant degrades to 500s
 //     rather than silently un-durable releases.
-//   - telemetry: the in-memory deduct and the WAL fsync are timed into
-//     the ledger_deduct / wal_fsync stage histograms, and the budget
-//     odometer observes the new cumulative spend (feeding the burn-rate
-//     and time-to-exhaustion gauges).
+//   - telemetry: the in-memory deduct, the time parked on the commit
+//     barrier, and the shared batch fsync are timed into the
+//     ledger_deduct / group_commit_wait / wal_fsync stage histograms,
+//     and the budget odometer observes the new cumulative spend (feeding
+//     the burn-rate and time-to-exhaustion gauges).
 type tenantLedger struct {
 	t *Tenant
 	s *Server
@@ -53,11 +54,16 @@ func (w *tenantLedger) Spend(c dp.Cost) error {
 	}
 	w.s.metrics.stageSeconds.With("ledger_deduct").Observe(time.Since(t0).Seconds())
 	if w.t.log != nil {
-		t1 := time.Now()
-		if err := w.t.log.AppendDeduct(c); err != nil {
+		// CommitDeduct parks on the tenant's group-commit barrier: one
+		// shared fsync acks every deduction (and audit record) batched
+		// with this one. waited is the parked time before the batch
+		// started; fsync is the shared barrier itself.
+		waited, fsync, err := w.t.log.CommitDeduct(c)
+		if err != nil {
 			return fmt.Errorf("%w: recording deduction (budget charged, release withheld): %v", errPersist, err)
 		}
-		w.s.metrics.stageSeconds.With("wal_fsync").Observe(time.Since(t1).Seconds())
+		w.s.metrics.stageSeconds.With("group_commit_wait").Observe(waited.Seconds())
+		w.s.metrics.stageSeconds.With("wal_fsync").Observe(fsync.Seconds())
 	}
 	w.t.odo.Observe(w.t.led.Spent())
 	return nil

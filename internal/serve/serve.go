@@ -57,7 +57,12 @@
 //   - every ledger deduction: logged and fsynced after the in-memory
 //     check-and-deduct succeeds and before the mechanism runs — no
 //     answer ever leaves the process on a deduction a crash could
-//     forget;
+//     forget. Concurrent deductions share the fsync through the WAL
+//     group committer (Options.GroupCommit): releases park on a commit
+//     barrier and one batch record — one fsync — acks all of them,
+//     their audit records riding the same barrier, so durable
+//     throughput scales with concurrency instead of being bounded by
+//     per-release fsync latency;
 //   - row ingestion batches: logged without fsync (hardened by the next
 //     deduction's fsync, a snapshot, or Close).
 //
@@ -108,7 +113,8 @@
 // Observability (docs/OBSERVABILITY.md): every release carries a release
 // ID (echoed in the X-Release-Id response header) through a per-stage
 // trace — queue wait, cache lookup, shard scan+merge, noise sampling,
-// ledger deduction, WAL fsync, audit append — feeding per-stage latency
+// ledger deduction, group-commit wait, WAL fsync, audit append — feeding
+// per-stage latency
 // histograms on /metrics; per-tenant budget-odometer gauges report
 // spend, burn rate, and projected time to exhaustion; and releases
 // slower than Options.SlowRelease log one structured line with the full
@@ -173,6 +179,15 @@ type Options struct {
 	// structured line with its release ID and full per-stage span
 	// breakdown. 0 means 250ms; negative disables the log.
 	SlowRelease time.Duration
+	// GroupCommit tunes the WAL group committer on durable servers:
+	// concurrent releases park on a shared commit barrier and one fsync
+	// acks the whole batch (deductions + audit records together). The
+	// zero value enables group commit with natural adaptive batching —
+	// a lone release commits immediately, releases arriving during an
+	// in-flight fsync form the next batch. Set Disable to restore one
+	// fsync per deduction plus one per audit record. Ignored without
+	// DataDir.
+	GroupCommit store.GroupCommitOptions
 }
 
 // maxTenantShards bounds a tenant's configured shard count; past this the
@@ -200,6 +215,11 @@ type Server struct {
 	// under rngMu because xrand.RNG itself is single-threaded.
 	rngMu sync.Mutex
 	rng   *xrand.RNG
+
+	// noise banks bulk draws for fixed-shape mechanisms (the count
+	// stat), so a commit batch of same-shape releases shares one
+	// vectorized sampling pass.
+	noise *noiseBank
 
 	start time.Time
 
@@ -301,6 +321,7 @@ func Open(opts Options) (*Server, error) {
 		defShards: defShards,
 		tenants:   map[string]*Tenant{},
 		creating:  map[string]struct{}{},
+		noise:     newNoiseBank(rng.Split()),
 		rng:       rng,
 		start:     time.Now(),
 		metrics:   newMetricsSet(),
@@ -314,8 +335,10 @@ func Open(opts Options) (*Server, error) {
 		}
 		s.st = st
 		// Install the metric instruments before recovery so replayed WAL
-		// reopens and the first snapshot land on the registry.
+		// reopens and the first snapshot land on the registry, and the
+		// group-commit config so recovered logs start their committers.
 		st.SetMetrics(s.metrics.storeMet)
+		st.SetGroupCommit(opts.GroupCommit)
 		recs, err := st.Recover()
 		if err == nil {
 			for _, rec := range recs {

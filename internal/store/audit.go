@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -22,13 +23,27 @@ import (
 // mechanism, when, at what best RDP order) and is never replayed into
 // state, so its format can grow fields freely.
 //
-// Durability: each append is fsynced before it returns, and the serve
-// layer appends AFTER the charge lands but BEFORE the answer is
-// acknowledged — so every acknowledged release has its audit line on
-// disk (a crash can leave an audit line for a charged-but-unanswered
-// release, never the reverse; over-recording matches the WAL's
-// over-counting direction). A torn tail (crash mid-append) is truncated
-// at open, exactly like the WAL.
+// Durability: the serve layer appends AFTER the charge lands but BEFORE
+// the answer is acknowledged — so every acknowledged release has its
+// audit record durable (a crash can leave an audit record for a
+// charged-but-unanswered release, never the reverse; over-recording
+// matches the WAL's over-counting direction). HOW it becomes durable
+// depends on whether the tenant log runs a group committer:
+//
+//   - Routed (committer attached): Append parks on the WAL's commit
+//     barrier. The line is written to this file BUFFERED, and a copy
+//     rides inside the batch WAL record — the batch's single fsync makes
+//     the audit record durable, zero extra fsyncs. The buffered file is
+//     hardened (flushed + fsynced) before any WAL truncation
+//     (WriteSnapshot) and at Close; after a crash, OpenAudit reconciles
+//     the file against the WAL's batch copies (Reconcile), re-appending
+//     lines the buffer lost. Seqs stay contiguous because they are
+//     assigned in barrier order and both files truncate tail-only.
+//   - Standalone (no committer): each append is flushed and fsynced
+//     before it returns, the pre-group-commit behavior.
+//
+// A torn tail (crash mid-append) is truncated at open, exactly like the
+// WAL.
 
 // auditName is the per-tenant audit file, next to wal.log.
 const auditName = "audit.log"
@@ -59,10 +74,16 @@ type AuditLog struct {
 	mu     sync.Mutex
 	path   string
 	f      *os.File
+	w      *bufio.Writer
 	seq    uint64 // last assigned record seq (== line count: tail-only truncation)
 	broken bool
 	met    *Metrics
+	gc     *groupCommitter // non-nil routes Append through the WAL barrier
 }
+
+// auditBufSize is the audit writer's buffer; routed appends accumulate
+// here between hardenings (their durable copy rides the WAL batch).
+const auditBufSize = 32 << 10
 
 // OpenAudit opens (creating if absent) the audit log for an existing
 // tenant directory, truncating a torn tail. Call it after CreateTenant
@@ -107,43 +128,130 @@ func (s *Store) OpenAudit(id string) (*AuditLog, error) {
 			return nil, fmt.Errorf("store: truncating torn audit tail for %q: %w", id, err)
 		}
 	}
-	return &AuditLog{path: path, f: f, seq: n, met: met}, nil
+	a := &AuditLog{path: path, f: f, w: bufio.NewWriterSize(f, auditBufSize), seq: n, met: met}
+	// Attach to the tenant's open WAL so audit appends ride its commit
+	// barrier (one fsync covers deduction + audit) and snapshots harden
+	// this file before truncating the WAL. Then reconcile: batch WAL
+	// records may hold audit lines a crash caught in this file's buffer.
+	if tl, ok := s.Tenant(id); ok {
+		tl.attachAudit(a)
+	}
+	s.mu.Lock()
+	pend := s.pendingAudits[id]
+	delete(s.pendingAudits, id)
+	s.mu.Unlock()
+	if err := a.reconcile(pend); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("store: reconciling audit log for %q: %w", id, err)
+	}
+	return a, nil
 }
 
-// Append assigns the record's seq and timestamp, writes it, and fsyncs
-// before returning — the caller may acknowledge the release only after
-// this succeeds.
+// reconcile re-appends audit records recovered from WAL batch copies
+// that the file itself lost from its buffer in a crash — preserving
+// their original seq and timestamp. Records the file already holds
+// (seq <= line count) are skipped; the survivors are written buffered,
+// because the WAL still carries them until the next snapshot hardens
+// this file first.
+func (a *AuditLog) reconcile(pend []AuditRecord) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range pend {
+		rec := &pend[i]
+		if rec.Seq <= a.seq {
+			continue
+		}
+		if rec.Seq != a.seq+1 {
+			return fmt.Errorf("audit seq gap: file at %d, wal batch carries %d", a.seq, rec.Seq)
+		}
+		if err := a.writeLocked(rec); err != nil {
+			return err
+		}
+		a.seq = rec.Seq
+	}
+	return nil
+}
+
+// Append records one charged release durably — the caller may
+// acknowledge the release only after this succeeds. With a committer
+// attached the append parks on the WAL's group-commit barrier (the
+// batch's one fsync covers it); standalone, it is written, flushed, and
+// fsynced here.
 func (a *AuditLog) Append(rec *AuditRecord) error {
+	a.mu.Lock()
+	gc := a.gc
+	a.mu.Unlock()
+	if gc != nil {
+		_, _, err := gc.submit(nil, rec)
+		return err
+	}
+	if err := a.appendBuffered(rec); err != nil {
+		return err
+	}
+	return a.harden()
+}
+
+// appendBuffered assigns the record's seq and timestamp and writes its
+// line to the buffer WITHOUT fsync. Callers must arrange durability: the
+// committer puts a copy in the batch WAL record; the standalone Append
+// hardens immediately.
+func (a *AuditLog) appendBuffered(rec *AuditRecord) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.broken || a.f == nil {
 		return ErrLogBroken
 	}
-	t0 := time.Now()
 	rec.Seq = a.seq + 1
 	if rec.TimeUnix == 0 {
-		rec.TimeUnix = t0.UnixNano()
+		rec.TimeUnix = time.Now().UnixNano()
 	}
+	if err := a.writeLocked(rec); err != nil {
+		return err
+	}
+	a.seq = rec.Seq
+	if m := a.met; m != nil && m.AuditRecords != nil {
+		m.AuditRecords.Inc()
+	}
+	return nil
+}
+
+// writeLocked frames and buffers one record. Callers hold a.mu.
+func (a *AuditLog) writeLocked(rec *AuditRecord) error {
 	body, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("store: encoding audit record: %w", err)
 	}
-	if _, err := fmt.Fprintf(a.f, "%08x %s\n", crc32.ChecksumIEEE(body), body); err != nil {
+	if _, err := fmt.Fprintf(a.w, "%08x %s\n", crc32.ChecksumIEEE(body), body); err != nil {
 		a.broken = true
 		return fmt.Errorf("store: appending audit record: %w", err)
+	}
+	return nil
+}
+
+// harden flushes the buffer and fsyncs the file — the audit log's own
+// durability barrier, paid per append standalone and only at snapshot/
+// close when appends ride the WAL barrier.
+func (a *AuditLog) harden() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.hardenLocked()
+}
+
+func (a *AuditLog) hardenLocked() error {
+	if a.broken || a.f == nil {
+		return ErrLogBroken
+	}
+	t0 := time.Now()
+	if err := a.w.Flush(); err != nil {
+		a.broken = true
+		return fmt.Errorf("store: flushing audit log: %w", err)
 	}
 	if err := a.f.Sync(); err != nil {
 		a.broken = true
 		return fmt.Errorf("store: syncing audit log: %w", err)
 	}
-	a.seq = rec.Seq
-	if m := a.met; m != nil {
-		if m.AuditFsyncSeconds != nil {
-			m.AuditFsyncSeconds.Observe(time.Since(t0).Seconds())
-		}
-		if m.AuditRecords != nil {
-			m.AuditRecords.Inc()
-		}
+	if m := a.met; m != nil && m.AuditFsyncSeconds != nil {
+		m.AuditFsyncSeconds.Observe(time.Since(t0).Seconds())
 	}
 	return nil
 }
@@ -169,6 +277,13 @@ func (a *AuditLog) Page(after uint64, limit int) ([]AuditRecord, error) {
 	defer a.mu.Unlock()
 	if a.f == nil {
 		return nil, ErrLogBroken
+	}
+	// Routed appends may still be sitting in the buffer; reads must see
+	// every acknowledged record (their durability is the WAL's problem,
+	// their visibility is ours).
+	if err := a.w.Flush(); err != nil {
+		a.broken = true
+		return nil, fmt.Errorf("store: flushing audit log: %w", err)
 	}
 	data, err := os.ReadFile(a.path)
 	if err != nil {
@@ -199,14 +314,21 @@ func (a *AuditLog) Page(after uint64, limit int) ([]AuditRecord, error) {
 	return out, nil
 }
 
-// Close fsyncs and closes the file.
+// Close hardens (flush + fsync) and closes the file.
 func (a *AuditLog) Close() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.f == nil {
 		return nil
 	}
-	err := a.f.Close()
+	hardenErr := error(nil)
+	if !a.broken {
+		hardenErr = a.hardenLocked()
+	}
+	closeErr := a.f.Close()
 	a.f = nil
-	return err
+	if hardenErr != nil {
+		return hardenErr
+	}
+	return closeErr
 }

@@ -1,0 +1,258 @@
+package store
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/dp"
+)
+
+// The WAL group committer: concurrent releases park on a shared commit
+// barrier instead of paying one fsync each. A committer goroutine drains
+// the queue, writes every pending deduction and audit record as ONE
+// batch WAL record, and a single flush+fsync acks the whole batch.
+//
+// Batching is adaptive without tuning: a release arriving on an idle
+// committer commits alone immediately (no added latency), while releases
+// arriving during an in-flight fsync accumulate and form the next batch
+// — the natural group-commit rhythm, where the batch size tracks the
+// offered concurrency. MaxDelay adds an optional coalescing sleep on top
+// for workloads that prefer larger batches over first-release latency.
+//
+// Durability is unchanged from the per-record path: submit returns only
+// after the batch record holding the entry is flushed AND fsynced, so no
+// answer is ever released ahead of its batch's barrier. Because the
+// whole batch is one CRC-framed WAL line, a crash mid-write tears the
+// batch as a unit — recovery's torn-tail truncation drops all of it or
+// none of it, never a prefix, and nothing in a dropped batch was ever
+// acknowledged.
+//
+// Audit piggyback: entries may carry an audit record instead of (or as
+// well as) a cost. Audit lines are written to the tenant's audit file
+// BUFFERED (no fsync) and a copy rides inside the same batch WAL record,
+// so the single barrier fsync makes both the deduction and its audit
+// line durable — "acknowledged implies audited" costs zero extra fsyncs.
+// Recovery reconciles the buffered audit file against the WAL's batch
+// copies (see OpenAudit), and WriteSnapshot hardens the audit file
+// before truncating the WAL so a compaction never destroys an audit
+// line's only durable copy.
+
+// GroupCommitOptions tunes the committer. The zero value enables group
+// commit with natural (concurrency-driven) batching and a 256-entry
+// batch cap.
+type GroupCommitOptions struct {
+	// MaxDelay is an optional coalescing window: a committer that wakes
+	// with fewer than MaxBatch entries sleeps once for up to MaxDelay to
+	// let stragglers join the batch. 0 (the default) fires immediately —
+	// a lone release pays no added latency, and batches form naturally
+	// from arrivals during the previous batch's fsync.
+	MaxDelay time.Duration
+	// MaxBatch caps entries per batch record (0 means 256). The cap
+	// bounds the batch WAL line's size and the worst-case re-lost work
+	// if a batch's fsync fails.
+	MaxBatch int
+	// Disable falls back to one fsync per deduction and per audit record
+	// (the pre-group-commit behavior).
+	Disable bool
+}
+
+const defaultMaxBatch = 256
+
+// SetGroupCommit installs the group-commit configuration. Call it once,
+// after Open and before Recover or the first CreateTenant — tenant logs
+// start their committers at construction.
+func (s *Store) SetGroupCommit(o GroupCommitOptions) {
+	s.mu.Lock()
+	s.gcOpts = &o
+	s.mu.Unlock()
+}
+
+// commitEntry is one parked submission: a deduction, an audit record, or
+// both. done closes when the entry's batch barrier cleared (or failed).
+type commitEntry struct {
+	cost      *dp.Cost
+	audit     *AuditRecord
+	submitted time.Time
+
+	waited time.Duration // parked time before the batch started
+	fsync  time.Duration // the shared batch append+flush+fsync
+	err    error
+	done   chan struct{}
+}
+
+// groupCommitter is one tenant log's commit barrier.
+type groupCommitter struct {
+	tl       *TenantLog
+	maxBatch int
+	maxDelay time.Duration
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*commitEntry
+	closed bool
+
+	exited chan struct{} // closed when the committer goroutine returns
+}
+
+// startCommitter attaches a running committer to the log. Called at
+// TenantLog construction, before the log is shared.
+func (tl *TenantLog) startCommitter(o *GroupCommitOptions) {
+	if o == nil || o.Disable {
+		return
+	}
+	g := &groupCommitter{
+		tl:       tl,
+		maxBatch: o.MaxBatch,
+		maxDelay: o.MaxDelay,
+		exited:   make(chan struct{}),
+	}
+	if g.maxBatch <= 0 {
+		g.maxBatch = defaultMaxBatch
+	}
+	g.cond = sync.NewCond(&g.mu)
+	tl.gc = g
+	go g.run()
+}
+
+// stopCommitter drains and stops the committer: queued entries are
+// committed in one final batch, then the goroutine exits. Must be called
+// WITHOUT tl.mu held (the committer takes tl.mu to append). Submissions
+// arriving after the stop fail with ErrLogBroken.
+func (tl *TenantLog) stopCommitter() {
+	g := tl.gc
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		<-g.exited
+		return
+	}
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	<-g.exited
+}
+
+// CommitDeduct durably records one ledger deduction through the group
+// commit barrier: the call parks until a batch holding the deduction is
+// flushed and fsynced, exactly as durable as AppendDeduct but sharing
+// the fsync with every other entry in the batch. It reports how long the
+// entry was parked (the group_commit_wait stage) and the shared barrier
+// duration (the wal_fsync stage). Without a committer it degrades to the
+// per-record AppendDeduct.
+func (tl *TenantLog) CommitDeduct(c dp.Cost) (waited, fsync time.Duration, err error) {
+	if g := tl.gc; g != nil {
+		return g.submit(&c, nil)
+	}
+	t0 := time.Now()
+	err = tl.AppendDeduct(c)
+	return 0, time.Since(t0), err
+}
+
+// submit parks one entry on the barrier and waits for its batch.
+func (g *groupCommitter) submit(c *dp.Cost, a *AuditRecord) (waited, fsync time.Duration, err error) {
+	e := &commitEntry{cost: c, audit: a, submitted: time.Now(), done: make(chan struct{})}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return 0, 0, ErrLogBroken
+	}
+	g.queue = append(g.queue, e)
+	g.cond.Signal()
+	g.mu.Unlock()
+	<-e.done
+	return e.waited, e.fsync, e.err
+}
+
+// run is the committer loop: wait for entries, optionally coalesce,
+// drain up to maxBatch, commit with one fsync, repeat. On close it
+// drains whatever is queued into final batches before exiting.
+func (g *groupCommitter) run() {
+	defer close(g.exited)
+	for {
+		g.mu.Lock()
+		for len(g.queue) == 0 && !g.closed {
+			g.cond.Wait()
+		}
+		if len(g.queue) == 0 {
+			g.mu.Unlock() // closed and drained
+			return
+		}
+		if g.maxDelay > 0 && !g.closed && len(g.queue) < g.maxBatch {
+			// Optional coalescing: one bounded sleep, then take whatever
+			// has accumulated. Never loops — latency stays bounded.
+			g.mu.Unlock()
+			time.Sleep(g.maxDelay)
+			g.mu.Lock()
+		}
+		n := len(g.queue)
+		if n > g.maxBatch {
+			n = g.maxBatch
+		}
+		batch := g.queue[:n:n]
+		g.queue = g.queue[n:]
+		if len(g.queue) == 0 {
+			g.queue = nil // let the drained backlog's array be collected
+		}
+		g.mu.Unlock()
+		g.commit(batch)
+	}
+}
+
+// commit writes one batch: buffered audit lines first (their durable
+// copy rides in the batch record), then the single batch WAL record,
+// flushed and fsynced — one barrier for everything — then wakes every
+// waiter with its verdict.
+func (g *groupCommitter) commit(batch []*commitEntry) {
+	start := time.Now()
+	for _, e := range batch {
+		e.waited = start.Sub(e.submitted)
+	}
+	var (
+		costs  []dp.Cost
+		audits []AuditRecord
+	)
+	audit := g.tl.attachedAudit()
+	for _, e := range batch {
+		if e.audit == nil {
+			continue
+		}
+		if audit == nil {
+			e.err = ErrLogBroken // no audit file attached to route into
+			continue
+		}
+		// appendBuffered assigns the record's seq in barrier order and
+		// writes the line WITHOUT fsync; the copy in the batch record is
+		// what makes it durable. A failed audit write fails only this
+		// entry — its in-memory charge (if any) stands, conservative.
+		if err := audit.appendBuffered(e.audit); err != nil {
+			e.err = err
+			continue
+		}
+		audits = append(audits, *e.audit)
+	}
+	for _, e := range batch {
+		if e.err == nil && e.cost != nil {
+			costs = append(costs, *e.cost)
+		}
+	}
+	var err error
+	var barrier time.Duration
+	if len(costs) > 0 || len(audits) > 0 {
+		t0 := time.Now()
+		err = g.tl.append(record{Type: recBatch, Costs: costs, Audits: audits}, true)
+		barrier = time.Since(t0)
+	}
+	if m := g.tl.met; m != nil && m.BatchSize != nil {
+		m.BatchSize.Observe(float64(len(batch)))
+	}
+	for _, e := range batch {
+		if e.err == nil {
+			e.err = err
+			e.fsync = barrier
+		}
+		close(e.done)
+	}
+}

@@ -72,6 +72,7 @@ func (s *Store) recoverTenant(id string) (*RecoveredTenant, error) {
 	rec := &RecoveredTenant{ID: id}
 	startSeq := uint64(0)
 	haveConfig := false
+	var pendAudits []AuditRecord
 
 	// Snapshot first: it is the replay floor.
 	snapBody, err := os.ReadFile(filepath.Join(dir, snapName))
@@ -147,7 +148,14 @@ func (s *Store) recoverTenant(id string) (*RecoveredTenant, error) {
 		if r.Seq <= startSeq {
 			// Intact leftovers of a crash between snapshot publication and
 			// WAL truncation: the snapshot already includes their effects
-			// (the idempotence guard). Keep the bytes, skip the replay.
+			// (the idempotence guard). Keep the bytes, skip the replay —
+			// except a batch record's audit copies, which must still reach
+			// the audit file if the crash landed between the snapshot
+			// becoming durable and the audit hardening that precedes
+			// truncation (reconciliation skips ones the file already has).
+			if r.Type == recBatch {
+				pendAudits = append(pendAudits, r.Audits...)
+			}
 			off += nl + 1
 			goodEnd = int64(off)
 			continue
@@ -195,6 +203,14 @@ func (s *Store) recoverTenant(id string) (*RecoveredTenant, error) {
 			if r.Cost != nil {
 				rec.Deducts = append(rec.Deducts, *r.Cost)
 			}
+		case recBatch:
+			// A group-commit batch: every deduction it carries was acked by
+			// one shared fsync, so all replay into spend; its audit copies
+			// are stashed for OpenAudit to reconcile into the (buffered,
+			// possibly behind) audit file. The whole batch is one CRC'd
+			// line, so a tear drops it atomically — never a prefix.
+			rec.Deducts = append(rec.Deducts, r.Costs...)
+			pendAudits = append(pendAudits, r.Audits...)
 		default:
 			// Unknown record type from a future version: replay what we
 			// understand, keep the record (it is intact).
@@ -221,6 +237,16 @@ func (s *Store) recoverTenant(id string) (*RecoveredTenant, error) {
 	}
 	s.mu.Lock()
 	met := s.metrics
+	gcOpts := s.gcOpts
+	if len(pendAudits) > 0 {
+		// Audit copies recovered from batch records wait here until
+		// OpenAudit reconciles them against the audit file's intact
+		// prefix.
+		if s.pendingAudits == nil {
+			s.pendingAudits = map[string][]AuditRecord{}
+		}
+		s.pendingAudits[id] = pendAudits
+	}
 	s.mu.Unlock()
 	rec.Log = &TenantLog{
 		id:      id,
@@ -232,6 +258,7 @@ func (s *Store) recoverTenant(id string) (*RecoveredTenant, error) {
 		pending: int(lastSeq - startSeq),
 		met:     met,
 	}
+	rec.Log.startCommitter(gcOpts)
 	return rec, nil
 }
 
@@ -304,7 +331,7 @@ func onlyStoreFiles(dir string) bool {
 	}
 	for _, e := range entries {
 		switch e.Name() {
-		case walName, snapName, snapName + ".tmp":
+		case walName, snapName, snapName + ".tmp", auditName:
 		default:
 			return false
 		}

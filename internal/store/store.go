@@ -32,6 +32,12 @@
 //     mechanism's answer leaves the process, so every answered release is
 //     on disk. Because the WAL is a single sequential stream, a deduct's
 //     fsync also hardens every row batch buffered before it.
+//   - Group-commit batches (CommitDeduct through a groupCommitter) carry
+//     many deductions plus their audit records as ONE record, acked by
+//     one shared fsync — same durability as AppendDeduct per entry, a
+//     fraction of the fsyncs. The single-line framing makes a crash tear
+//     the batch atomically: recovery drops all of an unacked batch or
+//     none of it, never a prefix.
 //   - Row batches (AppendRows) are buffered without fsync: losing the
 //     last moments of ingestion on a crash costs utility, never privacy.
 //
@@ -99,6 +105,7 @@ const (
 	recTable  = "table"  // table DDL: Table (schema only)
 	recRows   = "rows"   // ingestion batch: RowsTable + Rows
 	recDeduct = "deduct" // ledger deduction: Cost
+	recBatch  = "batch"  // group-commit batch: Costs + Audits, one fsync
 )
 
 // walBufSize is the WAL writer's buffer; row batches accumulate here
@@ -151,6 +158,12 @@ type record struct {
 	RowsTable string            `json:"rows_table,omitempty"`
 	Shard     int               `json:"shard,omitempty"`
 	Cost      *dp.Cost          `json:"cost,omitempty"`
+	// Costs and Audits are a group-commit batch's payload: every
+	// deduction and audit record acked by one shared fsync, framed as a
+	// single CRC'd line so a crash tears the batch atomically — recovery
+	// drops all of it or none of it, never a prefix.
+	Costs  []dp.Cost     `json:"costs,omitempty"`
+	Audits []AuditRecord `json:"audits,omitempty"`
 }
 
 // Metrics is the store's optional telemetry surface: the serve layer
@@ -159,7 +172,8 @@ type record struct {
 // nothing. Latencies are in seconds on obs.LatencyBuckets.
 type Metrics struct {
 	// FsyncSeconds observes every WAL flush+fsync (the release path's
-	// durability barrier: one per deduction, plus snapshot hardening).
+	// durability barrier: one per commit batch — or per deduction with
+	// group commit disabled — plus snapshot hardening).
 	FsyncSeconds *obs.Histogram
 	// SnapshotSeconds observes WriteSnapshot end to end (serialize, temp
 	// write, fsync, rename, dir sync) — the compaction pause a tenant's
@@ -169,10 +183,15 @@ type Metrics struct {
 	// bytes (CRC prefix and newline included) across every tenant log.
 	WALRecords *obs.Counter
 	WALBytes   *obs.Counter
-	// AuditFsyncSeconds observes audit-log appends (each is fsynced);
-	// AuditRecords counts them.
+	// AuditFsyncSeconds observes audit-log hardenings (per-append when
+	// group commit is off; per flush-point — snapshot, close — when audit
+	// durability rides the WAL batch barrier). AuditRecords counts
+	// appended audit records.
 	AuditFsyncSeconds *obs.Histogram
 	AuditRecords      *obs.Counter
+	// BatchSize observes the number of entries acked per group-commit
+	// barrier — the batching efficiency of the shared fsync.
+	BatchSize *obs.Histogram
 }
 
 // Store manages the durable state under one data directory.
@@ -182,6 +201,11 @@ type Store struct {
 	mu      sync.Mutex
 	logs    map[string]*TenantLog
 	metrics *Metrics
+	gcOpts  *GroupCommitOptions
+	// pendingAudits stashes audit records recovered from WAL batch
+	// records, per tenant, until OpenAudit reconciles them into the
+	// (buffered, possibly behind) audit file.
+	pendingAudits map[string][]AuditRecord
 }
 
 // SetMetrics installs the telemetry instruments. Call it once, after
@@ -210,7 +234,32 @@ type TenantLog struct {
 	pending int    // records appended since the last snapshot
 	broken  bool   // fail-stop after a write error
 
-	met *Metrics // telemetry instruments (nil records nothing)
+	met *Metrics        // telemetry instruments (nil records nothing)
+	gc  *groupCommitter // shared fsync barrier (nil: per-record fsync)
+
+	auditMu sync.Mutex
+	audit   *AuditLog // attached audit file riding the commit barrier
+}
+
+// attachAudit routes the tenant's audit appends through the log's commit
+// barrier: audit lines are buffered and their durable copy rides the
+// batch WAL record, so one fsync covers both the deduction and its audit
+// line. Without a committer the attachment only lets WriteSnapshot and
+// Close harden the audit file alongside the WAL.
+func (tl *TenantLog) attachAudit(a *AuditLog) {
+	tl.auditMu.Lock()
+	tl.audit = a
+	tl.auditMu.Unlock()
+	a.mu.Lock()
+	a.gc = tl.gc
+	a.mu.Unlock()
+}
+
+// attachedAudit reads the attached audit file, if any.
+func (tl *TenantLog) attachedAudit() *AuditLog {
+	tl.auditMu.Lock()
+	defer tl.auditMu.Unlock()
+	return tl.audit
 }
 
 // Open prepares a store rooted at dir, creating it if needed, and claims
@@ -355,7 +404,9 @@ func (s *Store) CreateTenant(id string, cfg TenantConfig) (*TenantLog, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	tl := &TenantLog{id: id, dir: dir, f: f, w: bufio.NewWriterSize(f, walBufSize), met: s.metrics}
+	tl.startCommitter(s.gcOpts)
 	if err := tl.append(record{Type: recCreate, Config: &cfg}, true); err != nil {
+		tl.stopCommitter()
 		_ = f.Close()
 		_ = os.RemoveAll(dir)
 		return nil, err
@@ -365,11 +416,13 @@ func (s *Store) CreateTenant(id string, cfg TenantConfig) (*TenantLog, error) {
 	// entry, and an acknowledged tenant whose WAL vanishes on crash would
 	// recover as never-created — a fresh full budget.
 	if err := syncDir(dir); err != nil {
+		tl.stopCommitter()
 		_ = f.Close()
 		_ = os.RemoveAll(dir)
 		return nil, fmt.Errorf("store: syncing tenant dir: %w", err)
 	}
 	if err := syncDir(s.dir); err != nil {
+		tl.stopCommitter()
 		_ = f.Close()
 		_ = os.RemoveAll(dir)
 		return nil, fmt.Errorf("store: syncing data dir: %w", err)
@@ -555,6 +608,16 @@ func (tl *TenantLog) WriteSnapshot(snap TenantSnapshot) error {
 		// compaction retries.
 		return nil
 	}
+	// Harden the attached audit file before dropping the WAL: batch
+	// records about to be truncated may hold the only durable copy of
+	// buffered audit lines. On failure, keep the WAL authoritative.
+	// (Lock order is safe: the committer never holds the audit mutex
+	// while waiting for tl.mu — appendBuffered releases it per line.)
+	if a := tl.attachedAudit(); a != nil {
+		if err := a.harden(); err != nil {
+			return nil
+		}
+	}
 	tl.snapSeq = snap.Seq
 	tl.pending = 0
 	// The snapshot is durable; the WAL records it covers are dead weight.
@@ -563,8 +626,12 @@ func (tl *TenantLog) WriteSnapshot(snap TenantSnapshot) error {
 	return nil
 }
 
-// Close flushes, fsyncs, and closes the log.
+// Close drains the group committer (parked entries are committed, late
+// submissions refused), then flushes, fsyncs, and closes the log.
 func (tl *TenantLog) Close() error {
+	// The committer appends under tl.mu, so it must be fully stopped
+	// before the lock is taken — a drain-under-lock would deadlock.
+	tl.stopCommitter()
 	tl.mu.Lock()
 	defer tl.mu.Unlock()
 	if tl.f == nil {
