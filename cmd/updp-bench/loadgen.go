@@ -32,6 +32,7 @@ type loadgenConfig struct {
 	budget     float64 // compare mode: nominal total eps per twin
 	shards     int     // bench tenant table shard count (0 = server default)
 	metricsOut string  // save the final /metrics scrape here ("" = skip)
+	tracesOut  string  // save the post-run GET /v1/traces dump here ("" = skip)
 }
 
 // selfServe starts an in-process server on a loopback port when target is
@@ -281,6 +282,9 @@ func runLoadgen(cfg loadgenConfig) error {
 	}
 	printStageBreakdown(metBefore, metAfter)
 	if err := writeMetricsOut(cfg.metricsOut, raw); err != nil {
+		return err
+	}
+	if err := writeTracesOut(hc, base, cfg.tracesOut); err != nil {
 		return err
 	}
 	if total.errs > 0 {

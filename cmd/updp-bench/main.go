@@ -67,6 +67,7 @@ func main() {
 		duel        = flag.Bool("duel", false, "loadgen: run the durable-vs-ephemeral duel (same distinct-release load with and without a data dir) instead of the throughput run")
 		shardsFlag  = flag.String("shards", "", `loadgen: bench tenant table shard count (an integer), or "sweep" to run the shard-scaling sweep (N=1,4,16: ingest rows/sec + release latency)`)
 		metricsOut  = flag.String("metrics-out", "", "loadgen: save the final /metrics scrape (Prometheus text) to this file")
+		tracesOut   = flag.String("traces-out", "", "loadgen: save the post-run GET /v1/traces dump (flight-recorder JSON) to this file")
 	)
 	flag.Parse()
 
@@ -83,6 +84,7 @@ func main() {
 			window:     *window,
 			budget:     *budget,
 			metricsOut: *metricsOut,
+			tracesOut:  *tracesOut,
 		}
 		sweep := false
 		switch *shardsFlag {

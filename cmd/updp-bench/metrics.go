@@ -122,3 +122,29 @@ func writeMetricsOut(path, body string) error {
 	fmt.Fprintf(os.Stderr, "loadgen: wrote /metrics scrape to %s\n", path)
 	return nil
 }
+
+// writeTracesOut dumps the server's flight recorder (GET /v1/traces) to
+// a file when -traces-out names a path — the post-run artifact that lets
+// CI keep the slow-tail traces next to the metrics scrape.
+func writeTracesOut(hc *http.Client, base, path string) error {
+	if path == "" {
+		return nil
+	}
+	resp, err := hc.Get(base + "/v1/traces")
+	if err != nil {
+		return fmt.Errorf("loadgen: fetching /v1/traces: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("loadgen: reading /v1/traces: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: GET /v1/traces: HTTP %d", resp.StatusCode)
+	}
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		return fmt.Errorf("loadgen: writing -traces-out: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: wrote trace dump to %s\n", path)
+	return nil
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"net"
@@ -58,17 +59,20 @@ func runShardSweep(cfg loadgenConfig) error {
 
 	fmt.Printf("=== shard sweep: %d ingesters x %d rows, %d releases, %d users, workers=GOMAXPROCS ===\n",
 		ingesters, rowsPerIngester, releases, cfg.users)
-	fmt.Printf("%-8s %14s %9s %12s %12s %12s\n", "shards", "ingest rows/s", "speedup", "seq rows/s", "release p50", "release p95")
+	fmt.Printf("%-8s %14s %9s %12s %12s %12s %11s\n", "shards", "ingest rows/s", "speedup", "seq rows/s", "release p50", "release p95", "straggler")
 	base := rows[0].rowsPerS
 	for _, r := range rows {
-		fmt.Printf("%-8d %14.0f %8.2fx %12.0f %12v %12v\n",
+		fmt.Printf("%-8d %14.0f %8.2fx %12.0f %12v %12v %10.2fx\n",
 			r.shards, r.rowsPerS, r.rowsPerS/base, r.seqRowsPerS,
-			r.p50.Round(time.Microsecond), r.p95.Round(time.Microsecond))
+			r.p50.Round(time.Microsecond), r.p95.Round(time.Microsecond), r.straggler)
 	}
 	fmt.Println("ingest rows/s is the storage path (concurrent Insert striping across per-shard locks);")
 	fmt.Println("seq rows/s is the same path driven by ONE writer (no lock contention — isolates per-shard")
 	fmt.Println("overhead from cross-core contention); release latency is the HTTP estimate path with the")
-	fmt.Println("scan fanned over the worker pool. Per-stage release means from the server's /metrics:")
+	fmt.Println("scan fanned over the worker pool. straggler is the mean over releases of (slowest shard")
+	fmt.Println("scan / mean shard scan) from the flight recorder's per-shard scan spans — 1.00x is a")
+	fmt.Println("perfectly balanced fan-out; the excess is wall-clock spent waiting on the laggard shard.")
+	fmt.Println("Per-stage release means from the server's /metrics:")
 	for _, r := range rows {
 		fmt.Printf("  shards=%-3d", r.shards)
 		for _, d := range r.stages {
@@ -85,6 +89,7 @@ type sweepResult struct {
 	seqRowsPerS float64 // single-writer ingest throughput (contention-free)
 	p50, p95    time.Duration
 	stages      []stageDelta // per-stage release means from /metrics
+	straggler   float64      // mean max/mean per-shard scan-span ratio
 }
 
 // sweepOne measures one shard count on a fresh in-process server.
@@ -202,5 +207,71 @@ func sweepOne(cfg loadgenConfig, shards, ingesters, rowsPerIngester, releases in
 		return res, err
 	}
 	res.stages = stageDeltas(metBefore, metAfter, "updp_release_stage_seconds")
+	if res.straggler, err = stragglerRatio(hc, base, tenant); err != nil {
+		return res, err
+	}
 	return res, nil
+}
+
+// stragglerRatio reads the flight recorder's retained traces for the
+// sweep tenant and returns the mean over releases of the per-release
+// straggler ratio: the slowest shard's scan span over the mean shard
+// scan span. The ring (default 256) comfortably retains the sweep's
+// releases; traces without per-shard spans (cache replays, aborted
+// releases) are skipped rather than counted as balanced.
+func stragglerRatio(hc *http.Client, base, tenant string) (float64, error) {
+	var list serve.TraceListResponse
+	if err := getJSON(hc, base+"/v1/traces?tenant="+tenant, &list); err != nil {
+		return 0, err
+	}
+	var sum float64
+	n := 0
+	for _, s := range list.Traces {
+		var det serve.TraceDetail
+		if err := getJSON(hc, base+"/v1/traces/"+s.ID, &det); err != nil {
+			return 0, err
+		}
+		var shardMs []float64
+		var walk func([]*serve.TraceSpan)
+		walk = func(spans []*serve.TraceSpan) {
+			for _, sp := range spans {
+				if sp.Stage == "scan_shard" {
+					shardMs = append(shardMs, sp.DurationMs)
+				}
+				walk(sp.Children)
+			}
+		}
+		walk(det.Spans)
+		if len(shardMs) == 0 {
+			continue
+		}
+		var slowest, total float64
+		for _, d := range shardMs {
+			total += d
+			if d > slowest {
+				slowest = d
+			}
+		}
+		if mean := total / float64(len(shardMs)); mean > 0 {
+			sum += slowest / mean
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("loadgen: flight recorder retained no scan_shard spans for %s", tenant)
+	}
+	return sum / float64(n), nil
+}
+
+// getJSON fetches url and decodes a 200 body into out.
+func getJSON(hc *http.Client, url string, out any) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }

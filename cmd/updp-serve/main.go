@@ -81,6 +81,14 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics on a dedicated listener too (always on the API listener); empty = API listener only")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (bind to localhost); empty = disabled")
+
+		traceRing   = flag.Int("trace-ring", 0, "flight-recorder capacity: retain the last N release traces plus up to N slow/errored/shed ones at GET /v1/traces (0 = 256, negative disables)")
+		exemplars   = flag.Bool("exemplars", false, "render OpenMetrics exemplars on /metrics histograms (most recent release id per bucket)")
+		sloLatency  = flag.Duration("slo-latency", 0, "arm the self-watchdog: capture an incident bundle when release p99 exceeds this for -slo-windows consecutive windows (0 = disabled; requires -incident-dir)")
+		sloWindow   = flag.Duration("slo-window", 0, "watchdog latency aggregation window (0 = 10s)")
+		sloWindows  = flag.Int("slo-windows", 0, "consecutive breaching windows before a capture (0 = 2)")
+		incidentDir = flag.String("incident-dir", "", "directory receiving watchdog incident bundles (profiles + metrics + traces)")
+		incidentGap = flag.Duration("incident-cooldown", 0, "minimum gap between incident captures (0 = 10m)")
 	)
 	flag.Parse()
 
@@ -88,13 +96,23 @@ func main() {
 	if err != nil {
 		log.Fatalf("updp-serve: %v", err)
 	}
+	if *sloLatency > 0 && *incidentDir == "" {
+		log.Print("updp-serve: -slo-latency set without -incident-dir; watchdog disarmed")
+	}
 
 	srv, err := serve.Open(serve.Options{
-		Workers:       *workers,
-		Seed:          *seed,
-		DataDir:       *dataDir,
-		DefaultShards: *shards,
-		GroupCommit:   store.GroupCommitOptions{MaxDelay: *commitWait, MaxBatch: *commitMax, Disable: *noGroup},
+		Workers:          *workers,
+		Seed:             *seed,
+		DataDir:          *dataDir,
+		DefaultShards:    *shards,
+		GroupCommit:      store.GroupCommitOptions{MaxDelay: *commitWait, MaxBatch: *commitMax, Disable: *noGroup},
+		TraceRing:        *traceRing,
+		Exemplars:        *exemplars,
+		SLOLatency:       *sloLatency,
+		SLOWindow:        *sloWindow,
+		SLOWindows:       *sloWindows,
+		IncidentDir:      *incidentDir,
+		IncidentCooldown: *incidentGap,
 	})
 	if err != nil {
 		log.Fatalf("updp-serve: %v", err)

@@ -101,6 +101,12 @@ type ExecOpts struct {
 	// per-user collapse plus every mechanism release). The deduction
 	// between them is timed by the caller's ledger wrapper, not here.
 	Observe func(stage string, d time.Duration)
+	// ObserveShard, when set, receives one sample per shard of the
+	// fanned scan: the shard index, the row count it walked, and its
+	// wall time. Called from the fan-out workers, so it must be safe
+	// for concurrent use. The serve layer records these as child spans
+	// under "scan", which is what makes a straggler shard visible.
+	ObserveShard func(shard, rows int, d time.Duration)
 }
 
 // Exec parses and answers sql under user-level eps-DP.
@@ -195,6 +201,7 @@ func (db *DB) ExecTraced(rng *xrand.RNG, sql string, eps float64, opts ExecOpts)
 	snaps := t.shardSnapshots()
 	scans := make([]shardScan, len(snaps))
 	t.runFan(len(snaps), func(si int) {
+		shardStart := time.Now()
 		sc := shardScan{groups: map[string]*groupData{}}
 		for _, row := range snaps[si].rows {
 			if q.Where != nil {
@@ -222,6 +229,9 @@ func (db *DB) ExecTraced(rng *xrand.RNG, sql string, eps float64, opts ExecOpts)
 			g.rows = append(g.rows, row)
 		}
 		scans[si] = sc
+		if opts.ObserveShard != nil {
+			opts.ObserveShard(si, len(snaps[si].rows), time.Since(shardStart))
+		}
 	})
 	groups := map[string]*groupData{}
 	var order []string

@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"time"
 )
 
 // This file is the partitioned row store under Table: a table's rows live
@@ -259,13 +260,24 @@ func mergeUserAggs(parts []map[string]*userAgg) (ids []string, users map[string]
 	return ids, users
 }
 
+// ShardObserver receives one sample per shard of a fanned scan: the
+// shard index, the row count the shard walked, and its wall time.
+// Observers run on the fan-out workers, so they must be safe for
+// concurrent use across shards.
+type ShardObserver func(shard, rows int, d time.Duration)
+
 // fanUserAggs scans every shard (in parallel under the installed fan-out)
-// into partial per-user accumulators for colIx.
-func (t *Table) fanUserAggs(colIx int) []map[string]*userAgg {
+// into partial per-user accumulators for colIx, reporting each shard's
+// scan to every observer.
+func (t *Table) fanUserAggs(colIx int, obs ...ShardObserver) []map[string]*userAgg {
 	snaps := t.shardSnapshots()
 	parts := make([]map[string]*userAgg, len(snaps))
 	t.runFan(len(snaps), func(i int) {
+		s0 := time.Now()
 		parts[i] = shardUserAggs(snaps[i], t.userIx, colIx)
+		for _, ob := range obs {
+			ob(i, len(snaps[i].rows), time.Since(s0))
+		}
 	})
 	return parts
 }

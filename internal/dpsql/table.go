@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dp"
 )
@@ -380,13 +381,14 @@ func (t *Table) numericIndex(col string) (int, error) {
 // (parallel under an installed Fanout), producing partial per-user
 // accumulators that merge by addition; because users are hash-routed the
 // merged collapse is bit-for-bit the monolithic one. This is the estimate
-// endpoint's input.
-func (t *Table) UserMeans(col string) ([]float64, error) {
+// endpoint's input. Optional observers receive one sample per shard of
+// the fan (see ShardObserver).
+func (t *Table) UserMeans(col string, obs ...ShardObserver) ([]float64, error) {
 	ix, err := t.numericIndex(col)
 	if err != nil {
 		return nil, err
 	}
-	ids, users := mergeUserAggs(t.fanUserAggs(ix))
+	ids, users := mergeUserAggs(t.fanUserAggs(ix, obs...))
 	out := make([]float64, len(ids))
 	for i, uid := range ids {
 		u := users[uid]
@@ -400,8 +402,8 @@ func (t *Table) UserMeans(col string) ([]float64, error) {
 // one-user change). Per-shard counts cannot simply be summed while legacy
 // data replayed into shard 0 may share users with hash-routed rows, so
 // the ids are unioned.
-func (t *Table) NumUsers() int {
-	ids, _ := mergeUserAggs(t.fanUserAggs(-1))
+func (t *Table) NumUsers(obs ...ShardObserver) int {
+	ids, _ := mergeUserAggs(t.fanUserAggs(-1, obs...))
 	return len(ids)
 }
 
@@ -448,8 +450,9 @@ func (t *Table) ColumnInts(col string) ([]int64, error) {
 // per user (the sum of that user's rows) in deterministic order — the
 // input shape the paper's empirical-setting estimators (Section 3) take.
 // The scan fans out over shards into partial int64 sums (exact, unlike
-// float accumulation) that merge by addition.
-func (t *Table) UserIntSums(col string) ([]int64, error) {
+// float accumulation) that merge by addition. Optional observers receive
+// one sample per shard of the fan (see ShardObserver).
+func (t *Table) UserIntSums(col string, obs ...ShardObserver) ([]int64, error) {
 	ix, err := t.ColumnIndex(col)
 	if err != nil {
 		return nil, err
@@ -461,11 +464,15 @@ func (t *Table) UserIntSums(col string) ([]int64, error) {
 	snaps := t.shardSnapshots()
 	parts := make([]map[string]int64, len(snaps))
 	t.runFan(len(snaps), func(i int) {
+		s0 := time.Now()
 		part := make(map[string]int64, 64)
 		for _, row := range snaps[i].rows {
 			part[row[t.userIx].String()] += int64(row[ix].F)
 		}
 		parts[i] = part
+		for _, ob := range obs {
+			ob(i, len(snaps[i].rows), time.Since(s0))
+		}
 	})
 	users := parts[0]
 	if len(parts) > 1 {

@@ -33,6 +33,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // nameRe is the Prometheus metric naming convention the CI guard test
@@ -89,12 +90,24 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // counters plus an atomic sum, wait-free on the observe path. Bucket
 // bounds are upper bounds in ascending order; the +Inf bucket is
 // implicit. Observations are in the metric's base unit (seconds for the
-// repository's *_seconds histograms).
+// repository's *_seconds histograms). Each bucket additionally holds one
+// exemplar slot — the most recent (value, trace ID) observed into it via
+// ObserveExemplar — rendered in OpenMetrics exemplar syntax when the
+// registry opts in (SetExemplars), so a dashboard's p99 bucket links
+// straight to a retained release trace.
 type Histogram struct {
 	bounds  []float64
 	buckets []atomic.Int64 // len(bounds)+1; [len(bounds)] is +Inf
+	ex      []atomic.Pointer[exemplar]
 	count   atomic.Int64
 	sumBits atomic.Uint64
+}
+
+// exemplar is one bucket's most recent traced observation.
+type exemplar struct {
+	id string // release/trace ID (rendered as the release_id label)
+	v  float64
+	ts time.Time
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -105,7 +118,11 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:  b,
+		buckets: make([]atomic.Int64, len(b)+1),
+		ex:      make([]atomic.Pointer[exemplar], len(b)+1),
+	}
 }
 
 // Observe records one observation.
@@ -113,6 +130,25 @@ func (h *Histogram) Observe(v float64) {
 	// Binary search for the first bound >= v; linear is faster for the
 	// typical ~16 buckets but sort.SearchFloat64s keeps it obviously right.
 	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveExemplar is Observe plus an exemplar: the bucket the value
+// falls in remembers (id, v, now) as its most recent traced
+// observation. One extra atomic pointer store over Observe — cheap
+// enough to call unconditionally; whether exemplars RENDER is the
+// registry's opt-in.
+func (h *Histogram) ObserveExemplar(v float64, id string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.ex[i].Store(&exemplar{id: id, v: v, ts: time.Now()})
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	for {
@@ -183,12 +219,23 @@ type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
 	names    []string // sorted at render
+
+	// exemplars opts the exposition into OpenMetrics exemplar suffixes
+	// on histogram bucket lines. Off by default: exemplar syntax is not
+	// part of text format 0.0.4, so the default rendering stays strictly
+	// 0.0.4-valid for scrapers (and tests) that parse it line by line.
+	exemplars atomic.Bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: map[string]*family{}}
 }
+
+// SetExemplars opts histogram bucket lines into (or out of) OpenMetrics
+// exemplar suffixes: `... 5 # {release_id="r-ab12cd-7"} 0.034 <ts>`.
+// Safe to flip at any time; rendering reads it per scrape.
+func (r *Registry) SetExemplars(on bool) { r.exemplars.Store(on) }
 
 // register adds a family, panicking on duplicate or invalid names —
 // both are programmer errors the first test run catches.
@@ -326,8 +373,9 @@ func (r *Registry) Render(sb *strings.Builder) {
 	}
 	r.mu.RUnlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	ex := r.exemplars.Load()
 	for _, f := range fams {
-		f.render(sb)
+		f.render(sb, ex)
 	}
 }
 
@@ -344,7 +392,7 @@ type gaugeSample struct {
 	v   float64
 }
 
-func (f *family) render(sb *strings.Builder) {
+func (f *family) render(sb *strings.Builder, exemplars bool) {
 	if f.collect != nil {
 		var samples []gaugeSample
 		f.collect(func(v float64, labelValues ...string) {
@@ -414,6 +462,18 @@ func (f *family) render(sb *strings.Builder) {
 				sb.WriteString(le)
 				sb.WriteString("\"} ")
 				sb.WriteString(strconv.FormatInt(cum, 10))
+				if exemplars {
+					// The exemplar belongs to the bucket the observation
+					// actually fell in (non-cumulative), per OpenMetrics.
+					if e := c.ex[b].Load(); e != nil {
+						sb.WriteString(` # {release_id="`)
+						sb.WriteString(escapeLabel(e.id))
+						sb.WriteString(`"} `)
+						sb.WriteString(formatFloat(e.v))
+						sb.WriteByte(' ')
+						sb.WriteString(strconv.FormatFloat(float64(e.ts.UnixNano())/1e9, 'f', 3, 64))
+					}
+				}
 				sb.WriteByte('\n')
 			}
 			sb.WriteString(f.name)

@@ -201,3 +201,87 @@ func TestNewIDUnique(t *testing.T) {
 		}
 	}
 }
+
+func TestExemplarRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("updp_ex_seconds", "exemplar test", []float64{0.01, 0.1})
+	h.ObserveExemplar(0.05, "r-abc-1")
+	h.Observe(0.002) // plain observation: no exemplar on the 0.01 bucket
+
+	// Default rendering stays plain Prometheus text — no exemplar
+	// syntax, so the golden-format consumers are unaffected.
+	if out := r.RenderText(); strings.Contains(out, "#") && strings.Contains(out, "release_id") {
+		t.Fatalf("exemplars rendered while disabled:\n%s", out)
+	}
+
+	r.SetExemplars(true)
+	out := r.RenderText()
+	if !strings.Contains(out, `le="0.1"} 2 # {release_id="r-abc-1"} 0.05 `) {
+		t.Errorf("exemplar line missing or malformed in:\n%s", out)
+	}
+	if strings.Contains(out, `le="0.01"} 1 #`) {
+		t.Errorf("bucket without exemplar grew one:\n%s", out)
+	}
+
+	// A later observation in the same bucket replaces the exemplar:
+	// "most recent release per bucket".
+	h.ObserveExemplar(0.09, "r-abc-2")
+	out = r.RenderText()
+	if !strings.Contains(out, `# {release_id="r-abc-2"} 0.09 `) {
+		t.Errorf("exemplar not replaced by newer observation:\n%s", out)
+	}
+	if strings.Contains(out, "r-abc-1") {
+		t.Errorf("stale exemplar survived:\n%s", out)
+	}
+}
+
+func TestTraceChildSpans(t *testing.T) {
+	tr := NewTrace(NewID())
+	// Shard children record before the parent "scan" stage closes, as in
+	// the real fan-out.
+	tr.ObserveChild("scan_shard", "scan", time.Millisecond,
+		Attr{Key: "shard", Value: 3}, Attr{Key: "rows", Value: 12840})
+	tr.ObserveChild("scan_shard", "scan", 2*time.Millisecond,
+		Attr{Key: "shard", Value: 7}, Attr{Key: "rows", Value: 99})
+	tr.Observe("scan", 3*time.Millisecond)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("want 3 spans, got %+v", spans)
+	}
+	if spans[0].Parent != "scan" || spans[1].Parent != "scan" || spans[2].Parent != "" {
+		t.Errorf("parent links wrong: %+v", spans)
+	}
+	if len(spans[0].Attrs) != 2 || spans[0].Attrs[0].Key != "shard" || spans[0].Attrs[0].Value != 3 {
+		t.Errorf("attrs wrong: %+v", spans[0].Attrs)
+	}
+	for _, s := range spans {
+		if s.Start < 0 {
+			t.Errorf("negative start offset: %+v", s)
+		}
+	}
+	// The slow-log line renders roots only: no per-shard explosion.
+	if s := tr.String(); strings.Contains(s, "scan_shard") {
+		t.Errorf("child span leaked into log line: %q", s)
+	} else if !strings.Contains(s, "scan=3ms") {
+		t.Errorf("root span missing from log line: %q", s)
+	}
+}
+
+func TestTraceTotalFrozen(t *testing.T) {
+	tr := NewTrace(NewID())
+	time.Sleep(2 * time.Millisecond)
+	tr.Finish()
+	frozen := tr.Total()
+	if frozen < 2*time.Millisecond {
+		t.Fatalf("total %v shorter than the release", frozen)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if again := tr.Total(); again != frozen {
+		t.Errorf("Total moved after Finish: %v then %v", frozen, again)
+	}
+	tr.Finish() // idempotent: second Finish must not move the end
+	if again := tr.Total(); again != frozen {
+		t.Errorf("second Finish moved the end: %v then %v", frozen, again)
+	}
+}

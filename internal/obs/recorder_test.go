@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rt(id string, outcome string, start time.Time) *RecordedTrace {
+	status := 200
+	switch outcome {
+	case "error":
+		status = 500
+	case "shed":
+		status = 503
+	}
+	return &RecordedTrace{ID: id, Tenant: "acme", Path: "/v1/query",
+		Status: status, Outcome: outcome, Start: start, Total: time.Millisecond}
+}
+
+func TestRecorderTailSampling(t *testing.T) {
+	r := NewRecorder(8)
+	base := time.Now()
+	// One noteworthy trace, then a flood of 100 healthy ones: the flood
+	// must not evict the slow trace.
+	r.Record(rt("r-slow-1", "slow", base), true)
+	for i := 0; i < 100; i++ {
+		r.Record(rt(fmt.Sprintf("r-ok-%d", i), "ok", base.Add(time.Duration(i+1))), false)
+	}
+	if _, ok := r.Get("r-slow-1"); !ok {
+		t.Fatal("slow trace evicted by healthy flood")
+	}
+	got := r.Traces()
+	if len(got) != 9 { // 8 recent + 1 tail
+		t.Fatalf("retained %d traces, want 9", len(got))
+	}
+	if got[len(got)-1].ID != "r-slow-1" {
+		t.Errorf("oldest retained should be the slow trace, got %s", got[len(got)-1].ID)
+	}
+	// Newest first.
+	if got[0].ID != "r-ok-99" {
+		t.Errorf("newest trace should lead, got %s", got[0].ID)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	const ringCap = 64
+	r := NewRecorder(ringCap)
+	base := time.Now()
+
+	const writers = 8
+	const perWriter = 200
+	// Each writer interleaves healthy and noteworthy traces; readers
+	// scrape and retrieve concurrently. Run under -race this exercises
+	// recorder writes vs list vs get.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = r.Traces()
+				_, _ = r.Get("r-w0-t1")
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("r-w%d-o%d", w, i)
+				out := "ok"
+				tail := false
+				if i%50 == 1 { // 4 noteworthy per writer, 32 total < cap
+					id = fmt.Sprintf("r-w%d-t%d", w, i/50)
+					out = "error"
+					tail = true
+				}
+				r.Record(rt(id, out, base.Add(time.Duration(w*perWriter+i))), tail)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	<-time.After(5 * time.Millisecond)
+	close(stop)
+	<-done
+
+	// 100% tail retention: every noteworthy trace is retrievable (the
+	// tail count, 32, fits the ring cap).
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter/50; i++ {
+			id := fmt.Sprintf("r-w%d-t%d", w, i)
+			if _, ok := r.Get(id); !ok {
+				t.Errorf("noteworthy trace %s dropped", id)
+			}
+		}
+	}
+	// Memory bound: never more than 2·cap retained despite 1600 records.
+	if got := len(r.Traces()); got > 2*ringCap {
+		t.Errorf("retained %d traces, bound is %d", got, 2*ringCap)
+	}
+}

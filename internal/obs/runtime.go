@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// Runtime gauge names exported by RegisterRuntimeGauges. The watchdog's
+// incident bundles and docs/OBSERVABILITY.md reference these by name.
+const (
+	runtimeGoroutines = "updp_runtime_goroutines"
+	runtimeGCPause    = "updp_runtime_gc_pause_p99_seconds"
+	runtimeSchedLat   = "updp_runtime_sched_latency_p99_seconds"
+	runtimeHeapBytes  = "updp_runtime_heap_live_bytes"
+)
+
+// runtimeSamples is the runtime/metrics batch one render samples. Kept
+// as a package-level template; metrics.Read fills values in place on a
+// per-call copy so concurrent renders never share sample slots.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/sched/latencies:seconds",
+	"/gc/pauses:seconds",
+	"/gc/heap/live:bytes",
+}
+
+// RegisterRuntimeGauges exports the Go runtime's own health signals —
+// goroutine count, p99 GC pause, p99 scheduler latency, live heap — as
+// gauges on r, sampled from runtime/metrics at every render. These are
+// the signals the self-watchdog snapshots into incident bundles: a p99
+// latency breach with a spiking sched-latency gauge reads "CPU
+// saturation", with a spiking GC pause reads "allocation storm", and
+// with neither reads "look at the traces".
+func RegisterRuntimeGauges(r *Registry) {
+	sample := func() []metrics.Sample {
+		s := make([]metrics.Sample, len(runtimeSampleNames))
+		for i, n := range runtimeSampleNames {
+			s[i].Name = n
+		}
+		metrics.Read(s)
+		return s
+	}
+	r.GaugeFunc(runtimeGoroutines,
+		"Current number of live goroutines.", nil,
+		func(emit EmitGauge) {
+			s := sample()
+			emit(sampleValue(s[0]))
+		})
+	r.GaugeFunc(runtimeSchedLat,
+		"Approximate p99 of time goroutines spent runnable before running, over the process lifetime.", nil,
+		func(emit EmitGauge) {
+			s := sample()
+			emit(histQuantile(s[1], 0.99))
+		})
+	r.GaugeFunc(runtimeGCPause,
+		"Approximate p99 of stop-the-world GC pause durations, over the process lifetime.", nil,
+		func(emit EmitGauge) {
+			s := sample()
+			emit(histQuantile(s[2], 0.99))
+		})
+	r.GaugeFunc(runtimeHeapBytes,
+		"Heap memory occupied by live objects at the last GC.", nil,
+		func(emit EmitGauge) {
+			s := sample()
+			emit(sampleValue(s[3]))
+		})
+}
+
+// sampleValue flattens a scalar runtime/metrics sample to float64.
+func sampleValue(s metrics.Sample) float64 {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64())
+	case metrics.KindFloat64:
+		return s.Value.Float64()
+	default:
+		return 0
+	}
+}
+
+// histQuantile reads quantile q from a runtime/metrics histogram
+// sample. The runtime's buckets are fixed-resolution; we take the upper
+// bound of the bucket where the cumulative count crosses q, which is
+// the same "conservative upper estimate" a Prometheus histogram_quantile
+// would give.
+func histQuantile(s metrics.Sample, q float64) float64 {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := s.Value.Float64Histogram()
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	thresh := uint64(float64(total) * q)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > thresh {
+			// Buckets[i+1] is this bucket's upper bound; the final
+			// bucket's bound can be +Inf, in which case fall back to
+			// its (finite) lower bound.
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) || math.IsNaN(ub) {
+				ub = h.Buckets[i]
+			}
+			return ub
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

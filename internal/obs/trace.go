@@ -12,22 +12,43 @@ import (
 
 // Trace is a request-scoped span collector: one per release, carrying
 // the release ID from the HTTP handler through the dpsql fan-out, the
-// mechanism, and the store fsync. Spans are coarse named stages, not a
-// general tree — the release path is a straight pipeline and the
-// operator question is "where did the 40ms go", which a flat stage list
-// answers exactly.
+// mechanism, and the store fsync. Spans form a shallow tree: the coarse
+// pipeline stages ("scan", "deduct") are roots, and work that resolves
+// below a stage — one shard of a fanned scan, the fsync inside a commit
+// barrier — records as a child naming its parent stage. The operator
+// question graduates from "where did the 40ms go" to "which shard
+// straggled inside the scan", and the tree is retained by a Recorder so
+// the question can be asked after the fact.
 type Trace struct {
 	ID    string
 	start time.Time
 
 	mu    sync.Mutex
 	spans []Span
+	end   time.Time // frozen by Finish; zero while the release is in flight
 }
 
-// Span is one completed stage of a release.
+// Attr is one integer attribute on a span ("shard"=3, "rows"=12840).
+// Integer-valued because every attribute the release path records is a
+// count or an index; strings belong on the trace's recorded envelope
+// (tenant, path, mechanism), not on spans.
+type Attr struct {
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+}
+
+// Span is one completed piece of a release. Parent names the stage this
+// span nests under ("" for a root stage); linking by stage name rather
+// than span index lets children record before their parent closes —
+// a fanned shard span completes before the enclosing "scan" stage does.
+// Start is the offset from the trace's start (derived at record time, so
+// concurrent recording stays lock-free on the caller's side).
 type Span struct {
-	Stage string
-	D     time.Duration
+	Stage  string        `json:"stage"`
+	Parent string        `json:"parent,omitempty"`
+	Start  time.Duration `json:"start"`
+	D      time.Duration `json:"d"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
 }
 
 // NewTrace starts a trace for the given release ID (use NewID).
@@ -35,17 +56,38 @@ func NewTrace(id string) *Trace {
 	return &Trace{ID: id, start: time.Now()}
 }
 
-// StartSpan begins timing a stage; the returned func records the span
-// when called. Safe for concurrent use.
+// Start reports when the trace began.
+func (t *Trace) Start() time.Time { return t.start }
+
+// StartSpan begins timing a root stage; the returned func records the
+// span when called. Safe for concurrent use.
 func (t *Trace) StartSpan(stage string) func() {
-	t0 := time.Now()
-	return func() { t.Observe(stage, time.Since(t0)) }
+	return t.StartChild(stage, "")
 }
 
-// Observe records an already-measured stage duration.
+// StartChild begins timing a span under the named parent stage ("" for a
+// root); the returned func records it, with any attributes attached.
+func (t *Trace) StartChild(stage, parent string, attrs ...Attr) func() {
+	t0 := time.Now()
+	return func() { t.ObserveChild(stage, parent, time.Since(t0), attrs...) }
+}
+
+// Observe records an already-measured root stage duration.
 func (t *Trace) Observe(stage string, d time.Duration) {
+	t.ObserveChild(stage, "", d)
+}
+
+// ObserveChild records an already-measured span under the named parent
+// stage. The span's start offset is derived from the record time (now −
+// duration), which is exact for the spans the release path records at
+// their own completion.
+func (t *Trace) ObserveChild(stage, parent string, d time.Duration, attrs ...Attr) {
+	start := time.Since(t.start) - d
+	if start < 0 {
+		start = 0
+	}
 	t.mu.Lock()
-	t.spans = append(t.spans, Span{Stage: stage, D: d})
+	t.spans = append(t.spans, Span{Stage: stage, Parent: parent, Start: start, D: d, Attrs: attrs})
 	t.mu.Unlock()
 }
 
@@ -58,18 +100,45 @@ func (t *Trace) Spans() []Span {
 	return out
 }
 
-// Total is the wall time since the trace started — end-to-end release
-// latency, not the sum of spans (stages overlap with untimed glue).
-func (t *Trace) Total() time.Duration { return time.Since(t.start) }
+// Finish freezes the trace's end time. Idempotent: the first call wins,
+// so a total read later (slow-log formatting, retained-trace JSON)
+// reports the real end-to-end latency instead of inflating with the
+// reader's clock.
+func (t *Trace) Finish() {
+	t.mu.Lock()
+	if t.end.IsZero() {
+		t.end = time.Now()
+	}
+	t.mu.Unlock()
+}
 
-// String renders "stage=1.2ms stage=800µs ..." for the slow-release
-// log line.
+// Total is the end-to-end release latency: wall time from start to
+// Finish, frozen once the release completes. Before Finish it reads the
+// live clock (the release is still running). Not the sum of spans —
+// stages overlap with untimed glue.
+func (t *Trace) Total() time.Duration {
+	t.mu.Lock()
+	end := t.end
+	t.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(t.start)
+	}
+	return end.Sub(t.start)
+}
+
+// String renders "stage=1.2ms stage=800µs ..." for the slow-release log
+// line — root stages only, so a 16-shard fan-out does not turn the line
+// into a wall of per-shard entries (the full tree is in the retained
+// trace, keyed by the same release ID the line carries).
 func (t *Trace) String() string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var sb strings.Builder
-	for i, s := range t.spans {
-		if i > 0 {
+	for _, s := range t.spans {
+		if s.Parent != "" {
+			continue
+		}
+		if sb.Len() > 0 {
 			sb.WriteByte(' ')
 		}
 		fmt.Fprintf(&sb, "%s=%s", s.Stage, s.D.Round(time.Microsecond))

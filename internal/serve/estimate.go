@@ -69,19 +69,25 @@ func (s *Server) runEstimate(t *Tenant, tab *dpsql.Table, req EstimateRequest, r
 		zs  []int64
 		err error
 	)
+	// Per-user readers fan over the shards; each shard's partial scan
+	// lands as a child span under "scan" (shard index + row count), so a
+	// straggler shard is attributable from the retained trace. The
+	// record-order readers (ColumnInts/ColumnFloats/NumRows) are
+	// merge-dominated snapshot walks with no per-shard fan to attribute.
+	shardObs := dpsql.ShardObserver(shardSpanObserver(rel))
 	switch {
 	case stat == "count" && req.Unit == "record":
 		n = tab.NumRows()
 	case stat == "count":
-		n = tab.NumUsers()
+		n = tab.NumUsers(shardObs)
 	case empiricalStat && req.Unit == "record":
 		zs, err = tab.ColumnInts(req.Column)
 	case empiricalStat:
-		zs, err = tab.UserIntSums(req.Column)
+		zs, err = tab.UserIntSums(req.Column, shardObs)
 	case req.Unit == "record":
 		xs, err = tab.ColumnFloats(req.Column)
 	default:
-		xs, err = tab.UserMeans(req.Column)
+		xs, err = tab.UserMeans(req.Column, shardObs)
 	}
 	if err != nil {
 		return 0, err

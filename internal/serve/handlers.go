@@ -32,6 +32,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/estimate", s.handleEstimate)
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/audit", s.handleAudit)
+	s.mux.HandleFunc("GET /v1/traces", s.handleListTraces)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleGetTrace)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.Handle("GET /metrics", s.MetricsHandler())
 	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -358,8 +360,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	rl := &releaseLedger{inner: t.spender, rel: rel}
 	ran, wait := s.pool.doTimed(func() {
 		res, err = t.db.ExecTraced(s.splitRNG(), req.SQL, req.Epsilon, dpsql.ExecOpts{
-			Ledger:  rl,
-			Observe: func(stage string, d time.Duration) { s.observeStage(rel, stage, d) },
+			Ledger:       rl,
+			Observe:      func(stage string, d time.Duration) { s.observeStage(rel, stage, d) },
+			ObserveShard: shardSpanObserver(rel),
 		})
 	})
 	if !ran {

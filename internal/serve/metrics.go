@@ -163,22 +163,54 @@ func newRelease(path string) *release {
 }
 
 // observeStage records one stage duration into both the server-wide
-// stage histogram and the release's own trace.
+// stage histogram (with the release ID as the bucket's exemplar) and
+// the release's own trace.
 func (s *Server) observeStage(rel *release, stage string, d time.Duration) {
-	s.metrics.stageSeconds.With(stage).Observe(d.Seconds())
+	s.metrics.stageSeconds.With(stage).ObserveExemplar(d.Seconds(), rel.id)
 	rel.tr.Observe(stage, d)
 }
 
-// finishRelease closes out a release: end-to-end latency into the
-// per-path histogram, and the structured slow-release log line when the
-// release crossed the threshold — the line carries the release ID and
-// every recorded span, so one grep attributes the slow tail to a stage.
+// finishRelease closes out a release: the trace's end time freezes,
+// end-to-end latency lands in the per-path histogram (release ID as
+// exemplar), the structured slow-release log line fires when the
+// release crossed the threshold, and the completed trace is retained in
+// the flight recorder — slow/errored/shed releases tail-sampled so they
+// survive any flood of healthy ones. The recorded ID is the same one in
+// the X-Release-Id header and on the audit line, so a dashboard bucket,
+// a log grep, and GET /v1/traces/{id} all meet at the same trace.
 func (s *Server) finishRelease(t *Tenant, rel *release, status int) {
+	rel.tr.Finish()
 	total := rel.tr.Total()
-	s.metrics.releaseSeconds.With(rel.path).Observe(total.Seconds())
-	if s.slowRel > 0 && total >= s.slowRel {
+	s.metrics.releaseSeconds.With(rel.path).ObserveExemplar(total.Seconds(), rel.id)
+	slow := s.slowRel > 0 && total >= s.slowRel
+	if slow {
 		log.Printf("serve: slow release id=%s tenant=%s path=%s mech=%s status=%d total=%v stages: %s",
 			rel.id, t.id, rel.path, rel.mech, status, total.Round(time.Microsecond), rel.tr)
+	}
+	outcome := "ok"
+	switch {
+	case status == http.StatusServiceUnavailable:
+		outcome = "shed"
+	case status >= 500:
+		outcome = "error"
+	case slow:
+		outcome = "slow"
+	}
+	if s.recorder != nil {
+		s.recorder.Record(&obs.RecordedTrace{
+			ID:      rel.id,
+			Tenant:  t.id,
+			Path:    rel.path,
+			Mech:    rel.mech,
+			Status:  status,
+			Outcome: outcome,
+			Start:   rel.tr.Start(),
+			Total:   total,
+			Spans:   rel.tr.Spans(),
+		}, slow || status >= 500)
+	}
+	if s.watchdog != nil {
+		s.watchdog.observe(total)
 	}
 }
 
@@ -196,7 +228,17 @@ type releaseLedger struct {
 
 func (rl *releaseLedger) Spend(c dp.Cost) error {
 	t0 := time.Now()
-	err := rl.inner.Spend(c)
+	var err error
+	// tenantLedger exposes SpendTraced so the durable spend's internals
+	// (ledger_deduct, group_commit_wait, wal_fsync) nest under this
+	// release's "deduct" span; plain ledgers just Spend.
+	if ts, ok := rl.inner.(interface {
+		SpendTraced(dp.Cost, *obs.Trace) error
+	}); ok {
+		err = ts.SpendTraced(c, rl.rel.tr)
+	} else {
+		err = rl.inner.Spend(c)
+	}
 	rl.rel.tr.Observe("deduct", time.Since(t0))
 	if err == nil {
 		rl.rel.spent = true

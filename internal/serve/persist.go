@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/dp"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -43,7 +44,15 @@ type tenantLedger struct {
 
 // Spend charges the real ledger, then (durable tenants) durably records
 // the deduction.
-func (w *tenantLedger) Spend(c dp.Cost) error {
+func (w *tenantLedger) Spend(c dp.Cost) error { return w.SpendTraced(c, nil) }
+
+// SpendTraced is Spend attributing its internals to a release trace:
+// the in-memory deduct, the time parked on the commit barrier, and the
+// shared batch fsync land as child spans under the release's "deduct"
+// stage (tr nil skips the spans; the histograms record either way).
+// releaseLedger discovers this method by interface assertion, so the
+// per-release wrapper threads the trace without store ever importing obs.
+func (w *tenantLedger) SpendTraced(c dp.Cost, tr *obs.Trace) error {
 	if w.t.log != nil {
 		w.t.persistMu.RLock()
 		defer w.t.persistMu.RUnlock()
@@ -52,18 +61,29 @@ func (w *tenantLedger) Spend(c dp.Cost) error {
 	if err := w.t.led.Spend(c); err != nil {
 		return err
 	}
-	w.s.metrics.stageSeconds.With("ledger_deduct").Observe(time.Since(t0).Seconds())
+	d := time.Since(t0)
+	w.s.metrics.stageSeconds.With("ledger_deduct").Observe(d.Seconds())
+	if tr != nil {
+		tr.ObserveChild("ledger_deduct", "deduct", d)
+	}
 	if w.t.log != nil {
 		// CommitDeduct parks on the tenant's group-commit barrier: one
 		// shared fsync acks every deduction (and audit record) batched
-		// with this one. waited is the parked time before the batch
-		// started; fsync is the shared barrier itself.
-		waited, fsync, err := w.t.log.CommitDeduct(c)
+		// with this one. Waited is the parked time before the batch
+		// started; Fsync is the shared barrier itself.
+		ct, err := w.t.log.CommitDeduct(c)
 		if err != nil {
 			return fmt.Errorf("%w: recording deduction (budget charged, release withheld): %v", errPersist, err)
 		}
-		w.s.metrics.stageSeconds.With("group_commit_wait").Observe(waited.Seconds())
-		w.s.metrics.stageSeconds.With("wal_fsync").Observe(fsync.Seconds())
+		w.s.metrics.stageSeconds.With("group_commit_wait").Observe(ct.Waited.Seconds())
+		w.s.metrics.stageSeconds.With("wal_fsync").Observe(ct.Fsync.Seconds())
+		if tr != nil {
+			// The nesting mirrors the barrier's anatomy: the entry parks
+			// (group_commit_wait, under deduct), then the batch's shared
+			// fsync clears it (wal_fsync, under group_commit_wait).
+			tr.ObserveChild("group_commit_wait", "deduct", ct.Waited)
+			tr.ObserveChild("wal_fsync", "group_commit_wait", ct.Fsync)
+		}
 	}
 	w.t.odo.Observe(w.t.led.Spent())
 	return nil

@@ -135,6 +135,7 @@ import (
 
 	"repro/internal/dp"
 	"repro/internal/dpsql"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/xrand"
 )
@@ -188,6 +189,35 @@ type Options struct {
 	// fsync per deduction plus one per audit record. Ignored without
 	// DataDir.
 	GroupCommit store.GroupCommitOptions
+	// TraceRing sizes the flight recorder: the last TraceRing completed
+	// release traces are retained (plus up to TraceRing slow/errored/shed
+	// traces, tail-sampled so healthy floods never evict them) and served
+	// at GET /v1/traces. 0 means 256; negative disables retention.
+	TraceRing int
+	// Exemplars opts the /metrics rendering into OpenMetrics exemplar
+	// syntax: each release/stage histogram bucket carries the most recent
+	// release ID that landed in it, linking a dashboard bucket straight
+	// to GET /v1/traces/{id}. Off by default because the suffix is not
+	// part of the Prometheus 0.0.4 text format some scrapers pin.
+	Exemplars bool
+	// SLOLatency arms the self-watchdog: when the release-latency p99
+	// over a window exceeds this threshold for SLOWindows consecutive
+	// windows, the watchdog captures one incident bundle (CPU, heap, and
+	// goroutine profiles, a /metrics scrape, the retained traces) into
+	// IncidentDir. 0 disables the watchdog.
+	SLOLatency time.Duration
+	// SLOWindow is the latency-aggregation window (0 means 10s).
+	SLOWindow time.Duration
+	// SLOWindows is the number of consecutive breaching windows that
+	// trigger a capture (0 means 2).
+	SLOWindows int
+	// IncidentDir receives incident bundles (one timestamped directory
+	// per capture). Required for the watchdog to arm; relative paths are
+	// relative to the process working directory.
+	IncidentDir string
+	// IncidentCooldown is the minimum gap between captures, bounding the
+	// profiling cost of a sustained breach (0 means 10min).
+	IncidentCooldown time.Duration
 }
 
 // maxTenantShards bounds a tenant's configured shard count; past this the
@@ -229,6 +259,12 @@ type Server struct {
 	// slow-release log threshold (0 = disabled).
 	metrics *metricsSet
 	slowRel time.Duration
+
+	// recorder is the flight recorder finished releases land in (nil
+	// when retention is disabled); watchdog is the SLO breach monitor
+	// (nil when unarmed).
+	recorder *obs.Recorder
+	watchdog *watchdog
 }
 
 // Tenant is one isolated customer: a database, one privacy ledger (the
@@ -327,6 +363,20 @@ func Open(opts Options) (*Server, error) {
 		metrics:   newMetricsSet(),
 		slowRel:   slowRel,
 	}
+	if opts.TraceRing >= 0 {
+		s.recorder = obs.NewRecorder(opts.TraceRing)
+	}
+	s.metrics.reg.SetExemplars(opts.Exemplars)
+	obs.RegisterRuntimeGauges(s.metrics.reg)
+	if opts.SLOLatency > 0 && opts.IncidentDir != "" {
+		s.watchdog = newWatchdog(s, watchdogConfig{
+			slo:      opts.SLOLatency,
+			window:   opts.SLOWindow,
+			windows:  opts.SLOWindows,
+			dir:      opts.IncidentDir,
+			cooldown: opts.IncidentCooldown,
+		})
+	}
 	if opts.DataDir != "" {
 		st, err := store.Open(opts.DataDir)
 		if err != nil {
@@ -357,6 +407,9 @@ func Open(opts Options) (*Server, error) {
 	}
 	s.registerGauges()
 	s.routes()
+	if s.watchdog != nil {
+		s.watchdog.start()
+	}
 	return s, nil
 }
 
@@ -367,6 +420,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // durable servers — compacts every tenant into a final snapshot and
 // closes the store. The HTTP listener's lifecycle belongs to the caller.
 func (s *Server) Close() error {
+	if s.watchdog != nil {
+		s.watchdog.stop()
+	}
 	s.pool.close()
 	if s.st == nil {
 		return nil

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The trace explorer: GET /v1/traces lists the flight recorder's
+// retained releases (newest first, filterable), and GET /v1/traces/{id}
+// returns one release's full span tree — the id is the same one in the
+// X-Release-Id response header, the slow-release log line, and the audit
+// record, so any of those leads here.
+
+// shardSpanObserver adapts a release trace into the per-shard scan hook
+// the dpsql layer calls from its fan-out workers: each shard's partial
+// scan becomes a child span under the "scan" stage, tagged with the
+// shard index and the rows it walked. Trace recording is mutex-guarded,
+// so concurrent shards are safe.
+func shardSpanObserver(rel *release) func(shard, rows int, d time.Duration) {
+	return func(shard, rows int, d time.Duration) {
+		rel.tr.ObserveChild("scan_shard", "scan", d,
+			obs.Attr{Key: "shard", Value: int64(shard)},
+			obs.Attr{Key: "rows", Value: int64(rows)})
+	}
+}
+
+// TraceSummary is one retained release in the GET /v1/traces listing.
+type TraceSummary struct {
+	ID      string    `json:"id"`
+	Tenant  string    `json:"tenant"`
+	Path    string    `json:"path"`
+	Mech    string    `json:"mech,omitempty"`
+	Status  int       `json:"status"`
+	Outcome string    `json:"outcome"`
+	Start   time.Time `json:"start"`
+	TotalMs float64   `json:"total_ms"`
+}
+
+// TraceListResponse is the GET /v1/traces wire shape.
+type TraceListResponse struct {
+	Traces []TraceSummary `json:"traces"`
+}
+
+// TraceSpan is one node of a release's span tree.
+type TraceSpan struct {
+	Stage      string           `json:"stage"`
+	StartMs    float64          `json:"start_ms"`
+	DurationMs float64          `json:"duration_ms"`
+	Attrs      map[string]int64 `json:"attrs,omitempty"`
+	Children   []*TraceSpan     `json:"children,omitempty"`
+}
+
+// TraceDetail is the GET /v1/traces/{id} wire shape: the summary
+// envelope plus the nested span tree.
+type TraceDetail struct {
+	TraceSummary
+	Spans []*TraceSpan `json:"spans"`
+}
+
+func traceSummary(rt *obs.RecordedTrace) TraceSummary {
+	return TraceSummary{
+		ID:      rt.ID,
+		Tenant:  rt.Tenant,
+		Path:    rt.Path,
+		Mech:    rt.Mech,
+		Status:  rt.Status,
+		Outcome: rt.Outcome,
+		Start:   rt.Start,
+		TotalMs: durMs(rt.Total),
+	}
+}
+
+func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// spanTree nests recorded spans by their parent stage names. Spans link
+// by name because children complete before their parents (a shard span
+// closes before the enclosing "scan" stage lands), so two passes: build
+// every node, then attach each child to the last node bearing its
+// parent's stage name — or promote it to a root if the parent never
+// recorded (an aborted release can drop a stage; its children should
+// still render).
+func spanTree(spans []obs.Span) []*TraceSpan {
+	nodes := make([]*TraceSpan, len(spans))
+	byStage := make(map[string]*TraceSpan, len(spans))
+	for i, sp := range spans {
+		n := &TraceSpan{
+			Stage:      sp.Stage,
+			StartMs:    durMs(sp.Start),
+			DurationMs: durMs(sp.D),
+		}
+		if len(sp.Attrs) > 0 {
+			n.Attrs = make(map[string]int64, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				n.Attrs[a.Key] = a.Value
+			}
+		}
+		nodes[i] = n
+		byStage[sp.Stage] = n
+	}
+	var roots []*TraceSpan
+	for i, sp := range spans {
+		if sp.Parent != "" {
+			if p := byStage[sp.Parent]; p != nil && p != nodes[i] {
+				p.Children = append(p.Children, nodes[i])
+				continue
+			}
+		}
+		roots = append(roots, nodes[i])
+	}
+	return roots
+}
+
+func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		writeErr(w, http.StatusNotFound, "tracing_disabled",
+			errors.New("serve: trace retention is disabled (Options.TraceRing < 0)"))
+		return
+	}
+	var minTotal time.Duration
+	if v := r.URL.Query().Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			writeErr(w, http.StatusBadRequest, "bad_min_ms",
+				errors.New("serve: min_ms must be a non-negative number"))
+			return
+		}
+		minTotal = time.Duration(ms * float64(time.Millisecond))
+	}
+	tenant := r.URL.Query().Get("tenant")
+	resp := TraceListResponse{Traces: []TraceSummary{}}
+	for _, rt := range s.recorder.Traces() {
+		if tenant != "" && rt.Tenant != tenant {
+			continue
+		}
+		if rt.Total < minTotal {
+			continue
+		}
+		resp.Traces = append(resp.Traces, traceSummary(rt))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		writeErr(w, http.StatusNotFound, "tracing_disabled",
+			errors.New("serve: trace retention is disabled (Options.TraceRing < 0)"))
+		return
+	}
+	id := r.PathValue("id")
+	rt, ok := s.recorder.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "not_found",
+			errors.New("serve: no retained trace with that release id (evicted, or never recorded)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceDetail{
+		TraceSummary: traceSummary(rt),
+		Spans:        spanTree(rt.Spans),
+	})
+}

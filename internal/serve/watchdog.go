@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"encoding/json"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The self-watchdog: a goroutine that watches the release-latency
+// window and, when the p99 breaches the SLO for K consecutive windows,
+// captures everything a post-mortem needs — CPU/heap/goroutine
+// profiles, a /metrics scrape, and the flight recorder's retained
+// traces — into one timestamped incident directory. The point is that
+// the evidence is taken WHILE the service is bad: by the time an
+// operator is paged, the slow releases are already in the bundle.
+
+// watchdogConfig is the resolved watchdog tuning (from Options).
+type watchdogConfig struct {
+	slo      time.Duration // p99 threshold
+	window   time.Duration // aggregation window (0 → 10s)
+	windows  int           // consecutive breaching windows to trigger (0 → 2)
+	dir      string        // incident bundle parent directory
+	cooldown time.Duration // min gap between captures (0 → 10min)
+}
+
+// maxWindowSamples caps the per-window latency buffer: past it, new
+// samples overwrite random-ish slots (modulo the arrival counter) so a
+// flood can't grow memory while the p99 stays representative enough to
+// detect a breach.
+const maxWindowSamples = 8192
+
+type watchdog struct {
+	s   *Server
+	cfg watchdogConfig
+
+	mu      sync.Mutex
+	samples []time.Duration
+	arrived uint64 // total samples this window (for the overwrite slot)
+
+	breaches    int       // consecutive breaching windows so far
+	lastCapture time.Time // zero until the first bundle
+
+	quit chan struct{}
+	done chan struct{}
+
+	// captured counts incident bundles written (read by tests under mu).
+	captured int
+}
+
+func newWatchdog(s *Server, cfg watchdogConfig) *watchdog {
+	if cfg.window <= 0 {
+		cfg.window = 10 * time.Second
+	}
+	if cfg.windows <= 0 {
+		cfg.windows = 2
+	}
+	if cfg.cooldown <= 0 {
+		cfg.cooldown = 10 * time.Minute
+	}
+	return &watchdog{
+		s:    s,
+		cfg:  cfg,
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+func (d *watchdog) start() { go d.run() }
+
+// stop halts the loop and waits for it; an in-flight capture finishes
+// first, so Close never leaves a half-written bundle behind.
+func (d *watchdog) stop() {
+	close(d.quit)
+	<-d.done
+}
+
+// observe feeds one finished release's end-to-end latency into the
+// current window. Called from finishRelease on request goroutines.
+func (d *watchdog) observe(total time.Duration) {
+	d.mu.Lock()
+	if len(d.samples) < maxWindowSamples {
+		d.samples = append(d.samples, total)
+	} else {
+		d.samples[d.arrived%maxWindowSamples] = total
+	}
+	d.arrived++
+	d.mu.Unlock()
+}
+
+// run is the watchdog loop: every window, compute the p99 of the
+// window's releases and track consecutive breaches.
+func (d *watchdog) run() {
+	defer close(d.done)
+	tick := time.NewTicker(d.cfg.window)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.quit:
+			return
+		case <-tick.C:
+			d.evaluate()
+		}
+	}
+}
+
+func (d *watchdog) evaluate() {
+	d.mu.Lock()
+	window := d.samples
+	d.samples = nil
+	d.arrived = 0
+	d.mu.Unlock()
+
+	if len(window) == 0 {
+		// An idle window is not healthy evidence either way; a breach
+		// streak survives a gap in traffic rather than resetting.
+		return
+	}
+	p99 := quantileDur(window, 0.99)
+	if p99 <= d.cfg.slo {
+		d.mu.Lock()
+		d.breaches = 0
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Lock()
+	d.breaches++
+	trigger := d.breaches >= d.cfg.windows &&
+		(d.lastCapture.IsZero() || time.Since(d.lastCapture) >= d.cfg.cooldown)
+	if trigger {
+		d.lastCapture = time.Now()
+		d.breaches = 0
+	}
+	d.mu.Unlock()
+	if trigger {
+		d.capture(p99, len(window))
+	}
+}
+
+// quantileDur is the q-th quantile of durations (sorts its argument).
+func quantileDur(xs []time.Duration, q float64) time.Duration {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	ix := int(float64(len(xs)) * q)
+	if ix >= len(xs) {
+		ix = len(xs) - 1
+	}
+	return xs[ix]
+}
+
+// capture writes one incident bundle. Failures are logged, never fatal —
+// the watchdog must not take down the service it is diagnosing.
+func (d *watchdog) capture(p99 time.Duration, windowN int) {
+	stamp := time.Now().UTC().Format("20060102T150405.000Z")
+	dir := filepath.Join(d.cfg.dir, "incident-"+stamp)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Printf("serve: watchdog: creating incident dir: %v", err)
+		return
+	}
+	log.Printf("serve: watchdog: p99 %v over SLO %v — capturing incident bundle to %s",
+		p99.Round(time.Millisecond), d.cfg.slo, dir)
+
+	// CPU profile first (it needs wall time to mean anything); bounded
+	// by the window so a tiny test window stays fast.
+	cpuDur := d.cfg.window
+	if cpuDur > time.Second {
+		cpuDur = time.Second
+	}
+	if f, err := os.Create(filepath.Join(dir, "cpu.pprof")); err == nil {
+		if err := pprof.StartCPUProfile(f); err == nil {
+			time.Sleep(cpuDur)
+			pprof.StopCPUProfile()
+		} else {
+			// A profile already running elsewhere (a concurrent test or
+			// an operator's manual capture) is not ours to fight.
+			log.Printf("serve: watchdog: cpu profile: %v", err)
+		}
+		_ = f.Close()
+	}
+	for _, prof := range []struct{ name, file string }{
+		{"heap", "heap.pprof"},
+		{"goroutine", "goroutine.txt"},
+	} {
+		f, err := os.Create(filepath.Join(dir, prof.file))
+		if err != nil {
+			continue
+		}
+		debug := 0
+		if prof.name == "goroutine" {
+			debug = 1 // text dump with stacks, readable without `go tool pprof`
+		}
+		_ = pprof.Lookup(prof.name).WriteTo(f, debug)
+		_ = f.Close()
+	}
+	_ = os.WriteFile(filepath.Join(dir, "metrics.prom"),
+		[]byte(d.s.metrics.reg.RenderText()), 0o644)
+	if d.s.recorder != nil {
+		resp := TraceListResponse{Traces: []TraceSummary{}}
+		for _, rt := range d.s.recorder.Traces() {
+			resp.Traces = append(resp.Traces, traceSummary(rt))
+		}
+		if b, err := json.MarshalIndent(resp, "", "  "); err == nil {
+			_ = os.WriteFile(filepath.Join(dir, "traces.json"), b, 0o644)
+		}
+	}
+	meta := map[string]any{
+		"time":            stamp,
+		"p99_ms":          durMs(p99),
+		"slo_ms":          durMs(d.cfg.slo),
+		"window_ms":       durMs(d.cfg.window),
+		"window_releases": windowN,
+		"windows_needed":  d.cfg.windows,
+		"cooldown_ms":     durMs(d.cfg.cooldown),
+	}
+	if b, err := json.MarshalIndent(meta, "", "  "); err == nil {
+		_ = os.WriteFile(filepath.Join(dir, "incident.json"), b, 0o644)
+	}
+	d.mu.Lock()
+	d.captured++
+	d.mu.Unlock()
+}
+
+// capturedCount reports how many bundles have been written (tests).
+func (d *watchdog) capturedCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.captured
+}

@@ -182,7 +182,7 @@ func (a *AuditLog) Append(rec *AuditRecord) error {
 	gc := a.gc
 	a.mu.Unlock()
 	if gc != nil {
-		_, _, err := gc.submit(nil, rec)
+		_, err := gc.submit(nil, rec)
 		return err
 	}
 	if err := a.appendBuffered(rec); err != nil {

@@ -135,35 +135,42 @@ func (tl *TenantLog) stopCommitter() {
 	<-g.exited
 }
 
+// CommitTimings is the durability cost breakdown of one committed entry:
+// how long it was parked on the barrier (the group_commit_wait stage)
+// and the shared batch append+flush+fsync (the wal_fsync stage). The
+// serve layer records these as child spans under its deduct stage.
+type CommitTimings struct {
+	Waited time.Duration
+	Fsync  time.Duration
+}
+
 // CommitDeduct durably records one ledger deduction through the group
 // commit barrier: the call parks until a batch holding the deduction is
 // flushed and fsynced, exactly as durable as AppendDeduct but sharing
-// the fsync with every other entry in the batch. It reports how long the
-// entry was parked (the group_commit_wait stage) and the shared barrier
-// duration (the wal_fsync stage). Without a committer it degrades to the
-// per-record AppendDeduct.
-func (tl *TenantLog) CommitDeduct(c dp.Cost) (waited, fsync time.Duration, err error) {
+// the fsync with every other entry in the batch. Without a committer it
+// degrades to the per-record AppendDeduct.
+func (tl *TenantLog) CommitDeduct(c dp.Cost) (CommitTimings, error) {
 	if g := tl.gc; g != nil {
 		return g.submit(&c, nil)
 	}
 	t0 := time.Now()
-	err = tl.AppendDeduct(c)
-	return 0, time.Since(t0), err
+	err := tl.AppendDeduct(c)
+	return CommitTimings{Fsync: time.Since(t0)}, err
 }
 
 // submit parks one entry on the barrier and waits for its batch.
-func (g *groupCommitter) submit(c *dp.Cost, a *AuditRecord) (waited, fsync time.Duration, err error) {
+func (g *groupCommitter) submit(c *dp.Cost, a *AuditRecord) (CommitTimings, error) {
 	e := &commitEntry{cost: c, audit: a, submitted: time.Now(), done: make(chan struct{})}
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
-		return 0, 0, ErrLogBroken
+		return CommitTimings{}, ErrLogBroken
 	}
 	g.queue = append(g.queue, e)
 	g.cond.Signal()
 	g.mu.Unlock()
 	<-e.done
-	return e.waited, e.fsync, e.err
+	return CommitTimings{Waited: e.waited, Fsync: e.fsync}, e.err
 }
 
 // run is the committer loop: wait for entries, optionally coalesce,

@@ -54,12 +54,12 @@ func TestGroupCommitAckedDeductsSurviveCrash(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			waited, _, err := tl.CommitDeduct(dp.EpsCost(0.001))
+			ct, err := tl.CommitDeduct(dp.EpsCost(0.001))
 			if err != nil {
 				t.Error(err)
 				return
 			}
-			if waited > 0 {
+			if ct.Waited > 0 {
 				sawBatchWait.Store(true)
 			}
 			acked.Add(1)
@@ -118,7 +118,7 @@ func TestTornBatchDropsWholeBatchNeverPrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := tl.CommitDeduct(dp.EpsCost(0.5)); err != nil { // seq 2 (create is 1)
+	if _, err := tl.CommitDeduct(dp.EpsCost(0.5)); err != nil { // seq 2 (create is 1)
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -181,7 +181,7 @@ func TestGroupCommitAuditReconciledAfterCrash(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := tl.CommitDeduct(dp.EpsCost(0.01)); err != nil {
+		if _, err := tl.CommitDeduct(dp.EpsCost(0.01)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -284,7 +284,7 @@ func TestGroupCommitStress(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for {
-				if _, _, err := tl.CommitDeduct(dp.EpsCost(1e-6)); err != nil {
+				if _, err := tl.CommitDeduct(dp.EpsCost(1e-6)); err != nil {
 					if !errors.Is(err, ErrLogBroken) {
 						t.Errorf("CommitDeduct: %v", err)
 					}
@@ -326,7 +326,7 @@ func TestGroupCommitStress(t *testing.T) {
 	wg.Wait()
 
 	// Post-close submissions fail fast with ErrLogBroken, never hang.
-	if _, _, err := tl.CommitDeduct(dp.EpsCost(1)); !errors.Is(err, ErrLogBroken) {
+	if _, err := tl.CommitDeduct(dp.EpsCost(1)); !errors.Is(err, ErrLogBroken) {
 		t.Fatalf("post-close CommitDeduct: %v", err)
 	}
 	if err := a.Append(&AuditRecord{ReleaseID: "late"}); !errors.Is(err, ErrLogBroken) {
@@ -365,7 +365,7 @@ func TestGroupCommitDisabledFallsBack(t *testing.T) {
 	if tl.gc != nil {
 		t.Fatal("Disable left a committer attached")
 	}
-	if _, _, err := tl.CommitDeduct(dp.EpsCost(0.5)); err != nil {
+	if _, err := tl.CommitDeduct(dp.EpsCost(0.5)); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -388,7 +388,7 @@ func TestGroupCommitMaxDelayCoalesces(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := tl.CommitDeduct(dp.EpsCost(0.1))
+		_, err := tl.CommitDeduct(dp.EpsCost(0.1))
 		done <- err
 	}()
 	select {
