@@ -20,6 +20,7 @@
 //	updp-bench -serve self -duel              # durable vs ephemeral throughput
 //	updp-bench -serve self -shards 8          # bench tenant on 8-way sharded tables
 //	updp-bench -serve self -shards sweep      # shard-scaling sweep at N=1,4,16
+//	updp-bench -serve self -snapshot-during   # release p99 during compaction vs steady state
 //
 // -accounting/-delta/-window pick the bench tenant's composition backend
 // ("pure", "zcdp", or "rdp"); -compare runs the backend exhaustion duel
@@ -66,6 +67,7 @@ func main() {
 		restart     = flag.Bool("restart", false, "loadgen: run the durability recovery scenario (ingest+spend, snapshot, crash, re-open) instead of the throughput run")
 		duel        = flag.Bool("duel", false, "loadgen: run the durable-vs-ephemeral duel (same distinct-release load with and without a data dir) instead of the throughput run")
 		shardsFlag  = flag.String("shards", "", `loadgen: bench tenant table shard count (an integer), or "sweep" to run the shard-scaling sweep (N=1,4,16: ingest rows/sec + release latency)`)
+		snapDuring  = flag.Bool("snapshot-during", false, "loadgen: run the compaction-stall drill (release p99 with continuous background compaction vs steady state); composes with -shards sweep")
 		metricsOut  = flag.String("metrics-out", "", "loadgen: save the final /metrics scrape (Prometheus text) to this file")
 		tracesOut   = flag.String("traces-out", "", "loadgen: save the post-run GET /v1/traces dump (flight-recorder JSON) to this file")
 	)
@@ -100,13 +102,16 @@ func main() {
 			cfg.shards = n
 		}
 		modes := 0
-		for _, on := range []bool{*compare, *restart, *duel, sweep} {
+		for _, on := range []bool{*compare, *restart, *duel, sweep, *snapDuring} {
 			if on {
 				modes++
 			}
 		}
+		if *snapDuring && sweep {
+			modes-- // -snapshot-during composes with -shards sweep (drill per shard count)
+		}
 		if modes > 1 {
-			fmt.Fprintln(os.Stderr, "updp-bench: -compare, -restart, -duel, and -shards sweep are mutually exclusive scenarios; pick one")
+			fmt.Fprintln(os.Stderr, "updp-bench: -compare, -restart, -duel, -snapshot-during, and -shards sweep are mutually exclusive scenarios (except -snapshot-during with -shards sweep); pick one")
 			os.Exit(2)
 		}
 		var err error
@@ -117,6 +122,14 @@ func main() {
 			err = runRestart(cfg)
 		case *duel:
 			err = runDuel(cfg)
+		case *snapDuring:
+			counts := []int{1}
+			if sweep {
+				counts = []int{1, 4, 16}
+			} else if cfg.shards > 0 {
+				counts = []int{cfg.shards}
+			}
+			err = runSnapshotDuring(cfg, counts)
 		case sweep:
 			err = runShardSweep(cfg)
 		default:

@@ -60,10 +60,18 @@
 // write-ahead log (tenant creation, table DDL, row batches, and — synced
 // before any answer is released — every ledger deduction) plus periodic
 // compacted snapshots of full tenant state, with replay-on-boot recovery.
-// Run the service with updp-serve -data-dir to enable it; recovery is
-// conservative — a torn WAL tail can drop trailing data rows but never a
-// recorded deduction, so post-restart spend is always >= pre-crash
-// acknowledged spend. Concurrent releases share their durability cost
+// The log is segmented: compaction first seals the active tail into an
+// immutable, fully-fsynced wal.NNNNNNNNN.seg file (microseconds under
+// the log lock), then replays the sealed segments into a fresh snapshot
+// entirely off the hot path — no persist lock, no shard locks — so
+// releases and ingest on the tenant proceed at full speed while it runs;
+// a crash at any point between seal and the post-publish segment sweep
+// recovers exactly (covered segments are skipped, then cleaned by the
+// next compaction). Run the service with updp-serve -data-dir to enable
+// it; recovery is conservative — a torn tail in the ACTIVE log can drop
+// trailing data rows but never a recorded deduction (sealed segments,
+// being fully fsynced, refuse any damage loudly), so post-restart spend
+// is always >= pre-crash acknowledged spend. Concurrent releases share their durability cost
 // through WAL group commit: parked deductions and their audit records
 // are drained into one batch WAL record and acked by a single shared
 // fsync (adaptive — a lone release commits immediately, batches form
@@ -80,25 +88,38 @@
 // recovery drill: ingest + spend, snapshot, crash without flushing,
 // re-open, and report the carried-over spend and recovery wall-time;
 // updp-bench -serve -duel measures the remaining durability tax as an
-// ephemeral/durable throughput ratio under a distinct-release load.
+// ephemeral/durable throughput ratio under a distinct-release load; and
+// updp-bench -serve -snapshot-during measures release p99 with
+// compactions firing continuously against the compaction-free steady
+// state — the direct check that compaction no longer stalls releases.
 //
-// # Sharded tenant tables
+// # Columnar sharded storage
 //
 // A tenant's tables are hash-partitioned by user id into N shards
 // ("shards" at tenant creation, updp-serve -shards for the default):
 // ingestion stripes across per-shard locks instead of serializing on one
 // table-wide mutex, and release scans fan out over the shards on the
 // serve layer's worker pool, merging partial per-user aggregates before
-// the mechanism runs. The merge is the decomposition view of the paper's
-// per-user collapse — partial (sum, count) accumulators combine by
-// addition into exactly the collapse a monolithic scan produces — so a
-// release still makes exactly one ledger deduction and the noise
-// semantics are unchanged: for a fixed seed, a sharded tenant and an
-// unsharded twin release bit-for-bit identical answers. WAL row records
+// the mechanism runs. Inside each shard, storage is columnar: values
+// live in typed column slices (float64/int64/string) with a per-shard
+// user dictionary mapping each row to a dense user index, so the hot
+// release loops — per-user collapse, WHERE predicates, GROUP BY
+// selection — are tight passes over contiguous typed arrays with zero
+// per-row map lookups or interface dispatch. Large shards additionally
+// split their collapse into row-range chunks that run work-stealing on
+// the same worker pool (a counting-sort scatter keeps the float fold's
+// bits identical to a sequential pass). The merge is the decomposition
+// view of the paper's per-user collapse — partial (sum, count)
+// accumulators combine by addition into exactly the collapse a
+// monolithic scan produces — so a release still makes exactly one ledger
+// deduction and the noise semantics are unchanged: for a fixed seed, a
+// sharded columnar tenant and an unsharded twin release bit-for-bit
+// identical answers. The wire and snapshot formats stay row-oriented
+// (rows materialize fresh from the columns on export), WAL row records
 // carry a shard tag and snapshots carry per-row placement, so recovery
-// rebuilds the same partitioning; pre-shard data directories boot as
-// single-shard tenants with spend preserved. updp-bench -serve -shards
-// sweep reports ingest rows/sec and release latency at N=1,4,16.
+// rebuilds the same partitioning; pre-shard and pre-columnar data
+// directories boot unchanged with spend preserved. updp-bench -serve
+// -shards sweep reports ingest rows/sec and release latency at N=1,4,16.
 //
 // # Observability
 //

@@ -182,72 +182,87 @@ func (db *DB) ExecTraced(rng *xrand.RNG, sql string, eps float64, opts ExecOpts)
 	scanStart := time.Now()
 
 	// Filter and group point-in-time per-shard snapshots. The scan fans
-	// out over the table's shards (parallel under an installed Fanout —
-	// the serve layer backs it with its worker pool), each shard filtering
-	// and partitioning its own rows; the per-shard group fragments are
-	// then concatenated in shard order. Users are hash-routed to shards,
-	// so a user's rows stay contiguous and in arrival order within one
-	// fragment and the per-user collapse below accumulates exactly as a
-	// monolithic scan would — fan-out changes wall-clock, not answers.
-	type groupData struct {
-		key  Value
-		rows [][]Value
+	// out over the table's columnar shards (parallel under an installed
+	// Fanout — the serve layer backs it with its worker pool): each shard
+	// evaluates the WHERE predicate as one vectorized pass over its typed
+	// column slices into a selection bitmap, then partitions the selected
+	// row indices by group key — no per-row []Value is ever built. The
+	// per-shard index fragments are then concatenated in shard order.
+	// Users are hash-routed to shards, so a user's rows stay contiguous
+	// and in arrival order within one fragment and the per-user collapse
+	// below accumulates exactly as a monolithic scan would — fan-out
+	// changes wall-clock, not answers.
+	type shardGroup struct {
+		key Value
+		idx []int32
 	}
 	type shardScan struct {
-		groups map[string]*groupData
+		groups map[string]*shardGroup
 		order  []string // first-seen group keys, shard-local
-		err    error
+	}
+	var groupKind Kind
+	if groupIx >= 0 {
+		groupKind = t.Columns[groupIx].Kind
 	}
 	snaps := t.shardSnapshots()
 	scans := make([]shardScan, len(snaps))
 	t.runFan(len(snaps), func(si int) {
 		shardStart := time.Now()
-		sc := shardScan{groups: map[string]*groupData{}}
-		for _, row := range snaps[si].rows {
-			if q.Where != nil {
-				ok, err := q.Where.Eval(t, row)
-				if err != nil {
-					sc.err = err
-					break
+		sn := snaps[si]
+		var sel []bool
+		if q.Where != nil {
+			sel = make([]bool, sn.n)
+			q.Where.evalShard(t, sn, sel)
+		}
+		sc := shardScan{groups: map[string]*shardGroup{}}
+		if groupIx < 0 {
+			// Single implicit group: the selection is one index run.
+			g := &shardGroup{}
+			for i := 0; i < sn.n; i++ {
+				if sel == nil || sel[i] {
+					g.idx = append(g.idx, int32(i))
 				}
-				if !ok {
+			}
+			if len(g.idx) > 0 {
+				sc.groups[""] = g
+				sc.order = append(sc.order, "")
+			}
+		} else {
+			for i := 0; i < sn.n; i++ {
+				if sel != nil && !sel[i] {
 					continue
 				}
+				key := sn.keyString(groupKind, groupIx, i)
+				g, ok := sc.groups[key]
+				if !ok {
+					g = &shardGroup{key: sn.value(groupKind, groupIx, i)}
+					sc.groups[key] = g
+					sc.order = append(sc.order, key)
+				}
+				g.idx = append(g.idx, int32(i))
 			}
-			key := ""
-			var kv Value
-			if groupIx >= 0 {
-				kv = row[groupIx]
-				key = kv.String()
-			}
-			g, ok := sc.groups[key]
-			if !ok {
-				g = &groupData{key: kv}
-				sc.groups[key] = g
-				sc.order = append(sc.order, key)
-			}
-			g.rows = append(g.rows, row)
 		}
 		scans[si] = sc
 		if opts.ObserveShard != nil {
-			opts.ObserveShard(si, len(snaps[si].rows), time.Since(shardStart))
+			opts.ObserveShard(si, sn.n, time.Since(shardStart))
 		}
 	})
-	groups := map[string]*groupData{}
+	type groupSel struct {
+		key   Value
+		parts []selPart // one per contributing shard, in shard order
+	}
+	groups := map[string]*groupSel{}
 	var order []string
-	for _, sc := range scans {
-		if sc.err != nil {
-			return nil, sc.err
-		}
+	for si, sc := range scans {
 		for _, key := range sc.order {
 			sg := sc.groups[key]
 			g, ok := groups[key]
 			if !ok {
-				g = &groupData{key: sg.key}
+				g = &groupSel{key: sg.key}
 				groups[key] = g
 				order = append(order, key)
 			}
-			g.rows = append(g.rows, sg.rows...)
+			g.parts = append(g.parts, selPart{shard: si, idx: sg.idx})
 		}
 	}
 	sort.Strings(order)
@@ -268,7 +283,7 @@ func (db *DB) ExecTraced(rng *xrand.RNG, sql string, eps float64, opts ExecOpts)
 		g := groups[key]
 		values := make([]float64, len(q.Aggs))
 		for i, spec := range q.Aggs {
-			v, err := db.aggregate(rng, t, spec, g.rows, aggIx[i], epsG)
+			v, err := db.aggregate(rng, t, spec, snaps, g.parts, aggIx[i], epsG)
 			if err != nil {
 				return nil, fmt.Errorf("group %q: %w", key, err)
 			}
@@ -284,11 +299,12 @@ func (db *DB) ExecTraced(rng *xrand.RNG, sql string, eps float64, opts ExecOpts)
 	return res, nil
 }
 
-// aggregate collapses rows to per-user contributions (the shared
-// replace-one-user reduction, Table.collapseByUser) and releases the
-// requested aggregate with budget eps.
-func (db *DB) aggregate(rng *xrand.RNG, t *Table, spec AggSpec, rows [][]Value, aggIx int, eps float64) (float64, error) {
-	users := t.collapseByUser(rows, aggIx)
+// aggregate collapses a group's filtered selection to per-user
+// contributions (the shared replace-one-user reduction,
+// Table.collapseSelection) and releases the requested aggregate with
+// budget eps.
+func (db *DB) aggregate(rng *xrand.RNG, t *Table, spec AggSpec, snaps []shardSnap, parts []selPart, aggIx int, eps float64) (float64, error) {
+	users := t.collapseSelection(snaps, parts, aggIx)
 	nUsers := len(users)
 
 	if spec.Kind == AggCount {

@@ -53,6 +53,14 @@ func (a AggKind) String() string {
 type Expr interface {
 	// Eval evaluates the predicate against a row of table t.
 	Eval(t *Table, row []Value) (bool, error)
+	// evalShard evaluates the predicate over every row of one shard
+	// snapshot, writing row i's verdict to sel[i] — the columnar scan
+	// path: each node runs one tight loop over the typed column slices
+	// instead of dispatching per row. It assumes validate(t) passed, at
+	// which point evaluation cannot error (the only Eval errors are
+	// unknown columns/operators and kind mismatches, all statically
+	// checked), and it must agree with Eval row for row.
+	evalShard(t *Table, sn shardSnap, sel []bool)
 	// validate checks the predicate statically against t's schema
 	// (columns exist, literal kinds are comparable, operators known), so
 	// Exec can refuse an invalid query before any budget is spent.
@@ -114,6 +122,69 @@ func (e *CmpExpr) validate(t *Table) error {
 	}
 }
 
+// evalShard implements Expr: one typed loop over the column, comparing
+// against the literal with exactly Value.Compare's three-way rule
+// (numeric compares on the F payload; NaN compares as equal to
+// everything, Compare's default branch — evalShard reproduces that bit
+// of weirdness rather than "fixing" it, because Eval is the twin).
+func (e *CmpExpr) evalShard(t *Table, sn shardSnap, sel []bool) {
+	ix, _ := t.ColumnIndex(e.Col) // validate() already resolved it
+	var ltOK, eqOK, gtOK bool
+	switch e.Op {
+	case "=":
+		eqOK = true
+	case "!=":
+		ltOK, gtOK = true, true
+	case "<":
+		ltOK = true
+	case "<=":
+		ltOK, eqOK = true, true
+	case ">":
+		gtOK = true
+	case ">=":
+		gtOK, eqOK = true, true
+	}
+	if t.Columns[ix].Kind == KindString {
+		lit := e.Lit.S
+		for i, v := range sn.cols[ix].ss {
+			switch {
+			case v < lit:
+				sel[i] = ltOK
+			case v > lit:
+				sel[i] = gtOK
+			default:
+				sel[i] = eqOK
+			}
+		}
+		return
+	}
+	lit := e.Lit.F
+	if t.Columns[ix].Kind == KindInt {
+		for i, iv := range sn.cols[ix].is {
+			v := float64(iv)
+			switch {
+			case v < lit:
+				sel[i] = ltOK
+			case v > lit:
+				sel[i] = gtOK
+			default:
+				sel[i] = eqOK
+			}
+		}
+		return
+	}
+	for i, v := range sn.cols[ix].fs {
+		switch {
+		case v < lit:
+			sel[i] = ltOK
+		case v > lit:
+			sel[i] = gtOK
+		default:
+			sel[i] = eqOK
+		}
+	}
+}
+
 // BinExpr is "left AND/OR right".
 type BinExpr struct {
 	Op          string // "and" | "or"
@@ -143,6 +214,25 @@ func (e *BinExpr) validate(t *Table) error {
 	return e.Right.validate(t)
 }
 
+// evalShard implements Expr: evaluate both sides' bitmaps and combine.
+// Eval short-circuits the right side, but post-validate evaluation is
+// pure and error-free, so evaluating it everywhere changes nothing but
+// the clock — and keeps both children as single tight loops.
+func (e *BinExpr) evalShard(t *Table, sn shardSnap, sel []bool) {
+	e.Left.evalShard(t, sn, sel)
+	tmp := make([]bool, len(sel))
+	e.Right.evalShard(t, sn, tmp)
+	if e.Op == "and" {
+		for i, r := range tmp {
+			sel[i] = sel[i] && r
+		}
+		return
+	}
+	for i, r := range tmp {
+		sel[i] = sel[i] || r
+	}
+}
+
 // NotExpr negates its operand.
 type NotExpr struct{ Inner Expr }
 
@@ -150,6 +240,14 @@ type NotExpr struct{ Inner Expr }
 func (e *NotExpr) Eval(t *Table, row []Value) (bool, error) {
 	v, err := e.Inner.Eval(t, row)
 	return !v, err
+}
+
+// evalShard implements Expr.
+func (e *NotExpr) evalShard(t *Table, sn shardSnap, sel []bool) {
+	e.Inner.evalShard(t, sn, sel)
+	for i := range sel {
+		sel[i] = !sel[i]
+	}
 }
 
 // validate implements Expr.

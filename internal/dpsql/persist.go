@@ -31,10 +31,12 @@ type TableState struct {
 }
 
 // Export captures the table's schema, shard topology, and a consistent
-// point-in-time row snapshot in global insertion order. The returned Rows
-// share the table's backing row storage and must be treated as immutable.
-// Single-shard tables omit the topology fields, so their snapshots are
-// byte-identical to the pre-shard encoding.
+// point-in-time row snapshot in global insertion order. Rows are
+// materialized fresh from the typed column shards (the wire format stays
+// row-oriented regardless of the in-memory layout), bit-identical to the
+// rows the table was fed. Single-shard tables omit the topology fields,
+// so their snapshots are byte-identical to the pre-columnar, pre-shard
+// encoding.
 func (t *Table) Export() TableState {
 	st := TableState{
 		Name:    t.Name,
@@ -46,7 +48,7 @@ func (t *Table) Export() TableState {
 		return st
 	}
 	st.Shards = t.nshards
-	st.Rows = mergeBySeq(t.shardSnapshots(), &st.ShardOf)
+	st.Rows = mergeBySeq(t, t.shardSnapshots(), &st.ShardOf)
 	return st
 }
 

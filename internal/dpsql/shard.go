@@ -7,12 +7,17 @@ import (
 	"time"
 )
 
-// This file is the partitioned row store under Table: a table's rows live
-// in N shards keyed by a hash of the user id, each shard guarded by its
-// own RWMutex. Ingestion stripes across the per-shard locks instead of
-// serializing on one table-wide lock, and release scans fan out over the
-// shards and merge their partial per-user aggregates before the mechanism
-// runs.
+// This file is the partitioned columnar store under Table: a table's rows
+// live in N shards keyed by a hash of the user id, each shard guarded by
+// its own RWMutex. Within a shard, storage is columnar — one typed slice
+// per schema column ([]float64 / []int64 / []string) plus a
+// dictionary-encoded user column and a parallel seq slice — so release
+// scans are tight loops over contiguous memory with no per-row []Value
+// boxing and no interface dispatch. Ingestion stripes across the
+// per-shard locks instead of serializing on one table-wide lock, and
+// release scans fan out over the shards (and, for large shards, over
+// column-range chunks within a shard) and merge their partial per-user
+// aggregates before the mechanism runs.
 //
 // Why merging is free (privacy): the universal estimators consume one
 // contribution per user. Per-shard scans produce partial per-user
@@ -27,8 +32,12 @@ import (
 // colocate in one shard in arrival order, so per-user aggregates are
 // accumulated in exactly the order a single-shard table would use and the
 // merged, id-sorted output is bit-for-bit identical across shard counts.
-// Record-order readers (ColumnFloats/ColumnInts) recover global insertion
-// order from per-row sequence numbers assigned at insert.
+// The within-shard chunked collapse preserves the same bits: chunks first
+// count and gather each user's values into one contiguous run in global
+// row order, then a single left fold per user reproduces the sequential
+// accumulation exactly (see shardUserAggsChunked). Record-order readers
+// (ColumnFloats/ColumnInts) recover global insertion order from per-row
+// sequence numbers assigned at insert.
 
 // MaxShards bounds a table's shard count; beyond this the per-shard
 // bookkeeping costs more than the striping wins. The serve layer
@@ -36,27 +45,146 @@ import (
 // topology is always the topology the table actually has.
 const MaxShards = 1024
 
-// tableShard is one partition of a table's row store. rows and seqs are
-// parallel: seqs[i] is the table-global insertion sequence of rows[i],
-// strictly increasing within a shard (sequence numbers are assigned under
-// the shard lock). Stored rows are never mutated, so a slice-header copy
-// taken under the read lock is a consistent point-in-time view.
+// colData is the typed storage of one column within one shard: exactly
+// one of the slices is in use, chosen by the column's Kind. Int columns
+// store int64(Value.F) — Value carries ints in a float64, and every
+// reader already truncated through int64(F), so the stored integer and
+// the reconstructed Value are bit-identical to the row-store's.
+type colData struct {
+	fs []float64 // KindFloat
+	is []int64   // KindInt
+	ss []string  // KindString
+}
+
+// tableShard is one partition of a table's columnar store. cols, uix, and
+// seqs are parallel by row index: seqs[i] is the table-global insertion
+// sequence of row i, strictly increasing within a shard (assigned under
+// the shard lock), and uix[i] is the row's user as a dense index into
+// uids (the shard-local user dictionary, first-appearance order; umap is
+// the writer-side reverse map). Dictionary-encoding the user column is
+// what lets the per-user collapse run without a hash lookup per row.
+// Stored cells are never mutated, so slice-header copies taken under the
+// read lock are a consistent point-in-time view.
+//
+// Layout note: the struct is exactly two cache lines (128 bytes: 24 mutex
+// + 4×24 slice headers + 8 map pointer), so the separately-allocated
+// shards of one table never share a line and striped writers cannot
+// false-share each other's locks — the same treatment Table.nextSeq got.
+// A size test pins the multiple-of-64 invariant.
 type tableShard struct {
 	mu   sync.RWMutex
-	rows [][]Value
+	cols []colData
+	uix  []int32
+	uids []string
+	umap map[string]int32
 	seqs []uint64
 }
 
-// shardSnap is a point-in-time view of one shard.
+// newTableShard builds an empty shard for a ncols-wide schema.
+func newTableShard(ncols int) *tableShard {
+	return &tableShard{cols: make([]colData, ncols), umap: map[string]int32{}}
+}
+
+// appendRow stores one converted row. Callers hold the shard write lock.
+func (sh *tableShard) appendRow(t *Table, row []Value, seq uint64) {
+	for c, v := range row {
+		col := &sh.cols[c]
+		switch t.Columns[c].Kind {
+		case KindString:
+			col.ss = append(col.ss, v.S)
+		case KindInt:
+			col.is = append(col.is, int64(v.F))
+		default:
+			col.fs = append(col.fs, v.F)
+		}
+	}
+	uid := row[t.userIx].String()
+	u, ok := sh.umap[uid]
+	if !ok {
+		u = int32(len(sh.uids))
+		sh.uids = append(sh.uids, uid)
+		sh.umap[uid] = u
+	}
+	sh.uix = append(sh.uix, u)
+	sh.seqs = append(sh.seqs, seq)
+}
+
+// shardSnap is a point-in-time view of one shard: n consistent rows, the
+// column slice headers (deep-copied so a concurrent append's header
+// update cannot race the view), and the user dictionary's first nu
+// entries (every uix value below n points under nu).
 type shardSnap struct {
-	rows [][]Value
+	n    int
+	nu   int
+	cols []colData
+	uix  []int32
+	uids []string
 	seqs []uint64
+}
+
+// view captures the shard's snapshot under its read lock.
+func (sh *tableShard) view() shardSnap {
+	sh.mu.RLock()
+	sn := shardSnap{
+		n:    len(sh.seqs),
+		nu:   len(sh.uids),
+		cols: append([]colData(nil), sh.cols...),
+		uix:  sh.uix,
+		uids: sh.uids,
+		seqs: sh.seqs,
+	}
+	sh.mu.RUnlock()
+	return sn
+}
+
+// uid reads row i's user id through the dictionary.
+func (sn shardSnap) uid(i int) string { return sn.uids[sn.uix[i]] }
+
+// float reads row i of a numeric column as its Value.F payload — the
+// exact float64 the row store carried (int columns store int64(F), and
+// float64(int64(F)) round-trips for every value convertRow admits).
+func (sn shardSnap) float(kind Kind, ix, i int) float64 {
+	if kind == KindInt {
+		return float64(sn.cols[ix].is[i])
+	}
+	return sn.cols[ix].fs[i]
+}
+
+// value materializes row i's cell as a Value, bit-identical to the one
+// the row store would have held.
+func (sn shardSnap) value(kind Kind, ix, i int) Value {
+	switch kind {
+	case KindString:
+		return Str(sn.cols[ix].ss[i])
+	case KindInt:
+		return Value{Kind: KindInt, F: float64(sn.cols[ix].is[i])}
+	default:
+		return Float(sn.cols[ix].fs[i])
+	}
+}
+
+// keyString renders row i's cell the way Value.String would — the group
+// key path, reading the typed column directly (free for string columns).
+func (sn shardSnap) keyString(kind Kind, ix, i int) string {
+	return sn.value(kind, ix, i).String()
+}
+
+// row materializes one full row — the persistence/merge path only; scans
+// never box rows.
+func (sn shardSnap) row(t *Table, i int) []Value {
+	row := make([]Value, len(t.Columns))
+	for c := range t.Columns {
+		row[c] = sn.value(t.Columns[c].Kind, c, i)
+	}
+	return row
 }
 
 // Fanout runs n independent jobs run(0..n-1), returning when all have
 // completed. The serve layer installs a worker-pool-backed implementation
 // via DB.SetFanout so release scans spread across cores; nil means
-// sequential execution.
+// sequential execution. Implementations must tolerate nested calls: the
+// within-shard chunked collapse fans again from inside a per-shard job
+// (the pool's caller-driven work stealing makes that deadlock-free).
 type Fanout func(n int, run func(i int))
 
 // shardFor routes a user id to its shard: FNV-1a over the id, mod the
@@ -102,54 +230,44 @@ func (t *Table) runFan(n int, run func(int)) {
 func (t *Table) shardSnapshots() []shardSnap {
 	out := make([]shardSnap, len(t.shards))
 	for i, sh := range t.shards {
-		sh.mu.RLock()
-		out[i] = shardSnap{rows: sh.rows, seqs: sh.seqs}
-		sh.mu.RUnlock()
+		out[i] = sh.view()
 	}
 	return out
 }
 
-// mergeBySeq restores global insertion order across per-shard snapshots
-// with a k-way merge on the per-row sequence numbers (each shard's seqs
-// are already sorted). shardOf, when non-nil, receives the shard index of
-// each merged row — the topology carrier Export serializes. Small shard
+// mergeOrder walks per-shard snapshots in global insertion order with a
+// k-way merge on the per-row sequence numbers (each shard's seqs are
+// already sorted), calling emit(shard, row) once per row. Small shard
 // counts use a linear minimum scan (cache-friendly, no bookkeeping);
 // large ones a binary min-heap over the shard cursors, so the merge is
 // O(rows·k) only while k is small and O(rows·log k) past that.
-func mergeBySeq(snaps []shardSnap, shardOf *[]int) [][]Value {
-	if len(snaps) == 1 && shardOf == nil {
-		return snaps[0].rows
+func mergeOrder(snaps []shardSnap, emit func(shard, row int)) {
+	if len(snaps) == 1 {
+		for i := 0; i < snaps[0].n; i++ {
+			emit(0, i)
+		}
+		return
 	}
 	total := 0
 	for _, sn := range snaps {
-		total += len(sn.rows)
-	}
-	out := make([][]Value, 0, total)
-	if shardOf != nil {
-		*shardOf = make([]int, 0, total)
-	}
-	emit := func(s int, sn shardSnap, i int) {
-		out = append(out, sn.rows[i])
-		if shardOf != nil {
-			*shardOf = append(*shardOf, s)
-		}
+		total += sn.n
 	}
 	if len(snaps) <= 8 {
 		idx := make([]int, len(snaps))
-		for len(out) < total {
+		for done := 0; done < total; done++ {
 			best, bestSeq := -1, uint64(0)
 			for s, sn := range snaps {
-				if idx[s] >= len(sn.rows) {
+				if idx[s] >= sn.n {
 					continue
 				}
 				if seq := sn.seqs[idx[s]]; best < 0 || seq < bestSeq {
 					best, bestSeq = s, seq
 				}
 			}
-			emit(best, snaps[best], idx[best])
+			emit(best, idx[best])
 			idx[best]++
 		}
-		return out
+		return
 	}
 	// Heap of (next seq, shard, cursor), keyed on seq.
 	type cursor struct {
@@ -192,91 +310,288 @@ func mergeBySeq(snaps []shardSnap, shardOf *[]int) [][]Value {
 		return top
 	}
 	for s, sn := range snaps {
-		if len(sn.rows) > 0 {
+		if sn.n > 0 {
 			push(cursor{seq: sn.seqs[0], shard: s, i: 0})
 		}
 	}
 	for len(h) > 0 {
 		c := pop()
-		sn := snaps[c.shard]
-		emit(c.shard, sn, c.i)
-		if next := c.i + 1; next < len(sn.rows) {
-			push(cursor{seq: sn.seqs[next], shard: c.shard, i: next})
+		emit(c.shard, c.i)
+		if next := c.i + 1; next < snaps[c.shard].n {
+			push(cursor{seq: snaps[c.shard].seqs[next], shard: c.shard, i: next})
 		}
 	}
+}
+
+// mergeBySeq materializes the full row set in global insertion order —
+// the persistence path (Export, snapshot). Rows are built fresh from the
+// typed columns, bit-identical to the rows the store once held. shardOf,
+// when non-nil, receives the shard index of each merged row — the
+// topology carrier Export serializes.
+func mergeBySeq(t *Table, snaps []shardSnap, shardOf *[]int) [][]Value {
+	total := 0
+	for _, sn := range snaps {
+		total += sn.n
+	}
+	out := make([][]Value, 0, total)
+	if shardOf != nil {
+		*shardOf = make([]int, 0, total)
+	}
+	mergeOrder(snaps, func(s, i int) {
+		out = append(out, snaps[s].row(t, i))
+		if shardOf != nil {
+			*shardOf = append(*shardOf, s)
+		}
+	})
 	return out
+}
+
+// shardAggs is one shard's partial per-user accumulators, dense over the
+// shard's user dictionary: aggs[u] belongs to uids[u].
+type shardAggs struct {
+	uids []string
+	aggs []userAgg
+}
+
+// Chunked-scan tuning knobs. Shards at or above scanChunkMin rows split
+// into ~scanChunkRows-row column-range chunks (at most scanChunkMax) that
+// run as independent jobs on the fan-out, so one oversized shard stops
+// being the straggler that bounds the whole scan. Vars, not consts, so
+// the equivalence tests can force the chunked path onto small fixtures.
+var (
+	scanChunkRows = 4096
+	scanChunkMin  = 8192
+	scanChunkMax  = 32
+)
+
+// chunksFor picks the chunk count for an n-row shard (1 = don't chunk).
+func chunksFor(n int) int {
+	if n < scanChunkMin {
+		return 1
+	}
+	k := (n + scanChunkRows - 1) / scanChunkRows
+	if k > scanChunkMax {
+		k = scanChunkMax
+	}
+	if k < 2 {
+		return 1
+	}
+	return k
 }
 
 // shardUserAggs folds one shard's rows into partial per-user accumulators
 // (sum over colIx, row count), in row order — all of a hash-routed user's
 // rows live in this shard in arrival order, so the partial IS that user's
 // full accumulator, built in the same order a monolithic scan would use.
-// colIx < 0 accumulates row counts only.
-func shardUserAggs(sn shardSnap, userIx, colIx int) map[string]*userAgg {
-	users := make(map[string]*userAgg, 64)
-	for _, row := range sn.rows {
-		uid := row[userIx].String()
-		u, ok := users[uid]
-		if !ok {
-			u = &userAgg{}
-			users[uid] = u
-		}
-		if colIx >= 0 {
-			u.sum += row[colIx].F
-		}
-		u.count++
+// colIx < 0 accumulates row counts only. Large shards take the chunked
+// parallel path; the bits are identical either way.
+func (t *Table) shardUserAggs(sn shardSnap, colIx int) shardAggs {
+	if chunksFor(sn.n) > 1 && t.fanout() != nil {
+		return t.shardUserAggsChunked(sn, colIx)
 	}
-	return users
+	return t.shardUserAggsSeq(sn, colIx)
+}
+
+// shardUserAggsSeq is the single-pass collapse: one dense accumulator per
+// dictionary user, indexed directly — no hash lookup in the loop.
+func (t *Table) shardUserAggsSeq(sn shardSnap, colIx int) shardAggs {
+	aggs := make([]userAgg, sn.nu)
+	switch {
+	case colIx < 0:
+		for _, u := range sn.uix {
+			aggs[u].count++
+		}
+	case t.Columns[colIx].Kind == KindInt:
+		is := sn.cols[colIx].is
+		for i, u := range sn.uix {
+			a := &aggs[u]
+			a.sum += float64(is[i])
+			a.count++
+		}
+	default:
+		fs := sn.cols[colIx].fs
+		for i, u := range sn.uix {
+			a := &aggs[u]
+			a.sum += fs[i]
+			a.count++
+		}
+	}
+	return shardAggs{uids: sn.uids, aggs: aggs}
+}
+
+// shardUserAggsChunked is the work-stealing within-shard collapse, exact
+// to the bit despite float addition being non-associative. Naive chunked
+// partial sums would change the fold shape for a user whose rows span a
+// chunk boundary ((a+b)+(c+d) vs ((a+b)+c)+d), so instead:
+//
+//  1. chunks count each user's rows in parallel (integer counts — exact);
+//  2. a prefix pass turns the counts into per-(chunk, user) write
+//     offsets into one gather buffer, giving every user a contiguous run
+//     in global row order;
+//  3. chunks scatter their column values into the runs in parallel, and
+//  4. a final parallel pass left-folds each user's run — the identical
+//     sequence of additions the sequential scan performs.
+//
+// The phases fan on the same pool as the per-shard fan (nested calls are
+// caller-driven, so they cannot deadlock).
+func (t *Table) shardUserAggsChunked(sn shardSnap, colIx int) shardAggs {
+	n, nu := sn.n, sn.nu
+	k := chunksFor(n)
+	lo := func(c int) int { return c * n / k }
+	hi := func(c int) int { return (c + 1) * n / k }
+
+	// Phase 1: per-chunk, per-user row counts.
+	cnt := make([][]int32, k)
+	t.runFan(k, func(c int) {
+		cc := make([]int32, nu)
+		for _, u := range sn.uix[lo(c):hi(c)] {
+			cc[u]++
+		}
+		cnt[c] = cc
+	})
+	aggs := make([]userAgg, nu)
+	if colIx < 0 {
+		for _, cc := range cnt {
+			for u, v := range cc {
+				aggs[u].count += int(v)
+			}
+		}
+		return shardAggs{uids: sn.uids, aggs: aggs}
+	}
+
+	// Prefix pass: starts[u] is user u's run start; cnt[c][u] becomes
+	// chunk c's write cursor inside that run (chunk order == row order).
+	starts := make([]int32, nu+1)
+	for u := 0; u < nu; u++ {
+		total := int32(0)
+		for c := 0; c < k; c++ {
+			cu := cnt[c][u]
+			cnt[c][u] = starts[u] + total
+			total += cu
+		}
+		starts[u+1] = starts[u] + total
+		aggs[u].count = int(total)
+	}
+
+	// Phase 2: scatter column values into the per-user runs.
+	buf := make([]float64, n)
+	isInt := t.Columns[colIx].Kind == KindInt
+	t.runFan(k, func(c int) {
+		pos := cnt[c]
+		if isInt {
+			is := sn.cols[colIx].is
+			for i := lo(c); i < hi(c); i++ {
+				u := sn.uix[i]
+				buf[pos[u]] = float64(is[i])
+				pos[u]++
+			}
+		} else {
+			fs := sn.cols[colIx].fs
+			for i := lo(c); i < hi(c); i++ {
+				u := sn.uix[i]
+				buf[pos[u]] = fs[i]
+				pos[u]++
+			}
+		}
+	})
+
+	// Phase 3: left-fold each user's run, fanned over user ranges.
+	uk := k
+	if uk > nu {
+		uk = nu
+	}
+	if uk < 1 {
+		uk = 1
+	}
+	t.runFan(uk, func(c int) {
+		for u := c * nu / uk; u < (c+1)*nu/uk; u++ {
+			s := 0.0
+			for _, v := range buf[starts[u]:starts[u+1]] {
+				s += v
+			}
+			aggs[u].sum = s
+		}
+	})
+	return shardAggs{uids: sn.uids, aggs: aggs}
 }
 
 // mergeUserAggs combines per-shard partial accumulators under one id
 // space, adding partials in shard order (deterministic even for a user
 // whose rows span shards — possible only for pre-shard data replayed into
-// shard 0), and returns the ids sorted. This is the replace-one-user
-// reduction's sharded form: the merged collapse still changes in exactly
-// one position between neighboring databases.
-func mergeUserAggs(parts []map[string]*userAgg) (ids []string, users map[string]*userAgg) {
+// shard 0), and returns ids sorted with the accumulators in lockstep.
+// This is the replace-one-user reduction's sharded form: the merged
+// collapse still changes in exactly one position between neighboring
+// databases.
+func mergeUserAggs(parts []shardAggs) ([]string, []userAgg) {
+	var (
+		ids  []string
+		aggs []userAgg
+	)
 	if len(parts) == 1 {
-		users = parts[0]
+		ids = parts[0].uids
+		aggs = parts[0].aggs
 	} else {
-		users = make(map[string]*userAgg, 64)
-		for _, part := range parts {
-			for uid, p := range part {
-				u, ok := users[uid]
-				if !ok {
-					u = &userAgg{}
-					users[uid] = u
-				}
-				u.sum += p.sum
-				u.count += p.count
-			}
+		// Concatenate in shard order, then sort with the concatenation
+		// index as tiebreak: equal uids (a user whose rows landed in more
+		// than one shard — impossible under hash routing, but this merge
+		// does not rely on that) stay in shard order and their partials
+		// combine in that order below, exactly the fold a single pass in
+		// shard order would produce. Duplicates aside, this replaces a
+		// per-user map with one sort — much cheaper per release.
+		total := 0
+		for _, p := range parts {
+			total += len(p.uids)
+		}
+		ids = make([]string, 0, total)
+		aggs = make([]userAgg, 0, total)
+		for _, p := range parts {
+			ids = append(ids, p.uids...)
+			aggs = append(aggs, p.aggs...)
 		}
 	}
-	ids = make([]string, 0, len(users))
-	for uid := range users {
-		ids = append(ids, uid)
+	ord := make([]int, len(ids))
+	for i := range ord {
+		ord[i] = i
 	}
-	sort.Strings(ids)
-	return ids, users
+	sort.Slice(ord, func(a, b int) bool {
+		ia, ib := ord[a], ord[b]
+		if ids[ia] != ids[ib] {
+			return ids[ia] < ids[ib]
+		}
+		return ia < ib
+	})
+	outIds := make([]string, 0, len(ids))
+	outAggs := make([]userAgg, 0, len(ids))
+	for _, j := range ord {
+		if n := len(outIds); n > 0 && outIds[n-1] == ids[j] {
+			outAggs[n-1].sum += aggs[j].sum
+			outAggs[n-1].count += aggs[j].count
+			continue
+		}
+		outIds = append(outIds, ids[j])
+		outAggs = append(outAggs, aggs[j])
+	}
+	return outIds, outAggs
 }
 
 // ShardObserver receives one sample per shard of a fanned scan: the
 // shard index, the row count the shard walked, and its wall time.
 // Observers run on the fan-out workers, so they must be safe for
-// concurrent use across shards.
+// concurrent use across shards. A chunked shard still reports one sample
+// covering all its chunks.
 type ShardObserver func(shard, rows int, d time.Duration)
 
 // fanUserAggs scans every shard (in parallel under the installed fan-out)
 // into partial per-user accumulators for colIx, reporting each shard's
 // scan to every observer.
-func (t *Table) fanUserAggs(colIx int, obs ...ShardObserver) []map[string]*userAgg {
+func (t *Table) fanUserAggs(colIx int, obs ...ShardObserver) []shardAggs {
 	snaps := t.shardSnapshots()
-	parts := make([]map[string]*userAgg, len(snaps))
+	parts := make([]shardAggs, len(snaps))
 	t.runFan(len(snaps), func(i int) {
 		s0 := time.Now()
-		parts[i] = shardUserAggs(snaps[i], t.userIx, colIx)
+		parts[i] = t.shardUserAggs(snaps[i], colIx)
 		for _, ob := range obs {
-			ob(i, len(snaps[i].rows), time.Since(s0))
+			ob(i, snaps[i].n, time.Since(s0))
 		}
 	})
 	return parts

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/xrand"
 )
 
 // The shard benchmarks feed the CI bench-smoke artifact: ingest measures
@@ -55,7 +57,7 @@ func goFanout(n int, run func(int)) {
 	wg.Wait()
 }
 
-func benchFilled(b *testing.B, shards, rows int) *Table {
+func benchFilled(b *testing.B, shards, rows int) (*DB, *Table) {
 	b.Helper()
 	db := NewDB()
 	tab, err := db.CreateSharded("m", benchSchema(), "uid", shards)
@@ -70,13 +72,13 @@ func benchFilled(b *testing.B, shards, rows int) *Table {
 		b.Fatal(err)
 	}
 	db.SetFanout(goFanout)
-	return tab
+	return db, tab
 }
 
 func BenchmarkShardUserMeans(b *testing.B) {
 	for _, n := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
-			tab := benchFilled(b, n, 20000)
+			_, tab := benchFilled(b, n, 20000)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := tab.UserMeans("v"); err != nil {
@@ -90,10 +92,29 @@ func BenchmarkShardUserMeans(b *testing.B) {
 func BenchmarkShardColumnFloats(b *testing.B) {
 	for _, n := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
-			tab := benchFilled(b, n, 20000)
+			_, tab := benchFilled(b, n, 20000)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := tab.ColumnFloats("v"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColumnarScan measures the Exec release scan — vectorized
+// predicate over the typed float column, per-shard grouped selection,
+// and the map-based user collapse — end to end through a released
+// answer (the mechanism itself is O(users) and cheap at this scale).
+func BenchmarkColumnarScan(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			db, _ := benchFilled(b, n, 20000)
+			rng := xrand.New(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Exec(rng, "SELECT AVG(v) FROM m WHERE v < 500", 1); err != nil {
 					b.Fatal(err)
 				}
 			}

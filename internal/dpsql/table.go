@@ -32,9 +32,9 @@ type Column struct {
 
 // Table is an in-memory relation with a designated user column (the unit
 // of privacy). Schema fields (Name, Columns, UserCol, byName, userIx) and
-// the shard topology are immutable after Create; the row store is
-// partitioned into nshards shards by a hash of the user id, each guarded
-// by its own lock (see shard.go), so concurrent Inserts stripe across
+// the shard topology are immutable after Create; storage is partitioned
+// into nshards columnar shards by a hash of the user id, each guarded by
+// its own lock (see shard.go), so concurrent Inserts stripe across
 // shards instead of serializing, and release scans fan out over shards
 // and merge per-user partials over consistent per-shard snapshots.
 type Table struct {
@@ -156,7 +156,7 @@ func (db *DB) CreateSharded(name string, cols []Column, userCol string, shards i
 		shards:  make([]*tableShard, shards),
 	}
 	for i := range t.shards {
-		t.shards[i] = &tableShard{}
+		t.shards[i] = newTableShard(len(cols))
 	}
 	t.setFanout(db.fan)
 	for i, c := range cols {
@@ -252,8 +252,7 @@ func (t *Table) InsertShard(vals ...Value) (int, error) {
 	sh.mu.Lock()
 	// The sequence number is assigned under the shard lock so each
 	// shard's seqs stay strictly increasing (the k-way merge invariant).
-	sh.rows = append(sh.rows, row)
-	sh.seqs = append(sh.seqs, t.nextSeq.Add(1)-1)
+	sh.appendRow(t, row, t.nextSeq.Add(1)-1)
 	sh.mu.Unlock()
 	return si, nil
 }
@@ -292,9 +291,7 @@ func (t *Table) appendRouted(rows [][]Value, shardOf []int) error {
 		if si < 0 {
 			si = t.shardFor(row[t.userIx].String())
 		}
-		sh := t.shards[si]
-		sh.rows = append(sh.rows, row)
-		sh.seqs = append(sh.seqs, t.nextSeq.Add(1)-1)
+		t.shards[si].appendRow(t, row, t.nextSeq.Add(1)-1)
 	}
 	for _, sh := range t.shards {
 		sh.mu.Unlock()
@@ -310,19 +307,19 @@ func (t *Table) NumRows() int {
 	n := 0
 	for _, sh := range t.shards {
 		sh.mu.RLock()
-		n += len(sh.rows)
+		n += len(sh.seqs)
 		sh.mu.RUnlock()
 	}
 	return n
 }
 
-// snapshot returns a point-in-time view of the full row set in global
-// insertion order, merged across shards by sequence number. Rows are
-// append-only and a stored row is never mutated, so the per-shard slice
-// headers taken under read locks stay consistent while concurrent
-// Inserts grow (and possibly reallocate) the backing arrays.
+// snapshot materializes a point-in-time view of the full row set in
+// global insertion order, merged across shards by sequence number. Rows
+// are rebuilt from the typed columns, bit-identical to the rows the
+// table was fed — the persistence path (Export) and tests use it; the
+// scan paths never box rows.
 func (t *Table) snapshot() [][]Value {
-	return mergeBySeq(t.shardSnapshots(), nil)
+	return mergeBySeq(t, t.shardSnapshots(), nil)
 }
 
 // userAgg is one user's accumulated contribution to a numeric column.
@@ -331,30 +328,107 @@ type userAgg struct {
 	count int
 }
 
-// collapseByUser folds rows into one accumulator per user, returned in
-// deterministic (sorted user id) order. This is the replace-one-user
-// privacy reduction every release path shares: the result changes in one
-// position between neighboring databases, so feeding it to a record-level
-// eps-DP mechanism yields a user-level eps-DP release. colIx < 0
-// accumulates row counts only (COUNT). The deterministic order matters
-// beyond reproducibility: the estimators' pairing/subsampling consume the
-// seeded RNG in input order. (The full-table readers below reach the same
-// collapse by merging per-shard partials instead — see shard.go.)
-func (t *Table) collapseByUser(rows [][]Value, colIx int) []userAgg {
+// selPart is one shard's share of a filtered selection: row indices into
+// that shard's snapshot, in row (= arrival) order. Exec's scan produces
+// a []selPart per group, in shard order, instead of materializing rows.
+type selPart struct {
+	shard int
+	idx   []int32
+}
+
+// collapseSelection folds a filtered selection into one accumulator per
+// user, returned in deterministic (sorted user id) order. This is the
+// replace-one-user privacy reduction every release path shares: the
+// result changes in one position between neighboring databases, so
+// feeding it to a record-level eps-DP mechanism yields a user-level
+// eps-DP release. colIx < 0 accumulates row counts only (COUNT). The
+// deterministic order matters beyond reproducibility: the estimators'
+// pairing/subsampling consume the seeded RNG in input order. Parts are
+// walked in shard order, rows in selection order — the exact fold the
+// row store ran over shard-order-concatenated group rows, so the bits
+// match even for a user whose rows span shards (pre-shard data replayed
+// into shard 0). (The full-table readers reach the same collapse by
+// merging dense per-shard partials instead — see shard.go.)
+func (t *Table) collapseSelection(snaps []shardSnap, parts []selPart, colIx int) []userAgg {
+	var kind Kind
+	if colIx >= 0 {
+		kind = t.Columns[colIx].Kind
+	}
+	// Fast path: dense per-shard accumulation indexed by the shard's user
+	// dictionary — no map in the per-row loop. Within a shard the dense
+	// fold adds rows in selection order, exactly the fold above; across
+	// shards users are disjoint under hash routing, so each user's whole
+	// fold happens inside one shard and merging is pure concatenation.
+	// A user CAN span shards (a hand-built TableState's recorded
+	// placement is honored verbatim), and merging dense partials would
+	// re-associate that user's additions — so the merge detects the
+	// collision and falls back to the sequential map fold, keeping the
+	// bit contract without taxing the overwhelmingly common case.
+	var (
+		ids  []string
+		aggs []userAgg
+	)
+	for _, p := range parts {
+		sn := snaps[p.shard]
+		dense := make([]userAgg, sn.nu)
+		if colIx >= 0 {
+			for _, i := range p.idx {
+				u := sn.uix[i]
+				dense[u].sum += sn.float(kind, colIx, int(i))
+				dense[u].count++
+			}
+		} else {
+			for _, i := range p.idx {
+				dense[sn.uix[i]].count++
+			}
+		}
+		for u := range dense {
+			if dense[u].count > 0 {
+				ids = append(ids, sn.uids[u])
+				aggs = append(aggs, dense[u])
+			}
+		}
+	}
+	ord := make([]int, len(ids))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return ids[ord[a]] < ids[ord[b]] })
+	out := make([]userAgg, len(ids))
+	for i, j := range ord {
+		if i > 0 && ids[j] == ids[ord[i-1]] {
+			return t.collapseSelectionSeq(snaps, parts, colIx) // straddler: exact fold
+		}
+		out[i] = aggs[j]
+	}
+	return out
+}
+
+// collapseSelectionSeq is the sequential reference fold: one map pass in
+// shard order, rows in selection order — the exact fold the row store
+// ran. collapseSelection delegates here when a user's rows span shards.
+func (t *Table) collapseSelectionSeq(snaps []shardSnap, parts []selPart, colIx int) []userAgg {
+	var kind Kind
+	if colIx >= 0 {
+		kind = t.Columns[colIx].Kind
+	}
 	users := map[string]*userAgg{}
 	ids := make([]string, 0, 64)
-	for _, row := range rows {
-		uid := row[t.userIx].String()
-		u, ok := users[uid]
-		if !ok {
-			u = &userAgg{}
-			users[uid] = u
-			ids = append(ids, uid)
+	for _, p := range parts {
+		sn := snaps[p.shard]
+		for _, i := range p.idx {
+			uid := sn.uid(int(i))
+			u, ok := users[uid]
+			if !ok {
+				u = &userAgg{}
+				users[uid] = u
+				ids = append(ids, uid)
+			}
+			if colIx >= 0 {
+				u.sum += sn.float(kind, colIx, int(i))
+			}
+			u.count++
 		}
-		if colIx >= 0 {
-			u.sum += row[colIx].F
-		}
-		u.count++
 	}
 	sort.Strings(ids)
 	out := make([]userAgg, len(ids))
@@ -378,20 +452,19 @@ func (t *Table) numericIndex(col string) (int, error) {
 
 // UserMeans collapses the named numeric column to one contribution per
 // user — the mean of that user's rows. The scan fans out over the shards
-// (parallel under an installed Fanout), producing partial per-user
-// accumulators that merge by addition; because users are hash-routed the
-// merged collapse is bit-for-bit the monolithic one. This is the estimate
-// endpoint's input. Optional observers receive one sample per shard of
-// the fan (see ShardObserver).
+// (parallel under an installed Fanout), each shard folding its typed
+// column into dense per-user partials that merge by addition; because
+// users are hash-routed the merged collapse is bit-for-bit the
+// monolithic one. This is the estimate endpoint's input. Optional
+// observers receive one sample per shard of the fan (see ShardObserver).
 func (t *Table) UserMeans(col string, obs ...ShardObserver) ([]float64, error) {
 	ix, err := t.numericIndex(col)
 	if err != nil {
 		return nil, err
 	}
-	ids, users := mergeUserAggs(t.fanUserAggs(ix, obs...))
-	out := make([]float64, len(ids))
-	for i, uid := range ids {
-		u := users[uid]
+	_, aggs := mergeUserAggs(t.fanUserAggs(ix, obs...))
+	out := make([]float64, len(aggs))
+	for i, u := range aggs {
 		out[i] = u.sum / float64(u.count)
 	}
 	return out, nil
@@ -418,11 +491,28 @@ func (t *Table) ColumnFloats(col string) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := t.snapshot()
-	out := make([]float64, len(rows))
-	for i, row := range rows {
-		out[i] = row[ix].F
+	kind := t.Columns[ix].Kind
+	snaps := t.shardSnapshots()
+	if len(snaps) == 1 {
+		sn := snaps[0]
+		out := make([]float64, sn.n)
+		if kind == KindInt {
+			for i, v := range sn.cols[ix].is {
+				out[i] = float64(v)
+			}
+		} else {
+			copy(out, sn.cols[ix].fs)
+		}
+		return out, nil
 	}
+	total := 0
+	for _, sn := range snaps {
+		total += sn.n
+	}
+	out := make([]float64, 0, total)
+	mergeOrder(snaps, func(s, i int) {
+		out = append(out, snaps[s].float(kind, ix, i))
+	})
 	return out, nil
 }
 
@@ -438,20 +528,29 @@ func (t *Table) ColumnInts(col string) ([]int64, error) {
 		return nil, fmt.Errorf("dpsql: column %q is %s, need %s for an empirical release",
 			col, t.Columns[ix].Kind, KindInt)
 	}
-	rows := t.snapshot()
-	out := make([]int64, len(rows))
-	for i, row := range rows {
-		out[i] = int64(row[ix].F)
+	snaps := t.shardSnapshots()
+	if len(snaps) == 1 {
+		return append([]int64(nil), snaps[0].cols[ix].is...), nil
 	}
+	total := 0
+	for _, sn := range snaps {
+		total += sn.n
+	}
+	out := make([]int64, 0, total)
+	mergeOrder(snaps, func(s, i int) {
+		out = append(out, snaps[s].cols[ix].is[i])
+	})
 	return out, nil
 }
 
 // UserIntSums collapses the named INT column to one integer contribution
 // per user (the sum of that user's rows) in deterministic order — the
 // input shape the paper's empirical-setting estimators (Section 3) take.
-// The scan fans out over shards into partial int64 sums (exact, unlike
-// float accumulation) that merge by addition. Optional observers receive
-// one sample per shard of the fan (see ShardObserver).
+// Each shard folds its int column into dense per-user partial sums
+// (exact, unlike float accumulation — chunked shards just add per-chunk
+// partials, integer addition being associative) that merge by addition.
+// Optional observers receive one sample per shard of the fan (see
+// ShardObserver).
 func (t *Table) UserIntSums(col string, obs ...ShardObserver) ([]int64, error) {
 	ix, err := t.ColumnIndex(col)
 	if err != nil {
@@ -462,35 +561,84 @@ func (t *Table) UserIntSums(col string, obs ...ShardObserver) ([]int64, error) {
 			col, t.Columns[ix].Kind, KindInt)
 	}
 	snaps := t.shardSnapshots()
-	parts := make([]map[string]int64, len(snaps))
-	t.runFan(len(snaps), func(i int) {
+	type shardSums struct {
+		uids []string
+		sums []int64
+	}
+	parts := make([]shardSums, len(snaps))
+	t.runFan(len(snaps), func(si int) {
 		s0 := time.Now()
-		part := make(map[string]int64, 64)
-		for _, row := range snaps[i].rows {
-			part[row[t.userIx].String()] += int64(row[ix].F)
-		}
-		parts[i] = part
-		for _, ob := range obs {
-			ob(i, len(snaps[i].rows), time.Since(s0))
-		}
-	})
-	users := parts[0]
-	if len(parts) > 1 {
-		users = map[string]int64{}
-		for _, part := range parts {
-			for uid, s := range part {
-				users[uid] += s
+		sn := snaps[si]
+		sums := make([]int64, sn.nu)
+		is := sn.cols[ix].is
+		if k := chunksFor(sn.n); k > 1 && t.fanout() != nil {
+			// Per-chunk dense partials, added in chunk order — exact.
+			chunk := make([][]int64, k)
+			t.runFan(k, func(c int) {
+				cs := make([]int64, sn.nu)
+				lo, hi := c*sn.n/k, (c+1)*sn.n/k
+				for i := lo; i < hi; i++ {
+					cs[sn.uix[i]] += is[i]
+				}
+				chunk[c] = cs
+			})
+			for _, cs := range chunk {
+				for u, s := range cs {
+					sums[u] += s
+				}
+			}
+		} else {
+			for i, u := range sn.uix {
+				sums[u] += is[i]
 			}
 		}
+		parts[si] = shardSums{uids: sn.uids, sums: sums}
+		for _, ob := range obs {
+			ob(si, sn.n, time.Since(s0))
+		}
+	})
+	// Concatenate in shard order and sort with the concatenation index as
+	// tiebreak — the same map-free merge mergeUserAggs uses: equal uids
+	// combine in shard order (integer addition is associative anyway).
+	var (
+		ids  []string
+		sums []int64
+	)
+	if len(parts) == 1 {
+		ids = parts[0].uids
+		sums = parts[0].sums
+	} else {
+		total := 0
+		for _, p := range parts {
+			total += len(p.uids)
+		}
+		ids = make([]string, 0, total)
+		sums = make([]int64, 0, total)
+		for _, p := range parts {
+			ids = append(ids, p.uids...)
+			sums = append(sums, p.sums...)
+		}
 	}
-	ids := make([]string, 0, len(users))
-	for uid := range users {
-		ids = append(ids, uid)
+	ord := make([]int, len(ids))
+	for i := range ord {
+		ord[i] = i
 	}
-	sort.Strings(ids)
-	out := make([]int64, len(ids))
-	for i, uid := range ids {
-		out[i] = users[uid]
+	sort.Slice(ord, func(a, b int) bool {
+		ia, ib := ord[a], ord[b]
+		if ids[ia] != ids[ib] {
+			return ids[ia] < ids[ib]
+		}
+		return ia < ib
+	})
+	out := make([]int64, 0, len(ids))
+	prev := ""
+	for _, j := range ord {
+		if len(out) > 0 && ids[j] == prev {
+			out[len(out)-1] += sums[j]
+			continue
+		}
+		out = append(out, sums[j])
+		prev = ids[j]
 	}
 	return out, nil
 }

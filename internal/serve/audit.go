@@ -45,6 +45,13 @@ type memAudit struct {
 func (a *memAudit) Append(rec *store.AuditRecord) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	// Same hard invariant the durable log enforces in reconcile: audit
+	// seqs are gap-free. The newest retained record must sit exactly at
+	// the counter; anything else means the history this sink attests to
+	// has a hole, and appending past it would silently legitimize it.
+	if n := len(a.recs); n > 0 && a.recs[n-1].Seq != a.seq {
+		return fmt.Errorf("serve: audit seq gap: newest record at %d, counter at %d", a.recs[n-1].Seq, a.seq)
+	}
 	a.seq++
 	rec.Seq = a.seq
 	if rec.TimeUnix == 0 {

@@ -64,7 +64,8 @@ func newMetricsSet() *metricsSet {
 	}
 	m.storeMet = &store.Metrics{
 		FsyncSeconds:      reg.Histogram("updp_wal_fsync_seconds", "WAL flush+fsync latency (one per commit batch; the release path's durability barrier).", lat),
-		SnapshotSeconds:   reg.Histogram("updp_snapshot_write_seconds", "Tenant snapshot compaction latency (serialize, write, fsync, rename).", lat),
+		SnapshotSeconds:   reg.Histogram("updp_snapshot_write_seconds", "Synchronous tenant snapshot latency (serialize, write, fsync, rename) — the shutdown/Flush path.", lat),
+		CompactionSeconds: reg.Histogram("updp_compaction_seconds", "Off-path WAL compaction latency: seal tail, replay sealed segments, publish snapshot, delete covered segments.", lat),
 		WALRecords:        reg.Counter("updp_wal_records_total", "WAL records appended across every tenant log."),
 		WALBytes:          reg.Counter("updp_wal_bytes_total", "WAL bytes appended across every tenant log."),
 		AuditFsyncSeconds: reg.Histogram("updp_audit_fsync_seconds", "Audit-log hardening (flush+fsync) latency on durable tenants.", lat),
@@ -94,6 +95,11 @@ func (s *Server) registerGauges() {
 	reg.GaugeFunc("updp_uptime_seconds", "Seconds since the server started.", nil, func(emit obs.EmitGauge) {
 		emit(time.Since(s.start).Seconds())
 	})
+	if s.st != nil {
+		reg.GaugeFunc("updp_wal_segments", "Sealed (immutable, fully fsynced) WAL segments on disk across every durable tenant; compaction folds them into the snapshot and deletes them.", nil, func(emit obs.EmitGauge) {
+			emit(float64(s.st.Segments()))
+		})
+	}
 	// The per-tenant budget odometer: total/spent/remaining in the
 	// tenant's NATIVE unit (ε for pure, ρ for zcdp, converted ε for rdp —
 	// mixing units across tenants is inherent to heterogeneous backends;

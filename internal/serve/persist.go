@@ -158,15 +158,16 @@ func (s *Server) restoreTenant(rec *store.RecoveredTenant) (*Tenant, error) {
 	return t, nil
 }
 
-// flushTenant compacts one tenant's full state into a snapshot and
-// rotates its WAL. The persist lock (write side) excludes every mutation
-// — ingest, DDL, deduct+log — for the duration, so the snapshot and the
-// post-rotation WAL partition the record stream exactly. That exclusivity
-// is also the cost: releases and ingests on THIS tenant stall while the
-// snapshot serializes and fsyncs (other tenants are unaffected), which
-// bounds how large a tenant can get before compaction pauses hurt —
-// off-path compaction over immutable WAL segments is the ROADMAP
-// follow-up if that ceiling is reached.
+// flushTenant synchronously captures one tenant's full live state into a
+// snapshot and rotates its WAL. The persist lock (write side) excludes
+// every mutation — ingest, DDL, deduct+log — for the duration, so the
+// snapshot and the post-rotation WAL partition the record stream exactly.
+// That exclusivity stalls releases and ingests on THIS tenant while the
+// snapshot serializes and fsyncs, which is why this path is reserved for
+// shutdown (Flush) and explicit checkpoints, where a final exact capture
+// of in-memory state is the point. Steady-state compaction goes through
+// compactTenant instead, which replays sealed WAL segments off the hot
+// path and never takes persistMu at all.
 func (s *Server) flushTenant(t *Tenant) error {
 	if t.log == nil {
 		return nil
@@ -188,13 +189,74 @@ func (s *Server) flushTenant(t *Tenant) error {
 	})
 }
 
+// replayLedger rebuilds a ledger state from a prior snapshot state (or
+// fresh from the tenant config when there is none) plus the deductions
+// recorded in sealed WAL segments — the serve-side half of off-path
+// compaction, mirroring restoreTenant's recovery semantics exactly:
+// replay force-spends past the ceiling rather than refuse a deduction
+// that was already answered. It reads only its arguments, never live
+// tenant state, so compaction can run concurrently with releases.
+func (s *Server) replayLedger(cfg store.TenantConfig, prev *dp.LedgerState, deducts []dp.Cost) (dp.LedgerState, error) {
+	var (
+		led dp.Ledger
+		err error
+	)
+	if prev != nil {
+		led, err = dp.RestoreLedger(*prev)
+	} else {
+		led, _, _, err = buildLedger(cfg)
+	}
+	if err != nil {
+		return dp.LedgerState{}, err
+	}
+	sl, ok := led.(dp.StatefulLedger)
+	if !ok {
+		return dp.LedgerState{}, fmt.Errorf("serve: ledger %T is not replayable", led)
+	}
+	for _, c := range deducts {
+		if err := sl.ForceSpend(c); err != nil {
+			return dp.LedgerState{}, err
+		}
+	}
+	return sl.Snapshot()
+}
+
+// compactTenant folds one tenant's sealed WAL segments into a fresh
+// snapshot without stalling the tenant: the log seals its active tail
+// (microseconds under the log lock), then the merge reads only immutable
+// files — no persistMu, no shard locks — while releases, ingests, and
+// group commit proceed at full speed. The duration lands on the "compact"
+// stage histogram (store's CompactionSeconds histogram times the same
+// interval from inside the log, so the two views stay in sync).
+func (s *Server) compactTenant(t *Tenant) error {
+	if t.log == nil {
+		return nil
+	}
+	t0 := time.Now()
+	err := t.log.Compact(t.cfg, s.replayLedger)
+	s.metrics.stageSeconds.With("compact").Observe(time.Since(t0).Seconds())
+	return err
+}
+
+// CompactTenant compacts one tenant's WAL into a fresh snapshot off the
+// hot path — the operational/benchmark entry point for forcing the
+// steady-state compaction that maybeSnapshot otherwise triggers by
+// threshold. No-op for in-memory tenants.
+func (s *Server) CompactTenant(id string) error {
+	t, ok := s.tenantByID(id)
+	if !ok {
+		return fmt.Errorf("serve: unknown tenant %q", id)
+	}
+	return s.compactTenant(t)
+}
+
 // maybeSnapshot compacts a tenant whose WAL outgrew the threshold, on a
 // background goroutine: the triggering request's answer is already
-// computed and charged, so it must not wait out a full-state serialize
-// and fsync. The single-flight guard keeps bursts from piling up
-// goroutines behind the persist lock. Best-effort: a failed compaction
-// leaves the WAL authoritative, costing replay time, never recorded
-// spend.
+// computed and charged, so it must not wait out a segment replay. The
+// single-flight guard keeps bursts from piling up goroutines per tenant
+// (the log's own compactMu additionally serializes against explicit
+// CompactTenant calls). Best-effort: a failed compaction leaves the WAL
+// segments authoritative, costing replay time, never recorded spend.
 func (s *Server) maybeSnapshot(t *Tenant) {
 	if t.log == nil || t.log.RecordsSinceSnapshot() < s.snapEvery {
 		return
@@ -204,7 +266,7 @@ func (s *Server) maybeSnapshot(t *Tenant) {
 	}
 	go func() {
 		defer t.compacting.Store(false)
-		_ = s.flushTenant(t)
+		_ = s.compactTenant(t)
 	}()
 }
 

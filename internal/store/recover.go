@@ -94,6 +94,49 @@ func (s *Store) recoverTenant(id string) (*RecoveredTenant, error) {
 		return nil, fmt.Errorf("store: reading snapshot for %q: %w", id, err)
 	}
 
+	// Sealed segments next, oldest first: every byte of a segment was
+	// fsynced before the seal's rename, so there is no torn-tail class —
+	// ANY damage is media corruption that may sit before acknowledged
+	// deductions, and recovery refuses loudly. Records at or below the
+	// snapshot floor are skipped (covered segments linger when a crash
+	// landed between snapshot publication and segment deletion; the next
+	// compaction removes them), but their batch audit copies are still
+	// stashed for reconciliation, exactly like covered tail records.
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing segments for %q: %w", id, err)
+	}
+	segLast := uint64(0)
+	for _, sg := range segs {
+		data, err := os.ReadFile(sg.path)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading segment for %q: %w", id, err)
+		}
+		off := 0
+		for off < len(data) {
+			nl := bytes.IndexByte(data[off:], '\n')
+			if nl < 0 {
+				return nil, fmt.Errorf("%w: tenant %q segment %s truncated", ErrCorruptWAL, id, filepath.Base(sg.path))
+			}
+			r, ok := parseLine(data[off : off+nl+1])
+			if !ok {
+				return nil, fmt.Errorf("%w: tenant %q segment %s at byte %d", ErrCorruptWAL, id, filepath.Base(sg.path), off)
+			}
+			off += nl + 1
+			if r.Seq <= segLast {
+				return nil, fmt.Errorf("%w: tenant %q segment %s seq %d after %d", ErrCorruptWAL, id, filepath.Base(sg.path), r.Seq, segLast)
+			}
+			segLast = r.Seq
+			if r.Seq <= startSeq {
+				if r.Type == recBatch {
+					pendAudits = append(pendAudits, r.Audits...)
+				}
+				continue
+			}
+			applyRecord(rec, r, &haveConfig, &pendAudits)
+		}
+	}
+
 	// Replay the WAL tail: records with seq > startSeq, stopping at the
 	// first torn or corrupt line. A bad region is only truncated away
 	// when NOTHING intact follows it — the crash model (buffered appends
@@ -129,6 +172,13 @@ func (s *Store) recoverTenant(id string) (*RecoveredTenant, error) {
 		return nil, fmt.Errorf("store: opening wal for %q: %w", id, err)
 	}
 	lastSeq := startSeq
+	if segLast > lastSeq {
+		// The tail starts after the newest sealed segment; a tail record
+		// at or below segLast is a sequence regression, not a crash shape.
+		lastSeq = segLast
+	}
+	tailStart := lastSeq
+	sawTail := false
 	goodEnd := int64(0)
 	off := 0
 	for off < len(data) {
@@ -144,6 +194,13 @@ func (s *Store) recoverTenant(id string) (*RecoveredTenant, error) {
 				return nil, fmt.Errorf("%w: tenant %q at byte %d", ErrCorruptWAL, id, off)
 			}
 			break // torn tail: truncating drops only unacknowledged records
+		}
+		if !sawTail {
+			// The seal point the reopened log resumes from: the seq just
+			// before the tail's first physical record (whether or not the
+			// snapshot already covers it).
+			tailStart = r.Seq - 1
+			sawTail = true
 		}
 		if r.Seq <= startSeq {
 			// Intact leftovers of a crash between snapshot publication and
@@ -168,53 +225,7 @@ func (s *Store) recoverTenant(id string) (*RecoveredTenant, error) {
 		off += nl + 1
 		goodEnd = int64(off)
 		lastSeq = r.Seq
-		switch r.Type {
-		case recCreate:
-			if r.Config != nil && !haveConfig {
-				rec.Config = *r.Config
-				haveConfig = true
-			}
-		case recTable:
-			if r.Table != nil {
-				rec.Tables = append(rec.Tables, *r.Table)
-			}
-		case recRows:
-			// Rows into a table replay does not know are dropped, not
-			// fatal: rows are the tolerated-loss class, and refusing to
-			// boot over a data batch would hold the ledger — the part that
-			// must recover — hostage to it. The record's shard tag extends
-			// the table's placement map so the importer rebuilds the same
-			// partitioning; untagged (pre-shard) records land in shard 0.
-			if ti := findTable(rec.Tables, r.RowsTable); ti >= 0 {
-				tb := &rec.Tables[ti]
-				if r.Shard != 0 || len(tb.ShardOf) > 0 {
-					// Lazily materialize the placement map: rows seen
-					// before the first nonzero tag were all shard 0.
-					for len(tb.ShardOf) < len(tb.Rows) {
-						tb.ShardOf = append(tb.ShardOf, 0)
-					}
-					for range r.Rows {
-						tb.ShardOf = append(tb.ShardOf, r.Shard)
-					}
-				}
-				tb.Rows = append(tb.Rows, r.Rows...)
-			}
-		case recDeduct:
-			if r.Cost != nil {
-				rec.Deducts = append(rec.Deducts, *r.Cost)
-			}
-		case recBatch:
-			// A group-commit batch: every deduction it carries was acked by
-			// one shared fsync, so all replay into spend; its audit copies
-			// are stashed for OpenAudit to reconcile into the (buffered,
-			// possibly behind) audit file. The whole batch is one CRC'd
-			// line, so a tear drops it atomically — never a prefix.
-			rec.Deducts = append(rec.Deducts, r.Costs...)
-			pendAudits = append(pendAudits, r.Audits...)
-		default:
-			// Unknown record type from a future version: replay what we
-			// understand, keep the record (it is intact).
-		}
+		applyRecord(rec, r, &haveConfig, &pendAudits)
 	}
 	if !haveConfig {
 		// No snapshot and no durable creation record: the tenant was never
@@ -249,17 +260,73 @@ func (s *Store) recoverTenant(id string) (*RecoveredTenant, error) {
 	}
 	s.mu.Unlock()
 	rec.Log = &TenantLog{
-		id:      id,
-		dir:     dir,
-		f:       f,
-		w:       bufio.NewWriterSize(f, walBufSize),
-		seq:     lastSeq,
-		snapSeq: startSeq,
-		pending: int(lastSeq - startSeq),
-		met:     met,
+		id:        id,
+		dir:       dir,
+		f:         f,
+		w:         bufio.NewWriterSize(f, walBufSize),
+		seq:       lastSeq,
+		snapSeq:   startSeq,
+		tailStart: tailStart,
+		pending:   int(lastSeq - startSeq),
+		segs:      segs,
+		met:       met,
 	}
 	rec.Log.startCommitter(gcOpts)
 	return rec, nil
+}
+
+// applyRecord folds one intact WAL record into the recovering state —
+// shared by tail replay, sealed-segment replay, and off-path compaction
+// (which accumulates into the same struct). Unknown record types from a
+// future version are kept but not replayed.
+func applyRecord(rec *RecoveredTenant, r record, haveConfig *bool, pendAudits *[]AuditRecord) {
+	switch r.Type {
+	case recCreate:
+		if r.Config != nil && !*haveConfig {
+			rec.Config = *r.Config
+			*haveConfig = true
+		}
+	case recTable:
+		if r.Table != nil {
+			rec.Tables = append(rec.Tables, *r.Table)
+		}
+	case recRows:
+		// Rows into a table replay does not know are dropped, not
+		// fatal: rows are the tolerated-loss class, and refusing to
+		// boot over a data batch would hold the ledger — the part that
+		// must recover — hostage to it. The record's shard tag extends
+		// the table's placement map so the importer rebuilds the same
+		// partitioning; untagged (pre-shard) records land in shard 0.
+		if ti := findTable(rec.Tables, r.RowsTable); ti >= 0 {
+			tb := &rec.Tables[ti]
+			if r.Shard != 0 || len(tb.ShardOf) > 0 {
+				// Lazily materialize the placement map: rows seen
+				// before the first nonzero tag were all shard 0.
+				for len(tb.ShardOf) < len(tb.Rows) {
+					tb.ShardOf = append(tb.ShardOf, 0)
+				}
+				for range r.Rows {
+					tb.ShardOf = append(tb.ShardOf, r.Shard)
+				}
+			}
+			tb.Rows = append(tb.Rows, r.Rows...)
+		}
+	case recDeduct:
+		if r.Cost != nil {
+			rec.Deducts = append(rec.Deducts, *r.Cost)
+		}
+	case recBatch:
+		// A group-commit batch: every deduction it carries was acked by
+		// one shared fsync, so all replay into spend; its audit copies
+		// are stashed for OpenAudit to reconcile into the (buffered,
+		// possibly behind) audit file. The whole batch is one CRC'd
+		// line, so a tear drops it atomically — never a prefix.
+		rec.Deducts = append(rec.Deducts, r.Costs...)
+		*pendAudits = append(*pendAudits, r.Audits...)
+	default:
+		// Unknown record type from a future version: replay what we
+		// understand, keep the record (it is intact).
+	}
 }
 
 // anyIntactSyncedRecord reports whether rest holds an intact record of a
@@ -333,6 +400,9 @@ func onlyStoreFiles(dir string) bool {
 		switch e.Name() {
 		case walName, snapName, snapName + ".tmp", auditName:
 		default:
+			if _, ok := parseSegName(e.Name()); ok {
+				continue
+			}
 			return false
 		}
 	}

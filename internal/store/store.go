@@ -12,13 +12,18 @@
 //
 // # On-disk layout
 //
-//	<dir>/<tenant-id>/wal.log        append-only record log
-//	<dir>/<tenant-id>/snapshot.json  last compacted full state
+//	<dir>/<tenant-id>/wal.log          append-only active tail
+//	<dir>/<tenant-id>/wal.%09d.seg     sealed immutable WAL segments
+//	<dir>/<tenant-id>/snapshot.json    last compacted full state
 //
 // Each WAL record is one line: a CRC32 (IEEE) of the JSON body in fixed
 // hex, a space, the JSON body, a newline. Sequence numbers are strictly
 // increasing per tenant and never reset, including across snapshot
-// rotations.
+// rotations and segment seals. The tail is the only file ever appended
+// to; sealing renames it into an immutable segment (named by the last
+// seq it contains) and reopens a fresh tail, so compaction can merge
+// snapshot + sealed segments into a new snapshot entirely off the hot
+// path (see compact.go) — the appender never waits on snapshot I/O.
 //
 // # Durability classes
 //
@@ -176,9 +181,14 @@ type Metrics struct {
 	// group commit disabled — plus snapshot hardening).
 	FsyncSeconds *obs.Histogram
 	// SnapshotSeconds observes WriteSnapshot end to end (serialize, temp
-	// write, fsync, rename, dir sync) — the compaction pause a tenant's
-	// requests wait out under the persist lock.
+	// write, fsync, rename, dir sync) — the legacy synchronous snapshot
+	// path (shutdown flush), which stalls the tenant under the persist
+	// lock. The background path is CompactionSeconds.
 	SnapshotSeconds *obs.Histogram
+	// CompactionSeconds observes Compact end to end (seal, segment
+	// replay, snapshot publish, segment deletion) — the off-path
+	// compaction that runs concurrently with releases.
+	CompactionSeconds *obs.Histogram
 	// WALRecords and WALBytes count appended records and their encoded
 	// bytes (CRC prefix and newline included) across every tenant log.
 	WALRecords *obs.Counter
@@ -226,13 +236,20 @@ type TenantLog struct {
 	id  string
 	dir string
 
-	mu      sync.Mutex
-	f       *os.File
-	w       *bufio.Writer
-	seq     uint64 // last assigned sequence number (never resets)
-	snapSeq uint64 // seq covered by the on-disk snapshot
-	pending int    // records appended since the last snapshot
-	broken  bool   // fail-stop after a write error
+	mu        sync.Mutex
+	f         *os.File
+	w         *bufio.Writer
+	seq       uint64       // last assigned sequence number (never resets)
+	snapSeq   uint64       // seq covered by the on-disk snapshot
+	tailStart uint64       // last seq NOT in the active tail (seal/truncate point)
+	pending   int          // records appended since the last snapshot
+	broken    bool         // fail-stop after a write error
+	segs      []walSegment // sealed immutable segments, ascending end seq
+
+	// compactMu serializes Compact and WriteSnapshot — both rewrite
+	// snapshot.json and delete covered segments. Lock order: compactMu
+	// before mu, never the reverse.
+	compactMu sync.Mutex
 
 	met *Metrics        // telemetry instruments (nil records nothing)
 	gc  *groupCommitter // shared fsync barrier (nil: per-record fsync)
@@ -551,15 +568,20 @@ func (tl *TenantLog) RecordsSinceSnapshot() int {
 	return tl.pending
 }
 
-// WriteSnapshot compacts the tenant's full state: the snapshot is written
-// to a temp file, fsynced, and atomically renamed over the previous one,
-// and only then is the WAL truncated. A crash at any point leaves either
+// WriteSnapshot compacts the tenant's full state synchronously: the
+// snapshot is written to a temp file, fsynced, and atomically renamed
+// over the previous one, and only then is the WAL truncated (tail zeroed,
+// covered sealed segments deleted). A crash at any point leaves either
 // the old snapshot with a full WAL or the new snapshot with (possibly)
 // records it already covers — both replay to the same state thanks to the
 // seq guard. The caller must guarantee snap captures all state through
 // the log's current record (the serve layer holds its per-tenant persist
-// lock across capture and this call); snap.Seq is set here.
+// lock across capture and this call); snap.Seq is set here. This is the
+// shutdown-flush path; the steady-state path is Compact, which never
+// needs a state capture or the caller's locks.
 func (tl *TenantLog) WriteSnapshot(snap TenantSnapshot) error {
+	tl.compactMu.Lock()
+	defer tl.compactMu.Unlock()
 	tl.mu.Lock()
 	defer tl.mu.Unlock()
 	if tl.broken || tl.f == nil {
@@ -576,28 +598,8 @@ func (tl *TenantLog) WriteSnapshot(snap TenantSnapshot) error {
 		return err
 	}
 	snap.Seq = tl.seq
-	body, err := json.Marshal(snap)
-	if err != nil {
-		return fmt.Errorf("store: encoding snapshot: %w", err)
-	}
-	tmp := filepath.Join(tl.dir, snapName+".tmp")
-	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if _, err := tf.Write(append(body, '\n')); err != nil {
-		_ = tf.Close()
-		return fmt.Errorf("store: writing snapshot: %w", err)
-	}
-	if err := tf.Sync(); err != nil {
-		_ = tf.Close()
-		return fmt.Errorf("store: syncing snapshot: %w", err)
-	}
-	if err := tf.Close(); err != nil {
-		return fmt.Errorf("store: closing snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(tl.dir, snapName)); err != nil {
-		return fmt.Errorf("store: publishing snapshot: %w", err)
+	if err := writeSnapshotFile(tl.dir, snap); err != nil {
+		return err
 	}
 	if err := syncDir(tl.dir); err != nil {
 		// The rename's directory entry is not confirmed durable: a crash
@@ -609,10 +611,11 @@ func (tl *TenantLog) WriteSnapshot(snap TenantSnapshot) error {
 		return nil
 	}
 	// Harden the attached audit file before dropping the WAL: batch
-	// records about to be truncated may hold the only durable copy of
-	// buffered audit lines. On failure, keep the WAL authoritative.
-	// (Lock order is safe: the committer never holds the audit mutex
-	// while waiting for tl.mu — appendBuffered releases it per line.)
+	// records about to be truncated (or deleted with their segment) may
+	// hold the only durable copy of buffered audit lines. On failure,
+	// keep the WAL authoritative. (Lock order is safe: the committer
+	// never holds the audit mutex while waiting for tl.mu —
+	// appendBuffered releases it per line.)
 	if a := tl.attachedAudit(); a != nil {
 		if err := a.harden(); err != nil {
 			return nil
@@ -620,9 +623,17 @@ func (tl *TenantLog) WriteSnapshot(snap TenantSnapshot) error {
 	}
 	tl.snapSeq = snap.Seq
 	tl.pending = 0
-	// The snapshot is durable; the WAL records it covers are dead weight.
-	// A truncation failure is not fatal: replay's seq guard skips them.
+	// The snapshot is durable; the WAL records it covers — the whole
+	// tail and every sealed segment (snap.Seq == tl.seq covers them all)
+	// — are dead weight. Truncation/deletion failures are not fatal:
+	// replay's seq guard skips covered records and the next compaction
+	// re-deletes covered segments.
 	_ = tl.f.Truncate(0)
+	tl.tailStart = tl.seq
+	for _, sg := range tl.segs {
+		_ = os.Remove(sg.path)
+	}
+	tl.segs = nil
 	return nil
 }
 
