@@ -30,6 +30,7 @@ type loadgenConfig struct {
 	delta      float64 // zcdp delta (0 = server default)
 	window     float64 // refill window seconds (0 = lifetime budget)
 	budget     float64 // compare mode: nominal total eps per twin
+	grouped    bool    // loadgen: GROUP BY workload (histogram + grouped query/estimate)
 	shards     int     // bench tenant table shard count (0 = server default)
 	metricsOut string  // save the final /metrics scrape here ("" = skip)
 	tracesOut  string  // save the post-run GET /v1/traces dump here ("" = skip)
@@ -165,7 +166,12 @@ func runLoadgen(cfg loadgenConfig) error {
 	// each client's requests are distinct (per-iteration WHERE bound /
 	// quantile rank) so they exercise the mechanisms; the other half
 	// repeat a small fixed set, exercising the response cache the way
-	// dashboard-style traffic does.
+	// dashboard-style traffic does. With -grouped the whole stream is
+	// GROUP BY traffic instead — histograms, grouped queries, grouped
+	// estimates — so every release runs the bounded-contribution grouped
+	// scan and is priced by parallel composition; distinctness comes from
+	// a relative 1e-12 budget jitter rather than a WHERE bound (grouped
+	// releases have no free per-iteration predicate).
 	sqls := []string{
 		"SELECT AVG(v) FROM metrics",
 		"SELECT COUNT(*) FROM metrics",
@@ -193,7 +199,26 @@ func runLoadgen(cfg loadgenConfig) error {
 					body any
 				)
 				distinct := i%4 >= 2
-				if (c+i)%2 == 0 {
+				if cfg.grouped {
+					eps := cfg.eps
+					if distinct {
+						eps = cfg.eps * (1 + float64(c*100003+i)*1e-12)
+					}
+					switch i % 3 {
+					case 0:
+						path = "/v1/tenants/" + tenant + "/histogram"
+						body = serve.HistogramRequest{Table: "metrics", GroupBy: "grp", Epsilon: eps}
+					case 1:
+						path = "/v1/tenants/" + tenant + "/query"
+						body = serve.QueryRequest{SQL: "SELECT AVG(v) FROM metrics", GroupBy: "grp", Epsilon: eps}
+					default:
+						body = serve.EstimateRequest{
+							Table: "metrics", Column: "v", Stat: "median",
+							GroupBy: "grp", Epsilon: eps,
+						}
+						path = "/v1/tenants/" + tenant + "/estimate"
+					}
+				} else if (c+i)%2 == 0 {
 					path = "/v1/tenants/" + tenant + "/query"
 					sql := sqls[i%len(sqls)]
 					if distinct {
@@ -262,8 +287,12 @@ func runLoadgen(cfg loadgenConfig) error {
 		return total.lat[ix]
 	}
 	n := total.ok + total.refused + total.shed + total.errs
-	fmt.Printf("=== serve loadgen: %d clients, %v, %d users, eps/release=%g, accounting=%s ===\n",
-		cfg.clients, cfg.duration, cfg.users, cfg.eps, cfg.accounting)
+	workload := "mixed"
+	if cfg.grouped {
+		workload = "grouped"
+	}
+	fmt.Printf("=== serve loadgen: %d clients, %v, %d users, eps/release=%g, accounting=%s, workload=%s ===\n",
+		cfg.clients, cfg.duration, cfg.users, cfg.eps, cfg.accounting, workload)
 	fmt.Printf("requests     %d (ok %d, budget-refused %d, shed %d, errors %d)\n",
 		n, total.ok, total.refused, total.shed, total.errs)
 	fmt.Printf("throughput   %.1f req/s\n", float64(n)/elapsed.Seconds())
@@ -273,6 +302,10 @@ func runLoadgen(cfg loadgenConfig) error {
 	if st, err := fetchStats(hc, base); err == nil {
 		fmt.Printf("cache        %d hits, %d misses (hits are budget-free replays)\n",
 			st.CacheHits, st.CacheMisses)
+		if cfg.grouped {
+			fmt.Printf("releases     %d histograms, %d queries, %d estimates (each grouped release = ONE parallel-composed deduction)\n",
+				st.Histograms, st.Queries, st.Estimates)
+		}
 	}
 	// The server's own per-stage histograms say where the latency went —
 	// queue wait vs scan vs noise vs deduct — no client-side guessing.
@@ -600,5 +633,69 @@ func runCompare(cfg loadgenConfig) error {
 		return fmt.Errorf("loadgen: windowed tenant did not recover after its window (HTTP %d)", code)
 	}
 	fmt.Printf("windowed     recovered after one %gs window tick (budget refilled)\n", winSecs)
+
+	// Grouped duel: parallel composition vs legacy even-split pricing at
+	// EQUAL per-group accuracy. The bench table has k=3 groups. The
+	// parallel twin releases histograms at the default contribution bound
+	// (1): groups partition users, each bucket gets the full ε₀ of noise
+	// protection, and the whole histogram costs ε₀. The even-split twin
+	// asks for the same per-bucket accuracy through the unbounded legacy
+	// mode (contribution_bound -1, budget split ε/k per group), so it must
+	// request — and is charged — k·ε₀ per histogram. Same accuracy, k×
+	// the price: the parallel twin sustains ~k× the releases before 429.
+	const kGroups = 3
+	gTwins := []struct {
+		label string
+		eps   float64
+		bound int
+	}{
+		{"grp-par", cfg.eps, 0},
+		{"grp-even", kGroups * cfg.eps, -1},
+	}
+	gCounts := make([]int, len(gTwins))
+	for i, tw := range gTwins {
+		id := fmt.Sprintf("cmp-%s-%d", tw.label, ts)
+		if err := provisionBench(cfg, hc, base, serve.CreateTenantRequest{ID: id, Epsilon: cfg.budget}); err != nil {
+			return err
+		}
+		if gCounts[i], err = groupedStream(hc, base, id, tw.eps, tw.bound); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("=== grouped duel: %d-bucket histograms at equal per-bucket accuracy (eps_g=%g), nominal eps=%g ===\n",
+		kGroups, cfg.eps, cfg.budget)
+	fmt.Printf("%-9s %6d releases before 429\n           (parallel composition: whole histogram priced as one release)\n",
+		gTwins[0].label, gCounts[0])
+	adv := ""
+	if gCounts[1] > 0 {
+		adv = fmt.Sprintf("  parallel sustains %.1fx", float64(gCounts[0])/float64(gCounts[1]))
+	}
+	fmt.Printf("%-9s %6d releases before 429%s\n           (legacy even-split: eps/k per bucket, so equal accuracy costs k*eps)\n",
+		gTwins[1].label, gCounts[1], adv)
 	return nil
+}
+
+// groupedStream sends byte-distinct histogram releases (a relative 1e-9
+// budget jitter) to one tenant until it hits 429, returning how many it
+// sustained. bound is the contribution bound to request: 0 for the
+// default (clamped, parallel-composed), -1 for the legacy even-split.
+func groupedStream(hc *http.Client, base, tenant string, eps float64, bound int) (int, error) {
+	const maxTries = 100000
+	for i := 0; i < maxTries; i++ {
+		jitter := 1 + float64(i)*1e-9
+		code, err := jsonPost(hc, base, "/v1/tenants/"+tenant+"/histogram", serve.HistogramRequest{
+			Table: "metrics", GroupBy: "grp", Epsilon: eps * jitter, ContributionBound: bound,
+		}, nil)
+		if err != nil {
+			return i, err
+		}
+		switch code {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			return i, nil
+		default:
+			return i, fmt.Errorf("loadgen: %s histogram %d: HTTP %d", tenant, i, code)
+		}
+	}
+	return maxTries, nil
 }

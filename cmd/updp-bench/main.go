@@ -15,6 +15,7 @@
 //	updp-bench -serve self -clients 32 -duration 5s
 //	updp-bench -serve http://localhost:8500 -clients 64 -duration 30s -users 20000
 //	updp-bench -serve self -accounting zcdp -window 60
+//	updp-bench -serve self -grouped                  # GROUP BY workload: histograms + grouped releases
 //	updp-bench -serve self -compare -budget 0.1
 //	updp-bench -serve self -restart
 //	updp-bench -serve self -duel              # durable vs ephemeral throughput
@@ -62,7 +63,8 @@ func main() {
 		accounting  = flag.String("accounting", "pure", `loadgen: bench tenant backend, "pure", "zcdp", or "rdp"`)
 		delta       = flag.Float64("delta", 0, "loadgen: zcdp/rdp delta (0 = server default 1e-6)")
 		window      = flag.Float64("window", 0, "loadgen: bench tenant refill window in seconds (0 = lifetime)")
-		compare     = flag.Bool("compare", false, "loadgen: run the pure-vs-zcdp-vs-rdp exhaustion duel instead of the throughput run")
+		compare     = flag.Bool("compare", false, "loadgen: run the pure-vs-zcdp-vs-rdp exhaustion duel (plus the grouped parallel-vs-even-split duel) instead of the throughput run")
+		grouped     = flag.Bool("grouped", false, "loadgen: GROUP BY workload — histograms, grouped queries, grouped estimates (parallel-composed releases)")
 		budget      = flag.Float64("budget", 0.1, "compare: nominal total epsilon per twin tenant")
 		restart     = flag.Bool("restart", false, "loadgen: run the durability recovery scenario (ingest+spend, snapshot, crash, re-open) instead of the throughput run")
 		duel        = flag.Bool("duel", false, "loadgen: run the durable-vs-ephemeral duel (same distinct-release load with and without a data dir) instead of the throughput run")
@@ -85,6 +87,7 @@ func main() {
 			delta:      *delta,
 			window:     *window,
 			budget:     *budget,
+			grouped:    *grouped,
 			metricsOut: *metricsOut,
 			tracesOut:  *tracesOut,
 		}

@@ -1,0 +1,43 @@
+package dp
+
+// Parallel composition (McSherry 2009): mechanisms run on DISJOINT
+// subsets of the data jointly satisfy the MAXIMUM of their individual
+// guarantees, not the sum. The grouped release path (dpsql GROUP BY,
+// the serve histogram endpoint) earns the precondition by clamping each
+// user to a bounded number of groups during the per-user collapse: at
+// contribution bound 1 the groups partition the users and the whole
+// grouped answer is priced as ONE release.
+
+// ParallelCost prices a grouped release from its per-group cost. per is
+// the cost of releasing ONE group's answer; bound is the maximum number
+// of groups a single user contributes to.
+//
+// bound <= 1 is parallel composition proper: the groups are disjoint in
+// users, the joint guarantee is the per-group maximum, and the whole
+// grouped release costs exactly `per` — independent of how many groups
+// exist. (bound 0 is treated as 1, matching dpsql's default.)
+//
+// bound > 1 is the honest fallback to sequential (group) composition: a
+// user seen by up to `bound` groups faces at most bound-fold composition
+// of the per-group guarantee, so every representation scales by bound —
+// Eps and Rho linearly (basic and zCDP composition are additive), and
+// each RDP curve point's ε(α) linearly (RDP composition is per-order
+// additive, so bound-fold self-composition multiplies the curve).
+//
+// The result keeps the input's representation — exactly one of Eps, Rho,
+// Curve is set whenever that held for per — so every ledger backend that
+// accepts the per-group cost accepts the parallel-composed one.
+func ParallelCost(per Cost, bound int) Cost {
+	if bound <= 1 {
+		return per
+	}
+	k := float64(bound)
+	out := Cost{Eps: per.Eps * k, Rho: per.Rho * k}
+	if len(per.Curve) > 0 {
+		out.Curve = make([]RDPPoint, len(per.Curve))
+		for i, p := range per.Curve {
+			out.Curve[i] = RDPPoint{Alpha: p.Alpha, Eps: p.Eps * k}
+		}
+	}
+	return out
+}

@@ -20,6 +20,9 @@ var (
 	ErrTooFewUsers = errors.New("dpsql: group has too few users (need >= 4)")
 	// ErrNotNumeric reports aggregation over a non-numeric column.
 	ErrNotNumeric = errors.New("dpsql: aggregate column must be numeric")
+	// ErrBadGroupBound reports an invalid per-user group contribution
+	// bound (valid: -1 for unbounded, or any cap >= 1).
+	ErrBadGroupBound = errors.New("dpsql: group contribution bound must be -1 (unbounded) or >= 1")
 )
 
 // ResultRow is one released result row (per group when GROUP BY is
@@ -107,6 +110,14 @@ type ExecOpts struct {
 	// for concurrent use. The serve layer records these as child spans
 	// under "scan", which is what makes a straggler shard visible.
 	ObserveShard func(shard, rows int, d time.Duration)
+	// GroupBound caps how many distinct groups one user may contribute
+	// to in a GROUP BY query. 0 means the default bound of 1 (groups
+	// partition the users and the grouped release is priced by parallel
+	// composition); c >= 1 clamps each user to its first c groups and
+	// prices by c-fold sequential composition; -1 disables clamping and
+	// falls back to the legacy even ε-split across groups. Ignored for
+	// queries without GROUP BY. See dp.ParallelCost.
+	GroupBound int
 }
 
 // Exec parses and answers sql under user-level eps-DP.
@@ -117,8 +128,15 @@ type ExecOpts struct {
 // location aggregates), then released through the repository's universal
 // estimators, which need no bound on per-user contributions — the §1.1.1
 // (DFY+22) application. GROUP BY keys are released as-is and must be public
-// categories; the budget is split evenly across groups because one user may
-// appear in several groups.
+// categories. Grouped releases are priced by parallel composition
+// (dp.ParallelCost): during the scan each user is clamped to its
+// first-seen group (contribution bound 1 by default, configurable via
+// ExecOpts.GroupBound), so groups are disjoint in users and the whole
+// grouped answer costs ONE release at the full ε — not ε/k per group. A
+// bound c > 1 keeps per-group accuracy at ε/c and charges the honest
+// c-fold sequential composition. ExecOpts.GroupBound -1 restores the
+// legacy unbounded mode: no rows are dropped and the budget is split
+// evenly across groups, because one user may then appear in all of them.
 func (db *DB) Exec(rng *xrand.RNG, sql string, eps float64) (*Result, error) {
 	return db.ExecTraced(rng, sql, eps, ExecOpts{})
 }
@@ -126,12 +144,27 @@ func (db *DB) Exec(rng *xrand.RNG, sql string, eps float64) (*Result, error) {
 // ExecTraced is Exec with an optional ledger override and per-stage
 // timing callback — identical parsing, privacy semantics, and spend.
 func (db *DB) ExecTraced(rng *xrand.RNG, sql string, eps float64, opts ExecOpts) (*Result, error) {
-	if err := dp.CheckEpsilon(eps); err != nil {
-		return nil, err
-	}
 	q, err := Parse(sql)
 	if err != nil {
 		return nil, err
+	}
+	return db.ExecQueryTraced(rng, q, eps, opts)
+}
+
+// ExecQueryTraced answers an already-parsed query — the serve layer's
+// histogram endpoint and grouped estimates build Query values directly
+// instead of round-tripping through SQL text. Parsing aside, it is
+// ExecTraced exactly: same validation, privacy semantics, and spend.
+func (db *DB) ExecQueryTraced(rng *xrand.RNG, q *Query, eps float64, opts ExecOpts) (*Result, error) {
+	if err := dp.CheckEpsilon(eps); err != nil {
+		return nil, err
+	}
+	bound := opts.GroupBound
+	if bound == 0 {
+		bound = 1
+	}
+	if bound < -1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadGroupBound, opts.GroupBound)
 	}
 	t, err := db.TableByName(q.Table)
 	if err != nil {
@@ -171,7 +204,18 @@ func (db *DB) ExecTraced(rng *xrand.RNG, sql string, eps float64, opts ExecOpts)
 		led = db.Ledger()
 	}
 	if led != nil {
-		if err := led.Spend(dp.EpsCost(eps)); err != nil {
+		// One deduction per release, charged before the scan (the price is
+		// data-independent). A bounded grouped query is priced by parallel
+		// composition over its per-group budget eps/bound — at bound 1
+		// that is exactly one release of the full eps, and at bound c the
+		// honest c-fold sequential fallback; either way the total charged
+		// equals the requested eps, the same as a scalar query or the
+		// legacy unbounded split.
+		cost := dp.EpsCost(eps)
+		if groupIx >= 0 && bound >= 1 {
+			cost = dp.ParallelCost(dp.EpsCost(eps/float64(bound)), bound)
+		}
+		if err := led.Spend(cost); err != nil {
 			return nil, err
 		}
 	}
@@ -194,6 +238,7 @@ func (db *DB) ExecTraced(rng *xrand.RNG, sql string, eps float64, opts ExecOpts)
 	// changes wall-clock, not answers.
 	type shardGroup struct {
 		key Value
+		ord int32 // shard-local first-seen ordinal (the clamp's slot id)
 		idx []int32
 	}
 	type shardScan struct {
@@ -204,8 +249,17 @@ func (db *DB) ExecTraced(rng *xrand.RNG, sql string, eps float64, opts ExecOpts)
 	if groupIx >= 0 {
 		groupKind = t.Columns[groupIx].Kind
 	}
+	clamped := groupIx >= 0 && bound >= 1
 	snaps := t.shardSnapshots()
+	// A user whose recorded placement disagrees with the hash route
+	// (possible only for hand-built imported TableStates) may have rows in
+	// several shards, and per-shard clamp slots would grant it bound slots
+	// per shard. Such tables take the sequential fallback below: the WHERE
+	// predicate still fans out, but the clamp + group walk runs once over
+	// the global arrival order.
+	seqClamp := clamped && len(snaps) > 1 && t.mixedPlacement.Load()
 	scans := make([]shardScan, len(snaps))
+	sels := make([][]bool, len(snaps))
 	t.runFan(len(snaps), func(si int) {
 		shardStart := time.Now()
 		sn := snaps[si]
@@ -213,6 +267,13 @@ func (db *DB) ExecTraced(rng *xrand.RNG, sql string, eps float64, opts ExecOpts)
 		if q.Where != nil {
 			sel = make([]bool, sn.n)
 			q.Where.evalShard(t, sn, sel)
+		}
+		if seqClamp {
+			sels[si] = sel
+			if opts.ObserveShard != nil {
+				opts.ObserveShard(si, sn.n, time.Since(shardStart))
+			}
+			return
 		}
 		sc := shardScan{groups: map[string]*shardGroup{}}
 		if groupIx < 0 {
@@ -228,13 +289,48 @@ func (db *DB) ExecTraced(rng *xrand.RNG, sql string, eps float64, opts ExecOpts)
 				sc.order = append(sc.order, "")
 			}
 		} else {
+			// Clamp slots: a user contributes to its first `bound` distinct
+			// groups in its own row order; rows for any later group are
+			// dropped. Hash routing keeps all of a user's rows in one shard
+			// in arrival order, so the admitted set — and therefore every
+			// group's user set — is identical at every shard count.
+			var slots []int32
+			if clamped {
+				slots = make([]int32, int(sn.nu)*bound)
+				for j := range slots {
+					slots[j] = -1
+				}
+			}
 			for i := 0; i < sn.n; i++ {
 				if sel != nil && !sel[i] {
 					continue
 				}
 				key := sn.keyString(groupKind, groupIx, i)
 				g, ok := sc.groups[key]
-				if !ok {
+				if clamped {
+					us := slots[int(sn.uix[i])*bound : (int(sn.uix[i])+1)*bound]
+					admitted, free := false, -1
+					for s, v := range us {
+						if ok && v == g.ord {
+							admitted = true
+							break
+						}
+						if v < 0 && free < 0 {
+							free = s
+						}
+					}
+					if !admitted {
+						if free < 0 {
+							continue // cap reached: drop the row
+						}
+						if !ok {
+							g = &shardGroup{key: sn.value(groupKind, groupIx, i), ord: int32(len(sc.order))}
+							sc.groups[key] = g
+							sc.order = append(sc.order, key)
+						}
+						us[free] = g.ord
+					}
+				} else if !ok {
 					g = &shardGroup{key: sn.value(groupKind, groupIx, i)}
 					sc.groups[key] = g
 					sc.order = append(sc.order, key)
@@ -247,45 +343,118 @@ func (db *DB) ExecTraced(rng *xrand.RNG, sql string, eps float64, opts ExecOpts)
 			opts.ObserveShard(si, sn.n, time.Since(shardStart))
 		}
 	})
+	observe("scan", time.Since(scanStart))
+
+	// Merge the per-shard partial group lists map-free: concatenate them in
+	// shard order, stable-sort by key (stability keeps each group's shard
+	// fragments in shard order), and fold equal-key runs into one group.
+	// The output lands directly in the released sorted-key order.
 	type groupSel struct {
 		key   Value
+		keyS  string
 		parts []selPart // one per contributing shard, in shard order
 	}
-	groups := map[string]*groupSel{}
-	var order []string
-	for si, sc := range scans {
-		for _, key := range sc.order {
-			sg := sc.groups[key]
-			g, ok := groups[key]
+	mergeStart := time.Now()
+	var flat []groupSel
+	if seqClamp {
+		// Global arrival-order clamp walk: the k-way merge on sequence
+		// numbers visits rows exactly as a single-shard table stores them,
+		// so admitted sets match the single-shard twin bit for bit even for
+		// users whose rows straddle shards. Sequential by construction —
+		// the price of honoring hand-built placements.
+		type seqGroup struct {
+			key Value
+			idx [][]int32 // per shard, row indices in row order
+		}
+		gm := map[string]*seqGroup{}
+		var order []string
+		admitted := map[string][]string{} // uid -> admitted group keys (<= bound)
+		mergeOrder(snaps, func(s, i int) {
+			if sels[s] != nil && !sels[s][i] {
+				return
+			}
+			sn := snaps[s]
+			key := sn.keyString(groupKind, groupIx, i)
+			uid := sn.uid(i)
+			in := false
+			for _, k := range admitted[uid] {
+				if k == key {
+					in = true
+					break
+				}
+			}
+			if !in {
+				if len(admitted[uid]) >= bound {
+					return // cap reached: drop the row
+				}
+				admitted[uid] = append(admitted[uid], key)
+			}
+			g, ok := gm[key]
 			if !ok {
-				g = &groupSel{key: sg.key}
-				groups[key] = g
+				g = &seqGroup{key: sn.value(groupKind, groupIx, i), idx: make([][]int32, len(snaps))}
+				gm[key] = g
 				order = append(order, key)
 			}
-			g.parts = append(g.parts, selPart{shard: si, idx: sg.idx})
+			g.idx[s] = append(g.idx[s], int32(i))
+		})
+		for _, key := range order {
+			g := gm[key]
+			gs := groupSel{key: g.key, keyS: key}
+			for s, idx := range g.idx {
+				if len(idx) > 0 {
+					gs.parts = append(gs.parts, selPart{shard: s, idx: idx})
+				}
+			}
+			flat = append(flat, gs)
+		}
+	} else {
+		for si := range scans {
+			sc := &scans[si]
+			for _, key := range sc.order {
+				sg := sc.groups[key]
+				flat = append(flat, groupSel{key: sg.key, keyS: key, parts: []selPart{{shard: si, idx: sg.idx}}})
+			}
 		}
 	}
-	sort.Strings(order)
-	observe("scan", time.Since(scanStart))
-	if len(order) == 0 {
+	sort.SliceStable(flat, func(a, b int) bool { return flat[a].keyS < flat[b].keyS })
+	groups := make([]groupSel, 0, len(flat))
+	for _, g := range flat {
+		if n := len(groups); n > 0 && groups[n-1].keyS == g.keyS {
+			groups[n-1].parts = append(groups[n-1].parts, g.parts...)
+			continue
+		}
+		groups = append(groups, g)
+	}
+	if groupIx >= 0 {
+		observe("group_merge", time.Since(mergeStart))
+	}
+	if len(groups) == 0 {
 		// No matching rows: release an empty result (the absence of public
 		// group keys reveals only the public category list).
 		return &Result{Query: q, EpsSpent: eps}, nil
 	}
 
-	// Budget: even split across groups (a user may appear in several), then
-	// across the aggregates in the SELECT list (basic composition).
-	epsG := eps / float64(len(order)) / float64(len(q.Aggs))
+	// Per-group budget. With a contribution bound every group receives the
+	// full per-partition budget eps/bound (then split across the SELECT
+	// list's aggregates by basic composition) no matter how many groups
+	// exist — the parallel-composition payoff. The legacy unbounded mode
+	// (GroupBound -1) splits eps evenly across the k released groups,
+	// because an unclamped user may appear in all of them.
+	var epsG float64
+	if clamped {
+		epsG = eps / float64(bound) / float64(len(q.Aggs))
+	} else {
+		epsG = eps / float64(len(groups)) / float64(len(q.Aggs))
+	}
 	noiseStart := time.Now()
 	defer func() { observe("noise", time.Since(noiseStart)) }()
 	res := &Result{Query: q, EpsSpent: eps}
-	for _, key := range order {
-		g := groups[key]
+	for _, g := range groups {
 		values := make([]float64, len(q.Aggs))
 		for i, spec := range q.Aggs {
 			v, err := db.aggregate(rng, t, spec, snaps, g.parts, aggIx[i], epsG)
 			if err != nil {
-				return nil, fmt.Errorf("group %q: %w", key, err)
+				return nil, fmt.Errorf("group %q: %w", g.keyS, err)
 			}
 			values[i] = v
 		}

@@ -1,8 +1,12 @@
 package dpsql
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/xrand"
 )
 
 // FuzzParse asserts the query parser never panics and that accepted
@@ -34,6 +38,148 @@ func FuzzParse(f *testing.F) {
 		}
 		if q.Table == "" {
 			t.Errorf("accepted query with no table: %q", sql)
+		}
+	})
+}
+
+// groupedTwinQueries is the GROUP BY query pool the twin fuzz draws
+// from. It covers NaN group keys (the float column f carries NaNs),
+// groups emptied by the WHERE clause, groups under the 4-user floor
+// (the rare group "t" has 3 users, so quantile aggregates error), and
+// multi-aggregate SELECT lists.
+var groupedTwinQueries = []string{
+	"SELECT COUNT(*) FROM ev GROUP BY g",
+	"SELECT AVG(v) FROM ev GROUP BY g",
+	"SELECT MEDIAN(v), COUNT(*) FROM ev GROUP BY g",
+	"SELECT COUNT(*) FROM ev GROUP BY f",       // float keys incl. NaN
+	"SELECT AVG(v) FROM ev WHERE v < 0 GROUP BY g", // empties every group
+	"SELECT SUM(v) FROM ev WHERE f < 2 GROUP BY g", // NaN rows filtered out
+	"SELECT VAR(v), P75(v) FROM ev GROUP BY g",
+	"SELECT COUNT(*) FROM ev WHERE g = 't' GROUP BY g",
+}
+
+// fuzzRows derives a deterministic grouped dataset from seed: 5 groups
+// (one rare 3-user group "t" under the quantile floor), interleaved
+// multi-row users, a float column with NaN group keys mixed in.
+func fuzzRows(seed int64) [][]Value {
+	rng := xrand.New(uint64(seed))
+	nUsers := 8 + int(rng.Uint64()%40)
+	nRows := 4 * nUsers
+	groups := []string{"a", "b", "c", "d"}
+	var rows [][]Value
+	for i := 0; i < nRows; i++ {
+		uid := fmt.Sprintf("u%03d", rng.Uint64()%uint64(nUsers))
+		v := math.Exp(1 + rng.Gaussian())
+		f := float64(rng.Uint64() % 3)
+		if rng.Uint64()%7 == 0 {
+			f = math.NaN()
+		}
+		rows = append(rows, []Value{Str(uid), Float(v), Str(groups[rng.Uint64()%uint64(len(groups))]), Float(f)})
+	}
+	// The rare group: three dedicated users seen only in "t".
+	for i := 0; i < 3; i++ {
+		rows = append(rows, []Value{Str(fmt.Sprintf("t%d", i)), Float(1 + float64(i)), Str("t"), Float(0)})
+	}
+	return rows
+}
+
+// sameGroupedResult compares released rows bit-for-bit, treating NaN as
+// equal to itself (reflect.DeepEqual would not) — group keys can be NaN
+// by construction.
+func sameGroupedResult(a, b *Result) error {
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Errorf("row count %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	bits := func(x float64) uint64 { return math.Float64bits(x) }
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if ra.HasGroup != rb.HasGroup || ra.Group.Kind != rb.Group.Kind ||
+			ra.Group.S != rb.Group.S || bits(ra.Group.F) != bits(rb.Group.F) {
+			return fmt.Errorf("row %d: group %v vs %v", i, ra.Group, rb.Group)
+		}
+		if len(ra.Values) != len(rb.Values) || bits(ra.Value) != bits(rb.Value) {
+			return fmt.Errorf("row %d: values %v vs %v", i, ra.Values, rb.Values)
+		}
+		for j := range ra.Values {
+			if bits(ra.Values[j]) != bits(rb.Values[j]) {
+				return fmt.Errorf("row %d agg %d: %v vs %v", i, j, ra.Values[j], rb.Values[j])
+			}
+		}
+	}
+	return nil
+}
+
+// FuzzGroupedTwin asserts that for any dataset, contribution bound, and
+// GROUP BY query, sharded twins (N=4, 16) release answers bit-for-bit
+// identical to the single-shard twin — same rows, same group keys, same
+// noise draws — or fail with the identical error; and that a sharded
+// Export→Import→Export round-trip is lossless and answer-preserving.
+func FuzzGroupedTwin(f *testing.F) {
+	f.Add(int64(1), int8(0), uint8(0))
+	f.Add(int64(2), int8(1), uint8(3))
+	f.Add(int64(3), int8(2), uint8(2))
+	f.Add(int64(4), int8(-1), uint8(4))
+	f.Add(int64(5), int8(3), uint8(7))
+	f.Add(int64(6), int8(0), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, boundSel int8, qSel uint8) {
+		bound := []int{0, 1, 2, 3, -1}[int(uint8(boundSel))%5]
+		sql := groupedTwinQueries[int(qSel)%len(groupedTwinQueries)]
+		rows := fuzzRows(seed)
+
+		build := func(shards int) *DB {
+			db := NewDB()
+			db.SetDefaultShards(shards)
+			tab, err := db.Create("ev",
+				[]Column{{Name: "uid", Kind: KindString}, {Name: "v", Kind: KindFloat}, {Name: "g", Kind: KindString}, {Name: "f", Kind: KindFloat}},
+				"uid")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tab.AppendRows(rows); err != nil {
+				t.Fatal(err)
+			}
+			return db
+		}
+		run := func(db *DB) (*Result, error) {
+			return db.ExecTraced(xrand.New(7), sql, 1, ExecOpts{GroupBound: bound})
+		}
+
+		db1 := build(1)
+		r1, err1 := run(db1)
+		for _, n := range []int{4, 16} {
+			rn, errn := run(build(n))
+			if (err1 == nil) != (errn == nil) || (err1 != nil && err1.Error() != errn.Error()) {
+				t.Fatalf("%s bound=%d N=%d: error %v vs %v", sql, bound, n, errn, err1)
+			}
+			if err1 != nil {
+				continue
+			}
+			if err := sameGroupedResult(r1, rn); err != nil {
+				t.Fatalf("%s bound=%d N=%d: %v", sql, bound, n, err)
+			}
+		}
+
+		// Export→Import→Export round-trip on a sharded twin: states equal,
+		// answers (or errors) unchanged.
+		db4 := build(4)
+		st := db4.Export()[0]
+		dbi := NewDB()
+		dbi.SetDefaultShards(4)
+		if _, err := dbi.Import(st); err != nil {
+			t.Fatal(err)
+		}
+		st2 := dbi.Export()[0]
+		if fmt.Sprintf("%v", st) != fmt.Sprintf("%v", st2) {
+			t.Fatalf("%s: Export→Import→Export changed the state", sql)
+		}
+		ri, erri := run(dbi)
+		if (err1 == nil) != (erri == nil) || (err1 != nil && err1.Error() != erri.Error()) {
+			t.Fatalf("%s bound=%d imported: error %v vs %v", sql, bound, erri, err1)
+		}
+		if err1 == nil {
+			if err := sameGroupedResult(r1, ri); err != nil {
+				t.Fatalf("%s bound=%d imported twin: %v", sql, bound, err)
+			}
 		}
 	})
 }

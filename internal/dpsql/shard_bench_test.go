@@ -103,6 +103,48 @@ func BenchmarkShardColumnFloats(b *testing.B) {
 	}
 }
 
+// BenchmarkGroupedScan measures the bounded-contribution grouped release
+// end to end: per-shard first-seen clamping (slot windows over the group
+// ordinals), the shard-order merge of group selections, and one noisy
+// release per group — the scan a histogram or GROUP BY query pays.
+func BenchmarkGroupedScan(b *testing.B) {
+	schema := []Column{
+		{Name: "uid", Kind: KindString},
+		{Name: "v", Kind: KindFloat},
+		{Name: "grp", Kind: KindString},
+	}
+	groups := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			db := NewDB()
+			tab, err := db.CreateSharded("m", schema, "uid", n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const rows = 20000
+			batch := make([][]Value, rows)
+			for i := range batch {
+				batch[i] = []Value{
+					Str(fmt.Sprintf("u%05d", i%5000)),
+					Float(float64(i % 997)),
+					Str(groups[i%len(groups)]),
+				}
+			}
+			if err := tab.AppendRows(batch); err != nil {
+				b.Fatal(err)
+			}
+			db.SetFanout(goFanout)
+			rng := xrand.New(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Exec(rng, "SELECT COUNT(*) FROM m GROUP BY grp", 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkColumnarScan measures the Exec release scan — vectorized
 // predicate over the typed float column, per-shard grouped selection,
 // and the map-based user collapse — end to end through a released

@@ -59,6 +59,14 @@ type Table struct {
 	_       [56]byte
 
 	fan atomic.Value // Fanout installed by the owning DB (may be nil)
+
+	// mixedPlacement records that at least one row was imported with an
+	// explicit shard assignment that disagrees with the hash route for
+	// its user — only hand-built TableStates can do this. Such a user's
+	// rows may straddle shards, which breaks the per-shard contribution
+	// clamp of bounded GROUP BY; ExecQueryTraced checks this flag and
+	// falls back to a sequential arrival-order clamp walk.
+	mixedPlacement atomic.Bool
 }
 
 // DB is a collection of tables with an optional shared privacy budget.
@@ -287,6 +295,9 @@ func (t *Table) appendRouted(rows [][]Value, shardOf []int) error {
 		si := -1
 		if shardOf != nil && i < len(shardOf) && shardOf[i] >= 0 && shardOf[i] < t.nshards {
 			si = shardOf[i]
+			if t.nshards > 1 && si != t.shardFor(row[t.userIx].String()) {
+				t.mixedPlacement.Store(true)
+			}
 		}
 		if si < 0 {
 			si = t.shardFor(row[t.userIx].String())

@@ -81,6 +81,7 @@ type TenantStatus struct {
 
 	Queries        int64 `json:"queries"`
 	Estimates      int64 `json:"estimates"`
+	Histograms     int64 `json:"histograms"`
 	Refusals       int64 `json:"refusals"`
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
@@ -123,9 +124,21 @@ type InsertRowsResponse struct {
 }
 
 // QueryRequest runs one dpsql SELECT with budget ε.
+//
+// GroupBy, when set, appends a GROUP BY over the named (public-category)
+// column to the SQL — a convenience equal to writing it in the statement.
+// ContributionBound caps how many groups one user may contribute to in a
+// grouped query: 0 means the default cap of 1 (each user counts in its
+// first-seen group only, and the whole grouped answer is priced by
+// parallel composition as ONE release of the full ε); c >= 1 caps at c
+// (priced as c-fold sequential composition — same total ε, per-group
+// accuracy ε/c); -1 disables clamping and restores the legacy even
+// ε-split across groups. Ignored for ungrouped queries.
 type QueryRequest struct {
-	SQL     string  `json:"sql"`
-	Epsilon float64 `json:"epsilon"`
+	SQL               string  `json:"sql"`
+	GroupBy           string  `json:"group_by,omitempty"`
+	Epsilon           float64 `json:"epsilon"`
+	ContributionBound int     `json:"contribution_bound,omitempty"`
 }
 
 // QueryResultRow is one released row.
@@ -158,27 +171,69 @@ type QueryResponse struct {
 // tenant (charged the curve ρα); a pure tenant refuses it (the Gaussian
 // mechanism has no finite pure-ε guarantee). Set either Epsilon or Rho,
 // not both.
+// GroupBy, when set, releases the statistic once per group of the named
+// (public-category) column through the grouped SQL path — one release,
+// priced by parallel composition under ContributionBound (see
+// QueryRequest). Grouped estimates support the user unit and ε charging
+// only, and the stats mean, variance, stddev, iqr, median, quantile, and
+// count (the empirical stats and native-ρ counts have no grouped form);
+// the response carries Groups instead of Value.
 type EstimateRequest struct {
-	Table   string  `json:"table"`
-	Column  string  `json:"column"`
-	Stat    string  `json:"stat"`
-	P       float64 `json:"p,omitempty"`
-	Tau     int     `json:"tau,omitempty"`
-	Epsilon float64 `json:"epsilon,omitempty"`
-	Rho     float64 `json:"rho,omitempty"`
-	Beta    float64 `json:"beta,omitempty"`
-	Unit    string  `json:"unit,omitempty"`
+	Table             string  `json:"table"`
+	Column            string  `json:"column"`
+	Stat              string  `json:"stat"`
+	GroupBy           string  `json:"group_by,omitempty"`
+	P                 float64 `json:"p,omitempty"`
+	Tau               int     `json:"tau,omitempty"`
+	Epsilon           float64 `json:"epsilon,omitempty"`
+	Rho               float64 `json:"rho,omitempty"`
+	Beta              float64 `json:"beta,omitempty"`
+	Unit              string  `json:"unit,omitempty"`
+	ContributionBound int     `json:"contribution_bound,omitempty"`
+}
+
+// GroupValue is one group's released value in a grouped estimate.
+type GroupValue struct {
+	Group string  `json:"group"`
+	Value float64 `json:"value"`
 }
 
 // EstimateResponse is a released estimate; exactly one of EpsSpent and
 // RhoSpent is set, matching how the release was charged. Cached reports a
 // replay of a byte-identical earlier release (free post-processing — no
-// budget was spent on this response).
+// budget was spent on this response). Grouped estimates carry one entry
+// per released group in Groups (sorted by group key) and leave Value 0.
 type EstimateResponse struct {
-	Value    float64 `json:"value"`
-	EpsSpent float64 `json:"eps_spent,omitempty"`
-	RhoSpent float64 `json:"rho_spent,omitempty"`
-	Cached   bool    `json:"cached,omitempty"`
+	Value    float64      `json:"value"`
+	Groups   []GroupValue `json:"groups,omitempty"`
+	EpsSpent float64      `json:"eps_spent,omitempty"`
+	RhoSpent float64      `json:"rho_spent,omitempty"`
+	Cached   bool         `json:"cached,omitempty"`
+}
+
+// HistogramRequest releases a count-by-key histogram over a public
+// categorical column: one noisy user count per group, as one grouped
+// release priced by parallel composition under ContributionBound (see
+// QueryRequest — same semantics, same default cap of 1).
+type HistogramRequest struct {
+	Table             string  `json:"table"`
+	GroupBy           string  `json:"group_by"`
+	Epsilon           float64 `json:"epsilon"`
+	ContributionBound int     `json:"contribution_bound,omitempty"`
+}
+
+// HistogramBucket is one group's noisy user count.
+type HistogramBucket struct {
+	Group string  `json:"group"`
+	Count float64 `json:"count"`
+}
+
+// HistogramResponse is a released histogram, buckets sorted by group
+// key. Cached reports a free replay of a byte-identical earlier release.
+type HistogramResponse struct {
+	Buckets  []HistogramBucket `json:"buckets"`
+	EpsSpent float64           `json:"eps_spent"`
+	Cached   bool              `json:"cached,omitempty"`
 }
 
 // AuditResponse is one page of a tenant's DP audit log, oldest first.
@@ -201,6 +256,7 @@ type ServerStats struct {
 	Workers        int     `json:"workers"`
 	Queries        int64   `json:"queries"`
 	Estimates      int64   `json:"estimates"`
+	Histograms     int64   `json:"histograms"`
 	Refusals       int64   `json:"refusals"`
 	Shed           int64   `json:"shed"`
 	CacheHits      int64   `json:"cache_hits"`
@@ -245,10 +301,18 @@ func writeReleaseErr(w http.ResponseWriter, err error) int {
 		status, code = http.StatusNotFound, "not_found"
 	case errors.Is(err, dpsql.ErrTooFewUsers), errors.Is(err, updp.ErrTooFewSamples):
 		status, code = http.StatusUnprocessableEntity, "too_few_users"
+	case errors.Is(err, errBadGroupBy):
+		status, code = http.StatusBadRequest, "bad_group_by"
+	case errors.Is(err, dpsql.ErrBadGroupBound):
+		status, code = http.StatusBadRequest, "bad_contribution_bound"
 	}
 	writeErr(w, status, code, err)
 	return status
 }
+
+// errBadGroupBy reports a group_by combined with a request shape that has
+// no grouped form (mapped to the "bad_group_by" error code).
+var errBadGroupBy = errors.New("serve: invalid group_by request")
 
 // ---------- decoding and validation ----------
 
@@ -326,15 +390,24 @@ func canonicalizeEstimate(req *EstimateRequest) {
 		req.Column = ""
 		req.Beta = 0
 	}
+	if req.GroupBy != "" {
+		// Grouped estimates run through the SQL path, which fixes β = 0.1;
+		// a client-supplied Beta must not split the cache.
+		req.Beta = 0
+	} else {
+		// The bound only means something for grouped releases.
+		req.ContributionBound = 0
+	}
 }
 
 // estimateCacheKey fingerprints a canonicalized estimate request. Names
 // are %q-quoted so crafted table/column strings cannot collide across
 // field boundaries.
 func estimateCacheKey(req EstimateRequest) string {
-	return fmt.Sprintf("est|%q|%q|%s|p=%g|tau=%d|eps=%g|rho=%g|beta=%g|unit=%s",
+	return fmt.Sprintf("est|%q|%q|%s|gb=%q|p=%g|tau=%d|eps=%g|rho=%g|beta=%g|unit=%s|cb=%d",
 		strings.ToLower(req.Table), strings.ToLower(req.Column), req.Stat,
-		req.P, req.Tau, req.Epsilon, req.Rho, req.Beta, req.Unit)
+		strings.ToLower(req.GroupBy), req.P, req.Tau, req.Epsilon, req.Rho,
+		req.Beta, req.Unit, req.ContributionBound)
 }
 
 // validateEstimate checks the data-independent parts of a canonicalized
@@ -373,6 +446,22 @@ func validateEstimate(req EstimateRequest) error {
 		if err := dp.CheckRho(req.Rho); err != nil {
 			return err
 		}
+	}
+	if req.GroupBy != "" {
+		// Grouped estimates run through the user-level grouped SQL path:
+		// no record unit, no empirical stats, no native-ρ charging.
+		if req.Unit != "user" {
+			return fmt.Errorf("%w: group_by needs unit \"user\", got %q", errBadGroupBy, req.Unit)
+		}
+		if req.Stat == "empirical_mean" || req.Stat == "empirical_quantile" {
+			return fmt.Errorf("%w: stat %q has no grouped form", errBadGroupBy, req.Stat)
+		}
+		if req.Rho != 0 {
+			return fmt.Errorf("%w: grouped releases charge epsilon, not rho", errBadGroupBy)
+		}
+	}
+	if req.ContributionBound < -1 {
+		return fmt.Errorf("%w: got %d", dpsql.ErrBadGroupBound, req.ContributionBound)
 	}
 	return nil
 }

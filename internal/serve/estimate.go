@@ -24,23 +24,82 @@ import (
 // budget is deducted the charge sticks even if the mechanism fails.
 // The request is already canonicalized (stat/unit lower-cased, defaults
 // applied) by the handler.
-func (s *Server) estimate(t *Tenant, req EstimateRequest, rel *release) (float64, error) {
+func (s *Server) estimate(t *Tenant, req EstimateRequest, rel *release) (float64, []GroupValue, error) {
 	tab, err := t.db.TableByName(req.Table)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if err := validateEstimate(req); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	var value float64
-	var runErr error
-	ran, wait := s.pool.doTimed(func() { value, runErr = s.runEstimate(t, tab, req, rel) })
+	var (
+		value  float64
+		groups []GroupValue
+		runErr error
+	)
+	ran, wait := s.pool.doTimed(func() {
+		if req.GroupBy != "" {
+			groups, runErr = s.runGroupedEstimate(t, req, rel)
+		} else {
+			value, runErr = s.runEstimate(t, tab, req, rel)
+		}
+	})
 	if !ran {
 		s.metrics.shed.Inc()
-		return 0, ErrOverloaded
+		return 0, nil, ErrOverloaded
 	}
 	s.observeStage(rel, "queue_wait", wait)
-	return value, runErr
+	return value, groups, runErr
+}
+
+// groupedAggSpec maps a grouped estimate's stat onto the SQL layer's
+// aggregate (validateEstimate has already rejected stats with no grouped
+// form).
+func groupedAggSpec(req EstimateRequest) dpsql.AggSpec {
+	switch req.Stat {
+	case "count":
+		return dpsql.AggSpec{Kind: dpsql.AggCount}
+	case "variance":
+		return dpsql.AggSpec{Kind: dpsql.AggVar, Col: req.Column}
+	case "stddev":
+		return dpsql.AggSpec{Kind: dpsql.AggStdDev, Col: req.Column}
+	case "iqr":
+		return dpsql.AggSpec{Kind: dpsql.AggIQR, Col: req.Column}
+	case "median":
+		return dpsql.AggSpec{Kind: dpsql.AggMedian, Col: req.Column}
+	case "quantile":
+		return dpsql.AggSpec{Kind: dpsql.AggQuantile, Col: req.Column, P: req.P}
+	default: // "mean"
+		return dpsql.AggSpec{Kind: dpsql.AggAvg, Col: req.Column}
+	}
+}
+
+// runGroupedEstimate executes one grouped estimator release on a worker
+// goroutine: the statistic is released once per group of the group_by
+// column through the grouped SQL executor — bounded per-user group
+// contributions, one parallel-composed deduction, one audit record, the
+// same scan fan-out and stage spans a grouped query gets.
+func (s *Server) runGroupedEstimate(t *Tenant, req EstimateRequest, rel *release) ([]GroupValue, error) {
+	q := &dpsql.Query{
+		Table:   req.Table,
+		GroupBy: req.GroupBy,
+		Aggs:    []dpsql.AggSpec{groupedAggSpec(req)},
+	}
+	rl := &releaseLedger{inner: t.spender, rel: rel}
+	res, err := t.db.ExecQueryTraced(s.splitRNG(), q, req.Epsilon, dpsql.ExecOpts{
+		Ledger:       rl,
+		GroupBound:   req.ContributionBound,
+		Observe:      func(stage string, d time.Duration) { s.observeStage(rel, stage, d) },
+		ObserveShard: shardSpanObserver(rel),
+	})
+	if err != nil {
+		return nil, err
+	}
+	groups := make([]GroupValue, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		groups = append(groups, GroupValue{Group: row.Group.String(), Value: row.Value})
+	}
+	return groups, nil
 }
 
 // runEstimate executes one estimator release on a worker goroutine.

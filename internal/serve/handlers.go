@@ -31,6 +31,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/tables/{table}/rows", s.handleInsertRows)
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/histogram", s.handleHistogram)
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/audit", s.handleAudit)
 	s.mux.HandleFunc("GET /v1/traces", s.handleListTraces)
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleGetTrace)
@@ -84,6 +85,7 @@ func (s *Server) status(t *Tenant) TenantStatus {
 		Shards:         t.shards,
 		Queries:        t.queries.Load(),
 		Estimates:      t.estimates.Load(),
+		Histograms:     t.histograms.Load(),
 		Refusals:       t.refusals.Load(),
 		CacheHits:      t.cacheHits.Load(),
 		CacheMisses:    t.cacheMisses.Load(),
@@ -321,6 +323,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	if req.ContributionBound < -1 {
+		writeErr(w, http.StatusBadRequest, "bad_contribution_bound",
+			fmt.Errorf("%w: got %d", dpsql.ErrBadGroupBound, req.ContributionBound))
+		return
+	}
+	// The group_by wire field is sugar for writing GROUP BY in the
+	// statement; a query that already has one then fails to parse, which
+	// surfaces as a plain 400 before any budget is touched.
+	sql := req.SQL
+	if req.GroupBy != "" {
+		sql = req.SQL + " GROUP BY " + req.GroupBy
+	}
 	rel := newRelease("query")
 	rel.mech = "sql"
 	w.Header().Set("X-Release-Id", rel.id)
@@ -328,7 +342,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	t.queries.Add(1)
 
 	// Byte-identical repeated query: replay the stored answer for free.
-	key := fmt.Sprintf("sql|%q|eps=%g", req.SQL, req.Epsilon)
+	key := fmt.Sprintf("sql|%q|gb=%q|eps=%g|cb=%d", req.SQL, req.GroupBy, req.Epsilon, req.ContributionBound)
 	c0 := time.Now()
 	hit, cached := t.cache.get(key)
 	s.observeStage(rel, "cache_lookup", time.Since(c0))
@@ -359,8 +373,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// scan/noise spans and the single deduction land on this release.
 	rl := &releaseLedger{inner: t.spender, rel: rel}
 	ran, wait := s.pool.doTimed(func() {
-		res, err = t.db.ExecTraced(s.splitRNG(), req.SQL, req.Epsilon, dpsql.ExecOpts{
+		res, err = t.db.ExecTraced(s.splitRNG(), sql, req.Epsilon, dpsql.ExecOpts{
 			Ledger:       rl,
+			GroupBound:   req.ContributionBound,
 			Observe:      func(stage string, d time.Duration) { s.observeStage(rel, stage, d) },
 			ObserveShard: shardSpanObserver(rel),
 		})
@@ -444,7 +459,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// Read the data version before the release takes its snapshot: if an
 	// ingestion lands in between, the stale answer must not be cached.
 	ver := t.cache.version()
-	value, err := s.estimate(t, req, rel)
+	value, groups, err := s.estimate(t, req, rel)
 	if err != nil {
 		if errors.Is(err, dp.ErrBudgetExhausted) {
 			s.metrics.refusals.Inc()
@@ -466,11 +481,116 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	out := EstimateResponse{Value: value}
+	out := EstimateResponse{Value: value, Groups: groups}
 	if req.Rho > 0 {
 		out.RhoSpent = req.Rho
 	} else {
 		out.EpsSpent = req.Epsilon
+	}
+	t.cache.putAt(key, out, ver)
+	s.maybeSnapshot(t)
+	writeJSON(w, http.StatusOK, out)
+	s.finishRelease(t, rel, http.StatusOK)
+}
+
+// handleHistogram releases a count-by-key histogram: one noisy user
+// count per group of a public categorical column, executed as a single
+// grouped COUNT release — bounded per-user group contributions, one
+// parallel-composed deduction, one audit record, cached and charged
+// exactly like a query release.
+func (s *Server) handleHistogram(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.pathTenant(w, r)
+	if !ok {
+		return
+	}
+	var req HistogramRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.GroupBy == "" {
+		writeErr(w, http.StatusBadRequest, "bad_group_by",
+			fmt.Errorf("%w: histogram needs a group_by column", errBadGroupBy))
+		return
+	}
+	if req.ContributionBound < -1 {
+		writeErr(w, http.StatusBadRequest, "bad_contribution_bound",
+			fmt.Errorf("%w: got %d", dpsql.ErrBadGroupBound, req.ContributionBound))
+		return
+	}
+	rel := newRelease("histogram")
+	rel.mech = "histogram"
+	w.Header().Set("X-Release-Id", rel.id)
+	s.metrics.releases.With("histogram").Inc()
+	t.histograms.Add(1)
+
+	// Byte-identical repeated histogram: replay the stored answer for free.
+	key := fmt.Sprintf("hist|%q|%q|eps=%g|cb=%d", req.Table, req.GroupBy, req.Epsilon, req.ContributionBound)
+	c0 := time.Now()
+	hit, cached := t.cache.get(key)
+	s.observeStage(rel, "cache_lookup", time.Since(c0))
+	if cached {
+		s.metrics.cacheHits.Inc()
+		t.cacheHits.Add(1)
+		out := hit.(HistogramResponse)
+		out.Cached = true
+		writeJSON(w, http.StatusOK, out)
+		s.finishRelease(t, rel, http.StatusOK)
+		return
+	}
+	s.metrics.cacheMisses.Inc()
+	t.cacheMisses.Add(1)
+
+	// Read the data version before the scan takes its snapshot: if an
+	// ingestion lands in between, the stale answer must not be cached.
+	ver := t.cache.version()
+	q := &dpsql.Query{
+		Table:   req.Table,
+		GroupBy: req.GroupBy,
+		Aggs:    []dpsql.AggSpec{{Kind: dpsql.AggCount}},
+	}
+	var (
+		res *dpsql.Result
+		err error
+	)
+	rl := &releaseLedger{inner: t.spender, rel: rel}
+	ran, wait := s.pool.doTimed(func() {
+		res, err = t.db.ExecQueryTraced(s.splitRNG(), q, req.Epsilon, dpsql.ExecOpts{
+			Ledger:       rl,
+			GroupBound:   req.ContributionBound,
+			Observe:      func(stage string, d time.Duration) { s.observeStage(rel, stage, d) },
+			ObserveShard: shardSpanObserver(rel),
+		})
+	})
+	if !ran {
+		s.metrics.shed.Inc()
+		s.finishRelease(t, rel, writeReleaseErr(w, ErrOverloaded))
+		return
+	}
+	s.observeStage(rel, "queue_wait", wait)
+	if err != nil {
+		if errors.Is(err, dp.ErrBudgetExhausted) {
+			s.metrics.refusals.Inc()
+			t.refusals.Add(1)
+		}
+		// A charged-then-failed release stays charged, so it must still
+		// be audited — the log records spend, not success.
+		if rel.spent {
+			if aerr := s.auditRelease(t, rel); aerr != nil {
+				err = aerr
+			}
+		}
+		s.finishRelease(t, rel, writeReleaseErr(w, err))
+		return
+	}
+	if rel.spent {
+		if aerr := s.auditRelease(t, rel); aerr != nil {
+			s.finishRelease(t, rel, writeReleaseErr(w, aerr))
+			return
+		}
+	}
+	out := HistogramResponse{EpsSpent: res.EpsSpent, Buckets: make([]HistogramBucket, 0, len(res.Rows))}
+	for _, row := range res.Rows {
+		out.Buckets = append(out.Buckets, HistogramBucket{Group: row.Group.String(), Count: row.Value})
 	}
 	t.cache.putAt(key, out, ver)
 	s.maybeSnapshot(t)
@@ -490,6 +610,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Workers:        s.Workers(),
 		Queries:        m.releases.With("query").Value(),
 		Estimates:      m.releases.With("estimate").Value(),
+		Histograms:     m.releases.With("histogram").Value(),
 		Refusals:       m.refusals.Value(),
 		Shed:           m.shed.Value(),
 		CacheHits:      m.cacheHits.Value(),

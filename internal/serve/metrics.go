@@ -27,7 +27,7 @@ const defaultSlowRelease = 250 * time.Millisecond
 type metricsSet struct {
 	reg *obs.Registry
 
-	releases       *obs.CounterVec // by path: "query" | "estimate"
+	releases       *obs.CounterVec // by path: "query" | "estimate" | "histogram"
 	refusals       *obs.Counter
 	shed           *obs.Counter
 	cacheHits      *obs.Counter
@@ -50,7 +50,7 @@ func newMetricsSet() *metricsSet {
 	lat := obs.LatencyBuckets()
 	m := &metricsSet{
 		reg:            reg,
-		releases:       reg.CounterVec("updp_releases_total", "Release attempts by path (query = SQL, estimate = direct estimator).", "path"),
+		releases:       reg.CounterVec("updp_releases_total", "Release attempts by path (query = SQL, estimate = direct estimator, histogram = grouped count).", "path"),
 		refusals:       reg.Counter("updp_budget_refusals_total", "Releases refused because the tenant budget could not afford them."),
 		shed:           reg.Counter("updp_shed_total", "Requests shed by the full worker queue (HTTP 503)."),
 		cacheHits:      reg.Counter("updp_cache_hits_total", "Releases replayed from a tenant response cache (budget-free)."),
@@ -156,7 +156,7 @@ func (s *Server) MetricsHandler() http.Handler {
 // in by releaseLedger — whether and what the release actually charged.
 type release struct {
 	id    string
-	path  string // "query" | "estimate"
+	path  string // "query" | "estimate" | "histogram"
 	mech  string // audit mechanism name: "sql", or the estimate stat
 	tr    *obs.Trace
 	spent bool

@@ -104,7 +104,8 @@
 //	POST /v1/tenants/{t}/tables               create a table (schema + user column)
 //	POST /v1/tenants/{t}/tables/{name}/rows   append rows (streaming ingestion)
 //	POST /v1/tenants/{t}/query                dpsql SELECT under user-level DP
-//	POST /v1/tenants/{t}/estimate             one estimator release on a column
+//	POST /v1/tenants/{t}/estimate             one estimator release on a column (scalar or grouped)
+//	POST /v1/tenants/{t}/histogram            count-by-key histogram as ONE parallel-composed release
 //	GET  /v1/tenants/{t}/audit                the DP audit log: one record per charged release
 //	GET  /v1/stats                            server-wide counters (incl. cache hits/misses)
 //	GET  /v1/healthz                          liveness
@@ -300,6 +301,7 @@ type Tenant struct {
 
 	queries     atomic.Int64
 	estimates   atomic.Int64
+	histograms  atomic.Int64
 	refusals    atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64

@@ -58,7 +58,7 @@ type AuditRecord struct {
 	Seq        uint64  `json:"seq"`
 	TimeUnix   int64   `json:"ts_unix_nano"`
 	ReleaseID  string  `json:"release_id"`
-	Path       string  `json:"path"`      // "query" or "estimate"
+	Path       string  `json:"path"`      // "query", "estimate", or "histogram"
 	Mechanism  string  `json:"mechanism"` // "sql", or the estimate stat
 	Cost       dp.Cost `json:"cost"`
 	Unit       string  `json:"unit"` // the ledger's native unit
